@@ -1,0 +1,47 @@
+# Riptide reproduction build targets. Everything is stdlib Go; no tools
+# beyond the Go toolchain are required.
+
+GO ?= go
+
+.PHONY: all build vet test test-short race bench report report-full fuzz examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/kernel .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Quick-scale markdown report to stdout.
+report:
+	$(GO) run ./cmd/riptide-bench -scale quick
+
+# Full-scale report + plottable series CSVs, as committed under docs/.
+report-full:
+	$(GO) run ./cmd/riptide-bench -scale full -o docs/REPORT.md -series-dir docs/series
+
+fuzz:
+	$(GO) test -fuzz=FuzzParseSS -fuzztime=30s ./internal/linux
+	$(GO) test -fuzz=FuzzParseIPRouteShow -fuzztime=30s ./internal/linux
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/cdnprobes
+	$(GO) run ./examples/trafficshift
+	$(GO) run ./examples/loadbalancer
+
+clean:
+	$(GO) clean ./...

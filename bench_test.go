@@ -1,0 +1,301 @@
+// Benchmark harness: one testing.B per table and figure in the paper's
+// evaluation, plus the design-choice ablations from DESIGN.md. Each
+// benchmark regenerates its artefact end to end and reports the headline
+// metric the paper reads off it via b.ReportMetric, so `go test -bench=.`
+// doubles as the reproduction report.
+//
+// Set RIPTIDE_BENCH_SCALE=full to run the full 34-PoP topology at the
+// DefaultScale measurement length; the default quick scale keeps the whole
+// suite in the low tens of seconds.
+package riptide
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"riptide/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	if os.Getenv("RIPTIDE_BENCH_SCALE") == "full" {
+		return experiments.DefaultScale()
+	}
+	return experiments.QuickScale()
+}
+
+// noteMetric extracts the first number following a marker substring in a
+// note, so benchmarks can re-report the experiment's headline figure.
+func noteMetric(notes []string, marker string) (float64, bool) {
+	for _, n := range notes {
+		idx := strings.Index(n, marker)
+		if idx < 0 {
+			continue
+		}
+		rest := n[idx+len(marker):]
+		var num strings.Builder
+		for _, r := range rest {
+			if (r >= '0' && r <= '9') || r == '.' || r == '-' || r == '+' {
+				num.WriteRune(r)
+				continue
+			}
+			if num.Len() > 0 {
+				break
+			}
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(num.String(), "+"), 64)
+		if err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+func BenchmarkFig2FileSizeCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig2FileSizes(1, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, ""); ok && i == b.N-1 {
+			b.ReportMetric(v, "%files>IW10")
+		}
+	}
+}
+
+func BenchmarkFig3RTTsCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig3RTTsCDF(1, 100000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "IW50 completes "); ok && i == b.N-1 {
+			b.ReportMetric(v, "%more-1RTT@IW50")
+		}
+	}
+}
+
+func BenchmarkFig4TheoreticalGain(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4TheoreticalGain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5RTTDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig5RTTDistribution(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "median inter-PoP RTT "); ok && i == b.N-1 {
+			b.ReportMetric(v, "median-rtt-ms")
+		}
+	}
+}
+
+func BenchmarkFig6TransferTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6TransferTime(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2PoPCensus(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Table2Census(nil)
+		if len(r.Tables) != 1 {
+			b.Fatal("census produced no table")
+		}
+	}
+}
+
+func BenchmarkFig10CwndByCmax(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig10CwndByCmax(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "c_max=100 "); ok && i == b.N-1 {
+			b.ReportMetric(v, "median-cwnd@cmax100")
+		}
+	}
+}
+
+func BenchmarkFig11TrafficProfile(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11TrafficProfiles(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkProbeCompletion(b *testing.B, fig int) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.ProbeCompletionFigure(fig, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "buckets improved"); ok {
+			_ = v // presence-checked; per-bucket gains are in the notes
+		}
+		if i == b.N-1 {
+			improved, total := bucketsImproved(r.Notes)
+			if total > 0 {
+				b.ReportMetric(float64(improved), "buckets-improved")
+			}
+		}
+	}
+}
+
+func bucketsImproved(notes []string) (improved, total int) {
+	for _, n := range notes {
+		var i, t int
+		if _, err := fmt.Sscanf(n, "%d/%d RTT buckets improved", &i, &t); err == nil {
+			return i, t
+		}
+	}
+	return 0, 0
+}
+
+func BenchmarkFig12Probe10K(b *testing.B)  { benchmarkProbeCompletion(b, 12) }
+func BenchmarkFig13Probe50K(b *testing.B)  { benchmarkProbeCompletion(b, 13) }
+func BenchmarkFig14Probe100K(b *testing.B) { benchmarkProbeCompletion(b, 14) }
+
+func benchmarkGainByPercentile(b *testing.B, fig int) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.GainByPercentileFigure(fig, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "peak percentile gain "); ok && i == b.N-1 {
+			b.ReportMetric(v, "%peak-gain")
+		}
+	}
+}
+
+func BenchmarkFig15GainByPercentile50K(b *testing.B)  { benchmarkGainByPercentile(b, 15) }
+func BenchmarkFig16GainByPercentile100K(b *testing.B) { benchmarkGainByPercentile(b, 16) }
+
+func BenchmarkEdgeCases(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.EdgeCases(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHeadlineCwndIncrease(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Headline(s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if v, ok := noteMetric(r.Notes, "riptide "); ok && i == b.N-1 {
+			b.ReportMetric(v, "median-cwnd-riptide")
+		}
+	}
+}
+
+func BenchmarkAblationCombiners(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationCombiners(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationHistory(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationHistory(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationGranularity(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationGranularity(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTTL(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationTTL(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationUpdateInterval(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AblationUpdateInterval(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAgentTick measures the cost of one Riptide poll round over a
+// synthetic 1000-connection observed table — the agent's steady-state
+// overhead on a busy production host.
+func BenchmarkAgentTick(b *testing.B) {
+	const conns = 1000
+	sampler, routes, clock := newSyntheticBackend(conns)
+	agent, err := New(Config{Sampler: sampler, Routes: routes, Clock: clock})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := agent.Tick(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(conns), "conns/tick")
+}
+
+func BenchmarkExtensionTrendReaction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionTrendReaction(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtensionAdvisorShift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtensionAdvisorShift(int64(i) + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkScenario(b *testing.B, name string) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ScenarioImpact(name, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScenarioFlashCrowd(b *testing.B)  { benchmarkScenario(b, "flashcrowd") }
+func BenchmarkScenarioDegradation(b *testing.B) { benchmarkScenario(b, "degradation") }
+func BenchmarkScenarioReboots(b *testing.B)     { benchmarkScenario(b, "reboots") }

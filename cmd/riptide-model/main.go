@@ -1,0 +1,81 @@
+// Command riptide-model regenerates the paper's analytical figures
+// (Figures 2–6) from the closed-form transfer model and the calibrated
+// workload distributions. These are the motivation-section artefacts that
+// need no cluster simulation.
+//
+//	riptide-model -fig all
+//	riptide-model -fig 3 -n 500000 -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"riptide/internal/experiments"
+	"riptide/internal/model"
+	"riptide/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("riptide-model", flag.ContinueOnError)
+	var (
+		fig  = fs.String("fig", "all", "figure to regenerate: 2|3|4|5|6|all")
+		n    = fs.Int("n", 200000, "file-size samples for figures 2 and 3")
+		seed = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	runners := map[string]func() (experiments.Result, error){
+		"1": func() (experiments.Result, error) { return fig1() },
+		"2": func() (experiments.Result, error) { return experiments.Fig2FileSizes(*seed, *n) },
+		"3": func() (experiments.Result, error) { return experiments.Fig3RTTsCDF(*seed, *n) },
+		"4": experiments.Fig4TheoreticalGain,
+		"5": func() (experiments.Result, error) { return experiments.Fig5RTTDistribution(nil) },
+		"6": func() (experiments.Result, error) { return experiments.Fig6TransferTime(nil) },
+	}
+	order := []string{"1", "2", "3", "4", "5", "6"}
+
+	selected := order
+	if *fig != "all" {
+		if _, ok := runners[*fig]; !ok {
+			return fmt.Errorf("unknown figure %q (want 1..6 or all)", *fig)
+		}
+		selected = []string{*fig}
+	}
+	for _, f := range selected {
+		res, err := runners[f]()
+		if err != nil {
+			return fmt.Errorf("figure %s: %w", f, err)
+		}
+		if err := experiments.Render(os.Stdout, res); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fig1 renders the paper's Figure 1 illustration: a file one segment larger
+// than the initial window needs a whole extra round trip.
+func fig1() (experiments.Result, error) {
+	const fileBytes = 11 * workload.DefaultMSS // one segment over IW10
+	timeline, err := model.RenderTimeline(fileBytes, 125*time.Millisecond, workload.DefaultMSS, 10, 11)
+	if err != nil {
+		return experiments.Result{}, err
+	}
+	return experiments.Result{
+		ID:    "fig1",
+		Title: "A file larger than the initial congestion window needs an extra RTT",
+		Notes: []string{timeline},
+	}, nil
+}

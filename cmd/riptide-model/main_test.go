@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunAllFigures(t *testing.T) {
+	if err := run([]string{"-fig", "all", "-n", "5000"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSingleFigure(t *testing.T) {
+	for _, fig := range []string{"2", "3", "4", "5", "6"} {
+		if err := run([]string{"-fig", fig, "-n", "2000"}); err != nil {
+			t.Errorf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"riptide/internal/cdn"
+	"riptide/internal/trace"
+	"riptide/internal/workload"
+)
+
+// writeFixtureCSVs builds probe and cwnd CSVs with a known structure.
+func writeFixtureCSVs(t *testing.T) (probes, baseline, cwnd string) {
+	t.Helper()
+	dir := t.TempDir()
+	rng := workload.NewRand(1)
+
+	mkProbes := func(path string, scale time.Duration) string {
+		var records []cdn.ProbeRecord
+		for i := 0; i < 200; i++ {
+			size := workload.ProbeSizes[i%3]
+			rtt := time.Duration(20+rng.Intn(300)) * time.Millisecond
+			records = append(records, cdn.ProbeRecord{
+				Src: "lhr", Dst: "jfk", SizeBytes: size,
+				RTT: rtt, Bucket: cdn.BucketFor(rtt),
+				Elapsed: scale + rtt*time.Duration(2+i%3),
+				Rounds:  2 + i%3, InitCwnd: 10, FreshConn: true,
+				At: time.Duration(i) * time.Second,
+			})
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteProbes(f, records); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	probes = mkProbes(filepath.Join(dir, "probes.csv"), 0)
+	baseline = mkProbes(filepath.Join(dir, "baseline.csv"), 300*time.Millisecond)
+
+	cwnd = filepath.Join(dir, "cwnd.csv")
+	f, err := os.Create(cwnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var samples []cdn.CwndSample
+	for i := 0; i < 100; i++ {
+		samples = append(samples, cdn.CwndSample{
+			Src: "lhr", Dst: "10.11.0.1", Cwnd: 10 + i%90,
+			OpenedAfterStart: i%2 == 0, At: time.Duration(i) * time.Minute,
+		})
+	}
+	if err := trace.WriteCwndSamples(f, samples); err != nil {
+		t.Fatal(err)
+	}
+	return probes, baseline, cwnd
+}
+
+func TestReplayProbesAndCwnd(t *testing.T) {
+	probes, baseline, cwnd := writeFixtureCSVs(t)
+	var sb strings.Builder
+	err := run(&sb, []string{"-probes", probes, "-baseline", baseline, "-cwnd", cwnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"200 probes", "size  10240B", "bucket", "comparison vs baseline", "KS D=", "p75 gain", "cwnd samples", "opened after measurement"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReplayNoInputs(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, nil); err == nil {
+		t.Error("no inputs accepted")
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-probes", "/nonexistent.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReplayBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, []string{"-nope"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunTable2(t *testing.T) {
+	if err := run([]string{"-exp", "table2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "fig99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunUnknownScale(t *testing.T) {
+	if err := run([]string{"-scale", "galactic"}); err == nil {
+		t.Error("unknown scale accepted")
+	}
+}
+
+func TestRunSingleFigureQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	if err := run([]string{"-exp", "fig11", "-scale", "quick", "-duration", "10m"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	dir := t.TempDir()
+	probes := filepath.Join(dir, "probes.csv")
+	cwnd := filepath.Join(dir, "cwnd.csv")
+	err := run([]string{"-scale", "quick", "-duration", "6m",
+		"-probes-csv", probes, "-cwnd-csv", cwnd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{probes, cwnd} {
+		info, err := os.Stat(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", f)
+		}
+	}
+}
+
+func TestExportWithSizesCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	dir := t.TempDir()
+	sizes := filepath.Join(dir, "sizes.csv")
+	if err := os.WriteFile(sizes, []byte("size\n20480\n51200\n102400\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	probes := filepath.Join(dir, "probes.csv")
+	err := run([]string{"-scale", "quick", "-duration", "6m",
+		"-probes-csv", probes, "-sizes-csv", sizes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(probes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExportWithBadSizesCSV(t *testing.T) {
+	dir := t.TempDir()
+	sizes := filepath.Join(dir, "sizes.csv")
+	if err := os.WriteFile(sizes, []byte("garbage\nmore garbage\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-probes-csv", filepath.Join(dir, "p.csv"), "-sizes-csv", sizes})
+	if err == nil {
+		t.Error("bad sizes csv accepted")
+	}
+}

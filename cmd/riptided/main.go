@@ -1,0 +1,178 @@
+// Command riptided is the Riptide agent daemon for real Linux hosts: it
+// polls `ss -tin` every update interval, learns per-destination congestion
+// windows, and programs `ip route ... initcwnd` overrides, exactly as
+// described in the paper's Section III.
+//
+// Run with -dry-run to print the ip commands instead of executing them
+// (sampling still uses the real ss). Stopping the daemon (SIGINT/SIGTERM)
+// withdraws every route it installed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+	"time"
+
+	"riptide"
+	"riptide/internal/core"
+	"riptide/internal/linux"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// dryRunRoutes prints the route changes riptided would make.
+type dryRunRoutes struct {
+	out interface{ Printf(string, ...any) }
+}
+
+func (d dryRunRoutes) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
+	d.out.Printf("DRY-RUN ip route replace %s proto static initcwnd %s", prefix, strconv.Itoa(cwnd))
+	return nil
+}
+
+func (d dryRunRoutes) ClearInitCwnd(prefix netip.Prefix) error {
+	d.out.Printf("DRY-RUN ip route del %s proto static", prefix)
+	return nil
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("riptided", flag.ContinueOnError)
+	var (
+		device     = fs.String("dev", "", "outgoing device for programmed routes (e.g. eth0)")
+		gateway    = fs.String("via", "", "next-hop gateway for programmed routes")
+		interval   = fs.Duration("interval", riptide.DefaultUpdateInterval, "update interval i_u")
+		ttl        = fs.Duration("ttl", riptide.DefaultTTL, "learned-entry TTL t")
+		alpha      = fs.Float64("alpha", riptide.DefaultAlpha, "EWMA weight on historical value")
+		cmax       = fs.Int("cmax", riptide.DefaultCMax, "maximum programmed initcwnd")
+		cmin       = fs.Int("cmin", riptide.DefaultCMin, "minimum programmed initcwnd")
+		prefixBits = fs.Int("prefix-bits", 32, "destination granularity (32=per host, 24=per /24)")
+		initRwnd   = fs.Bool("initrwnd", false, "also set initrwnd on programmed routes")
+		dryRun     = fs.Bool("dry-run", false, "print ip commands instead of executing them")
+		combiner   = fs.String("combiner", "average", "combiner: average|max|traffic-weighted")
+		verbose    = fs.Bool("v", false, "log each tick's learned entries")
+		statusAddr = fs.String("status", "", "serve /status and /healthz on this address (e.g. 127.0.0.1:9090)")
+		reconcile  = fs.Bool("reconcile", true, "withdraw leftover riptide routes from a previous run at startup")
+		runFor     = fs.Duration("run-for", 0, "exit after this long instead of waiting for a signal (diagnostics)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := log.New(os.Stderr, "riptided: ", log.LstdFlags)
+
+	var comb riptide.Combiner
+	switch *combiner {
+	case "average":
+		comb = riptide.AverageCombiner{}
+	case "max":
+		comb = riptide.MaxCombiner{}
+	case "traffic-weighted":
+		comb = riptide.TrafficWeightedCombiner{}
+	default:
+		return fmt.Errorf("unknown combiner %q", *combiner)
+	}
+
+	runner := linux.ExecRunner{}
+	sampler, err := linux.NewSampler(runner)
+	if err != nil {
+		return err
+	}
+	var routes riptide.RouteProgrammer
+	if *dryRun {
+		routes = dryRunRoutes{out: logger}
+	} else {
+		ipRoutes, err := linux.NewRoutes(runner, linux.RoutesConfig{
+			Device:      *device,
+			Gateway:     *gateway,
+			SetInitRwnd: *initRwnd,
+		})
+		if err != nil {
+			return err
+		}
+		if *reconcile {
+			// A previous incarnation may have died without
+			// withdrawing its routes; stale aggressive windows must
+			// not outlive their observations (Section III-C).
+			removed, err := ipRoutes.Reconcile()
+			if err != nil {
+				logger.Printf("reconcile: %v", err)
+			}
+			if removed > 0 {
+				logger.Printf("reconcile: withdrew %d stale riptide route(s)", removed)
+			}
+		}
+		routes = ipRoutes
+	}
+
+	start := time.Now()
+	agent, err := core.New(core.Config{
+		Sampler:        sampler,
+		Routes:         routes,
+		Clock:          func() time.Duration { return time.Since(start) },
+		UpdateInterval: *interval,
+		TTL:            *ttl,
+		Alpha:          *alpha,
+		CMax:           *cmax,
+		CMin:           *cmin,
+		PrefixBits:     *prefixBits,
+		Combiner:       comb,
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
+
+	if *statusAddr != "" {
+		go func() {
+			if err := serveStatus(ctx, *statusAddr, agent); err != nil {
+				logger.Printf("status server: %v", err)
+			}
+		}()
+	}
+
+	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s dry-run=%v",
+		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, *dryRun)
+
+	if *verbose {
+		go func() {
+			t := time.NewTicker(10 * *interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					for _, e := range agent.Entries() {
+						logger.Printf("entry %s initcwnd=%d obs=%d", e.Prefix, e.Window, e.Observations)
+					}
+				}
+			}
+		}()
+	}
+
+	err = riptide.Run(ctx, agent, func(tickErr error) {
+		logger.Printf("tick: %v", tickErr)
+	})
+	s := agent.Stats()
+	logger.Printf("stopped: ticks=%d observations=%d routes-set=%d routes-cleared=%d",
+		s.Ticks, s.Observations, s.RoutesSet, s.RoutesCleared)
+	return err
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"net/netip"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func TestRunUnknownCombiner(t *testing.T) {
+	if err := run([]string{"-combiner", "quantum"}); err == nil {
+		t.Error("unknown combiner accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+// logCapture satisfies the dry-run printer.
+type logCapture struct{ lines []string }
+
+func (l *logCapture) Printf(format string, args ...any) {
+	l.lines = append(l.lines, format)
+	_ = args
+}
+
+func TestDryRunRoutesPrintInsteadOfExecute(t *testing.T) {
+	cap := &logCapture{}
+	d := dryRunRoutes{out: cap}
+	p := netip.MustParsePrefix("10.0.0.127/32")
+	if err := d.SetInitCwnd(p, 80); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.ClearInitCwnd(p); err != nil {
+		t.Fatal(err)
+	}
+	if len(cap.lines) != 2 {
+		t.Fatalf("lines = %v", cap.lines)
+	}
+	if !strings.Contains(cap.lines[0], "DRY-RUN ip route replace") {
+		t.Errorf("set line = %q", cap.lines[0])
+	}
+	if !strings.Contains(cap.lines[1], "DRY-RUN ip route del") {
+		t.Errorf("del line = %q", cap.lines[1])
+	}
+}
+
+func TestRunDryRunForDuration(t *testing.T) {
+	if _, err := exec.LookPath("ss"); err != nil {
+		t.Skipf("ss not available: %v", err)
+	}
+	err := run([]string{"-dry-run", "-run-for", "120ms", "-interval", "20ms", "-v"})
+	if err != nil {
+		t.Fatalf("dry-run daemon: %v", err)
+	}
+}
+
+func TestRunWithStatusServer(t *testing.T) {
+	if _, err := exec.LookPath("ss"); err != nil {
+		t.Skipf("ss not available: %v", err)
+	}
+	err := run([]string{"-dry-run", "-run-for", "150ms", "-interval", "20ms",
+		"-status", "127.0.0.1:0"})
+	if err != nil {
+		t.Fatalf("daemon with status: %v", err)
+	}
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// statusPayload is the JSON document served at /status.
+type statusPayload struct {
+	Entries []core.Entry `json:"entries"`
+	Stats   core.Stats   `json:"stats"`
+}
+
+// newStatusHandler serves the agent's learned entries and counters for
+// operational visibility: /status (JSON) and /healthz (200 once ticking).
+func newStatusHandler(agent *core.Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		payload := statusPayload{
+			Entries: agent.Entries(),
+			Stats:   agent.Stats(),
+		}
+		if payload.Entries == nil {
+			payload.Entries = []core.Entry{}
+		}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
+			// Headers already sent; nothing more to do.
+			return
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		writeMetrics(w, agent)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if agent.Stats().Ticks == 0 {
+			http.Error(w, "no ticks yet", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	return mux
+}
+
+// writeMetrics renders the agent's counters and gauges in Prometheus text
+// exposition format.
+func writeMetrics(w io.Writer, agent *core.Agent) {
+	s := agent.Stats()
+	entries := agent.Entries()
+	counters := []struct {
+		name, help string
+		value      uint64
+	}{
+		{"riptide_ticks_total", "Algorithm 1 rounds executed", s.Ticks},
+		{"riptide_observations_total", "Connections sampled across all rounds", s.Observations},
+		{"riptide_routes_set_total", "initcwnd routes programmed", s.RoutesSet},
+		{"riptide_routes_cleared_total", "initcwnd routes withdrawn", s.RoutesCleared},
+		{"riptide_entries_expired_total", "Learned entries dropped by TTL", s.EntriesExpired},
+		{"riptide_sample_errors_total", "Failed ss invocations", s.SampleErrors},
+		{"riptide_route_errors_total", "Failed ip route invocations", s.RouteErrors},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
+	}
+	fmt.Fprintf(w, "# HELP riptide_entries Learned destinations currently programmed\n# TYPE riptide_entries gauge\nriptide_entries %d\n", len(entries))
+	fmt.Fprintln(w, "# HELP riptide_entry_initcwnd Programmed initial window per destination")
+	fmt.Fprintln(w, "# TYPE riptide_entry_initcwnd gauge")
+	for _, e := range entries {
+		fmt.Fprintf(w, "riptide_entry_initcwnd{prefix=%q} %d\n", e.Prefix, e.Window)
+	}
+}
+
+// serveStatus runs the status endpoint until ctx is done. Errors other than
+// a clean shutdown are returned.
+func serveStatus(ctx context.Context, addr string, agent *core.Agent) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           newStatusHandler(agent),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		<-done
+		return nil
+	case err := <-done:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+)
+
+type staticSampler []core.Observation
+
+func (s staticSampler) SampleConnections() ([]core.Observation, error) { return s, nil }
+
+type nopRoutes struct{}
+
+func (nopRoutes) SetInitCwnd(netip.Prefix, int) error { return nil }
+func (nopRoutes) ClearInitCwnd(netip.Prefix) error    { return nil }
+
+func newTestAgent(t *testing.T) *core.Agent {
+	t.Helper()
+	agent, err := core.New(core.Config{
+		Sampler: staticSampler{{Dst: netip.MustParseAddr("10.0.0.7"), Cwnd: 64}},
+		Routes:  nopRoutes{},
+		Clock:   func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+func TestStatusEndpoint(t *testing.T) {
+	agent := newTestAgent(t)
+	if err := agent.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	h := newStatusHandler(agent)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status code = %d", rec.Code)
+	}
+	var payload statusPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if len(payload.Entries) != 1 || payload.Entries[0].Window != 64 {
+		t.Errorf("entries = %+v", payload.Entries)
+	}
+	if payload.Stats.Ticks != 1 {
+		t.Errorf("stats = %+v", payload.Stats)
+	}
+}
+
+func TestStatusMethodNotAllowed(t *testing.T) {
+	h := newStatusHandler(newTestAgent(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/status", nil))
+	if rec.Code != 405 {
+		t.Errorf("code = %d, want 405", rec.Code)
+	}
+}
+
+func TestHealthzBeforeAndAfterTick(t *testing.T) {
+	agent := newTestAgent(t)
+	h := newStatusHandler(agent)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 503 {
+		t.Errorf("pre-tick healthz = %d, want 503", rec.Code)
+	}
+
+	if err := agent.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != 200 {
+		t.Errorf("post-tick healthz = %d, want 200", rec.Code)
+	}
+}
+
+func TestStatusEmptyEntriesIsArray(t *testing.T) {
+	h := newStatusHandler(newTestAgent(t))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	body := rec.Body.String()
+	if want := `"entries":[]`; !strings.Contains(body, want) {
+		t.Errorf("body = %s, want %s", body, want)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	agent := newTestAgent(t)
+	if err := agent.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	h := newStatusHandler(agent)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{
+		"riptide_ticks_total 1",
+		"riptide_entries 1",
+		`riptide_entry_initcwnd{prefix="10.0.0.7/32"} 64`,
+		"# TYPE riptide_routes_set_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q:\n%s", want, body)
+		}
+	}
+}

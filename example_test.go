@@ -1,0 +1,94 @@
+package riptide_test
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"riptide"
+)
+
+// exampleSampler stands in for `ss -tin` output.
+type exampleSampler struct{}
+
+func (exampleSampler) SampleConnections() ([]riptide.Observation, error) {
+	return []riptide.Observation{
+		{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 60},
+		{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 100},
+	}, nil
+}
+
+// exampleRoutes stands in for `ip route` programming.
+type exampleRoutes struct{}
+
+func (exampleRoutes) SetInitCwnd(p netip.Prefix, cwnd int) error {
+	fmt.Printf("set %v initcwnd %d\n", p, cwnd)
+	return nil
+}
+
+func (exampleRoutes) ClearInitCwnd(p netip.Prefix) error {
+	fmt.Printf("clear %v\n", p)
+	return nil
+}
+
+// Example runs one Algorithm-1 round: two observed connections to the same
+// destination average to a programmed initial window of 80, the paper's
+// Figure 7 example.
+func Example() {
+	agent, err := riptide.New(riptide.Config{
+		Sampler: exampleSampler{},
+		Routes:  exampleRoutes{},
+		Clock:   func() time.Duration { return 0 },
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := agent.Tick(); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := agent.Close(); err != nil {
+		fmt.Println(err)
+	}
+	// Output:
+	// set 10.0.0.127/32 initcwnd 80
+	// clear 10.0.0.127/32
+}
+
+// ExampleNewTrendHistory shows the Section V trend policy snapping down on a
+// window collapse while smoothing ordinary variation.
+func ExampleNewTrendHistory() {
+	trend, err := riptide.NewTrendHistory(0.9, 0.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dst := netip.MustParsePrefix("10.0.0.127/32")
+	fmt.Println(trend.Update(dst, 100)) // first observation
+	fmt.Println(trend.Update(dst, 90))  // smoothed: 0.9*100 + 0.1*90
+	fmt.Println(trend.Update(dst, 20))  // collapse below half: snap
+	// Output:
+	// 100
+	// 99
+	// 20
+}
+
+// ExampleNewLoadBalanceAdvisor shows damping windows ahead of a traffic
+// shift.
+func ExampleNewLoadBalanceAdvisor() {
+	advisor := riptide.NewLoadBalanceAdvisor()
+	dst := netip.MustParsePrefix("10.0.0.0/24")
+	fmt.Println(advisor.Advise(dst))
+	if err := advisor.ExpectShift(dst, 0.25); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(advisor.Advise(dst))
+	advisor.ShiftComplete(dst)
+	fmt.Println(advisor.Advise(dst))
+	// Output:
+	// 1
+	// 0.25
+	// 1
+}

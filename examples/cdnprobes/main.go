@@ -1,0 +1,114 @@
+// cdnprobes reproduces the paper's core experiment in miniature: a handful
+// of globally distributed PoPs exchange 10/50/100 KB diagnostic probes, once
+// with Riptide agents on every host and once without, and the example prints
+// the per-size median completion times side by side — the data behind
+// Figures 12–14.
+//
+//	go run ./examples/cdnprobes
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"riptide/internal/cdn"
+	"riptide/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// topology picks five well-spread PoPs from the paper's 34-site deployment.
+func topology() []cdn.PoP {
+	pick := map[string]bool{"lhr": true, "jfk": true, "gru": true, "sin": true, "syd": true}
+	var out []cdn.PoP
+	for _, p := range cdn.DefaultTopology() {
+		if pick[p.Name] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// measure runs one cluster for 12 simulated minutes and returns the median
+// probe completion time per probe size, skipping a 2-minute warm-up.
+func measure(riptideEnabled bool) (map[int]float64, error) {
+	cluster, err := cdn.NewCluster(cdn.Config{
+		PoPs:     topology(),
+		Seed:     7,
+		LossRate: 0.002,
+		Riptide:  cdn.RiptideOptions{Enabled: riptideEnabled},
+		Traffic: cdn.TrafficOptions{
+			ProbeInterval: 30 * time.Second,
+			OrganicRates:  map[string]float64{"lhr": 2, "jfk": 2},
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	cluster.Run(12 * time.Minute)
+	cluster.Stop()
+
+	bySize := map[int]*stats.CDF{}
+	for _, p := range cluster.ProbeRecords() {
+		if p.At < 2*time.Minute {
+			continue
+		}
+		c, ok := bySize[p.SizeBytes]
+		if !ok {
+			c = stats.NewCDF(256)
+			bySize[p.SizeBytes] = c
+		}
+		c.Add(float64(p.Elapsed.Milliseconds()))
+	}
+	medians := map[int]float64{}
+	for size, c := range bySize {
+		m, err := c.Median()
+		if err != nil {
+			return nil, err
+		}
+		medians[size] = m
+	}
+	return medians, nil
+}
+
+func run() error {
+	fmt.Println("simulating control cluster (default initcwnd 10)...")
+	control, err := measure(false)
+	if err != nil {
+		return err
+	}
+	fmt.Println("simulating riptide cluster (learned initcwnd, c_max 100)...")
+	riptide, err := measure(true)
+	if err != nil {
+		return err
+	}
+
+	sizes := make([]int, 0, len(control))
+	for s := range control {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+
+	fmt.Printf("\n%-10s %-16s %-16s %s\n", "probe", "default median", "riptide median", "change")
+	for _, size := range sizes {
+		c, r := control[size], riptide[size]
+		change := "~"
+		if c > 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*(r-c)/c)
+		}
+		fmt.Printf("%-10s %-16s %-16s %s\n",
+			fmt.Sprintf("%dKB", size/1024),
+			fmt.Sprintf("%.0f ms", c),
+			fmt.Sprintf("%.0f ms", r),
+			change)
+	}
+	fmt.Println("\nexpected shape (paper Figures 12-14): 10KB unchanged; 50KB and")
+	fmt.Println("100KB probes complete whole round trips sooner under Riptide.")
+	return nil
+}

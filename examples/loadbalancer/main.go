@@ -1,0 +1,103 @@
+// loadbalancer demonstrates the paper's Section V extension: a cloud
+// orchestrator about to shift traffic onto a destination warns Riptide
+// through the LoadBalanceAdvisor, which damps the programmed initial window
+// so the arriving herd of new connections does not crowd the path; once the
+// shift settles, the damping lifts and the window glides back up.
+//
+//	go run ./examples/loadbalancer
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"riptide"
+)
+
+// steadySampler reports a constant healthy observation set, like `ss` on a
+// host with stable long-haul connections.
+type steadySampler struct{ dst netip.Addr }
+
+func (s steadySampler) SampleConnections() ([]riptide.Observation, error) {
+	return []riptide.Observation{
+		{Dst: s.dst, Cwnd: 96, RTT: 120 * time.Millisecond, BytesAcked: 4 << 20},
+		{Dst: s.dst, Cwnd: 104, RTT: 120 * time.Millisecond, BytesAcked: 9 << 20},
+	}, nil
+}
+
+// printRoutes logs the window each tick would program.
+type printRoutes struct{ last *int }
+
+func (p printRoutes) SetInitCwnd(_ netip.Prefix, cwnd int) error {
+	*p.last = cwnd
+	return nil
+}
+
+func (p printRoutes) ClearInitCwnd(netip.Prefix) error {
+	*p.last = 0
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	dst := netip.MustParseAddr("10.42.0.7")
+	dstPrefix := netip.PrefixFrom(dst, 32)
+
+	advisor := riptide.NewLoadBalanceAdvisor()
+	var programmed int
+	var clock time.Duration
+	agent, err := riptide.New(riptide.Config{
+		Sampler: steadySampler{dst: dst},
+		Routes:  printRoutes{last: &programmed},
+		Clock:   func() time.Duration { return clock },
+		Advisor: advisor,
+		Alpha:   0.5, // lighter history so the demo converges quickly
+	})
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+
+	tick := func(label string) error {
+		if err := agent.Tick(); err != nil {
+			return err
+		}
+		fmt.Printf("t=%-4v %-28s programmed initcwnd=%d\n", clock, label, programmed)
+		clock += time.Second
+		return nil
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := tick("steady state"); err != nil {
+			return err
+		}
+	}
+
+	// The orchestrator announces: this destination is about to take over
+	// a drained neighbour's traffic. Damp to a quarter.
+	if err := advisor.ExpectShift(dstPrefix, 0.25); err != nil {
+		return err
+	}
+	fmt.Println("--- load balancer: shift incoming, damping windows ---")
+	for i := 0; i < 4; i++ {
+		if err := tick("shift in progress (x0.25)"); err != nil {
+			return err
+		}
+	}
+
+	advisor.ShiftComplete(dstPrefix)
+	fmt.Println("--- shift complete, damping lifted ---")
+	for i := 0; i < 6; i++ {
+		if err := tick("recovering"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

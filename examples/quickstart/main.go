@@ -1,0 +1,95 @@
+// Quickstart: wire a Riptide agent to in-memory backends and watch it turn
+// live congestion-window observations into per-destination initial-window
+// routes — the whole Algorithm 1 loop in fifty lines.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"riptide"
+)
+
+// tableSampler plays back rounds of observations, standing in for `ss -tin`
+// on a busy host.
+type tableSampler struct {
+	rounds [][]riptide.Observation
+	i      int
+}
+
+func (t *tableSampler) SampleConnections() ([]riptide.Observation, error) {
+	idx := t.i
+	if idx >= len(t.rounds) {
+		idx = len(t.rounds) - 1
+	}
+	t.i++
+	return t.rounds[idx], nil
+}
+
+// printRoutes logs what would be `ip route replace/del` on a real machine.
+type printRoutes struct{}
+
+func (printRoutes) SetInitCwnd(p netip.Prefix, cwnd int) error {
+	fmt.Printf("  ip route replace %-18s proto static initcwnd %d\n", p, cwnd)
+	return nil
+}
+
+func (printRoutes) ClearInitCwnd(p netip.Prefix) error {
+	fmt.Printf("  ip route del     %-18s proto static\n", p)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	peerA := netip.MustParseAddr("10.0.0.127") // paper's Figure 7/8 example host
+	peerB := netip.MustParseAddr("192.0.2.10")
+
+	sampler := &tableSampler{rounds: [][]riptide.Observation{
+		// Round 1: two healthy connections to peerA average to 80.
+		{{Dst: peerA, Cwnd: 60}, {Dst: peerA, Cwnd: 100}, {Dst: peerB, Cwnd: 30}},
+		// Round 2: peerA's windows sag; the EWMA damps the drop.
+		{{Dst: peerA, Cwnd: 40}, {Dst: peerB, Cwnd: 34}},
+		// Round 3 onward: all connections to both peers have closed.
+		{},
+	}}
+
+	var clock time.Duration
+	agent, err := riptide.New(riptide.Config{
+		Sampler: sampler,
+		Routes:  printRoutes{},
+		Clock:   func() time.Duration { return clock },
+		TTL:     90 * time.Second, // paper default: forget after 90s silence
+	})
+	if err != nil {
+		return err
+	}
+	defer agent.Close()
+
+	for round := 1; round <= 4; round++ {
+		fmt.Printf("tick %d (t=%v):\n", round, clock)
+		if err := agent.Tick(); err != nil {
+			return err
+		}
+		for _, e := range agent.Entries() {
+			fmt.Printf("  learned %-18s -> initcwnd %d (from %d observations)\n",
+				e.Prefix, e.Window, e.Observations)
+		}
+		// Jump the clock so the final tick is past the TTL and the
+		// agent reverts both destinations to the kernel default.
+		clock += 60 * time.Second
+	}
+
+	stats := agent.Stats()
+	fmt.Printf("done: %d ticks, %d observations, %d routes set, %d expired\n",
+		stats.Ticks, stats.Observations, stats.RoutesSet, stats.EntriesExpired)
+	return nil
+}

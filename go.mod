@@ -1,0 +1,3 @@
+module riptide
+
+go 1.22

@@ -1,0 +1,242 @@
+package cdn
+
+import (
+	"fmt"
+	"time"
+
+	"riptide/internal/netsim"
+)
+
+// This file provides operational scenarios — scripted fault and traffic
+// events layered onto a running Cluster — so experiments can measure how
+// Riptide behaves through the incidents the paper's Section II motivates:
+// load shifts, path congestion, and state-destroying maintenance.
+
+// SetPoPPathLoss sets the random loss rate on every path into and out of
+// the named PoP, the blast radius of a regional network degradation.
+func (c *Cluster) SetPoPPathLoss(name string, lossRate float64) error {
+	hs, ok := c.hosts[name]
+	if !ok {
+		return fmt.Errorf("cdn: unknown PoP %q", name)
+	}
+	for _, other := range c.pops {
+		if other.Name == name {
+			continue
+		}
+		for _, h := range hs {
+			for _, oh := range c.hosts[other.Name] {
+				if err := c.net.SetPathLoss(h.Addr(), oh.Addr(), lossRate); err != nil {
+					return err
+				}
+				if err := c.net.SetPathLoss(oh.Addr(), h.Addr(), lossRate); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// InjectTransfer sends one application transfer between PoPs through the
+// cluster's connection pools, exactly like organic traffic. done may be nil.
+func (c *Cluster) InjectTransfer(srcPoP, dstPoP string, bytes int64, done func(netsim.TransferResult)) error {
+	src, ok := c.byName[srcPoP]
+	if !ok {
+		return fmt.Errorf("cdn: unknown PoP %q", srcPoP)
+	}
+	dst, ok := c.byName[dstPoP]
+	if !ok {
+		return fmt.Errorf("cdn: unknown PoP %q", dstPoP)
+	}
+	if src.Name == dst.Name {
+		return fmt.Errorf("cdn: transfer within PoP %q", srcPoP)
+	}
+	srcHost := c.pickHost(src)
+	dstHost := c.pickHost(dst)
+	conn, _, err := c.grabConn(srcHost.Addr(), dstHost.Addr())
+	if err != nil {
+		return err
+	}
+	err = conn.Transfer(bytes, func(r netsim.TransferResult) {
+		if done != nil {
+			done(r)
+		}
+		c.releaseConn(conn)
+	})
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	return nil
+}
+
+// ScheduleAt runs fn at the given offset from the current simulated time.
+func (c *Cluster) ScheduleAt(after time.Duration, fn func()) error {
+	_, err := c.engine.Schedule(after, fn)
+	return err
+}
+
+// Scenario is a scripted sequence of events applied to a cluster before it
+// runs. Apply installs the events; the caller then drives Cluster.Run.
+type Scenario interface {
+	// Name identifies the scenario in reports.
+	Name() string
+	// Apply schedules the scenario's events onto the cluster.
+	Apply(c *Cluster) error
+	// Window returns when the disruption is active, for phase-based
+	// analysis: [start, end) in simulated time from Apply.
+	Window() (start, end time.Duration)
+	// AffectedPoPs names the sites the disruption touches, so analyses
+	// can focus on traffic involving them.
+	AffectedPoPs() []string
+}
+
+// FlashCrowd models a sudden burst of extra transfers from every PoP toward
+// one target PoP — a viral object or a failed-over tenant.
+type FlashCrowd struct {
+	// Target is the PoP absorbing the crowd.
+	Target string
+	// At is when the crowd arrives; For is how long it lasts.
+	At, For time.Duration
+	// RatePerPoP is extra transfers per second from each other PoP.
+	RatePerPoP float64
+	// SizeBytes is the object size fetched; defaults to 100 KB.
+	SizeBytes int64
+}
+
+// Name implements Scenario.
+func (f FlashCrowd) Name() string { return "flash-crowd" }
+
+// Window implements Scenario.
+func (f FlashCrowd) Window() (time.Duration, time.Duration) { return f.At, f.At + f.For }
+
+// AffectedPoPs implements Scenario.
+func (f FlashCrowd) AffectedPoPs() []string { return []string{f.Target} }
+
+// Apply implements Scenario.
+func (f FlashCrowd) Apply(c *Cluster) error {
+	if _, ok := c.byName[f.Target]; !ok {
+		return fmt.Errorf("cdn: flash crowd target %q unknown", f.Target)
+	}
+	if f.RatePerPoP <= 0 || f.For <= 0 {
+		return fmt.Errorf("cdn: flash crowd needs positive rate and duration")
+	}
+	size := f.SizeBytes
+	if size == 0 {
+		size = 100 * 1024
+	}
+	// Fixed-interval injections approximate the burst deterministically.
+	gap := time.Duration(float64(time.Second) / f.RatePerPoP)
+	for _, src := range c.pops {
+		if src.Name == f.Target {
+			continue
+		}
+		srcName := src.Name
+		for off := f.At; off < f.At+f.For; off += gap {
+			if err := c.ScheduleAt(off, func() {
+				// Fetch FROM the target: the crowd pulls the
+				// object, so the hot data flows target -> edge.
+				_ = c.InjectTransfer(f.Target, srcName, size, nil)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RegionalDegradation raises loss on every path touching one PoP for a
+// window, then restores the baseline.
+type RegionalDegradation struct {
+	// PoP is the degraded site.
+	PoP string
+	// At / For bound the episode.
+	At, For time.Duration
+	// LossRate is the degraded per-segment loss.
+	LossRate float64
+	// BaselineLoss is restored afterwards (the cluster's configured WAN
+	// loss rate).
+	BaselineLoss float64
+}
+
+// Name implements Scenario.
+func (d RegionalDegradation) Name() string { return "regional-degradation" }
+
+// Window implements Scenario.
+func (d RegionalDegradation) Window() (time.Duration, time.Duration) { return d.At, d.At + d.For }
+
+// AffectedPoPs implements Scenario.
+func (d RegionalDegradation) AffectedPoPs() []string { return []string{d.PoP} }
+
+// Apply implements Scenario.
+func (d RegionalDegradation) Apply(c *Cluster) error {
+	if _, ok := c.byName[d.PoP]; !ok {
+		return fmt.Errorf("cdn: degradation PoP %q unknown", d.PoP)
+	}
+	if d.For <= 0 || d.LossRate <= 0 || d.LossRate >= 1 {
+		return fmt.Errorf("cdn: degradation needs positive duration and loss in (0,1)")
+	}
+	if err := c.ScheduleAt(d.At, func() {
+		_ = c.SetPoPPathLoss(d.PoP, d.LossRate)
+	}); err != nil {
+		return err
+	}
+	return c.ScheduleAt(d.At+d.For, func() {
+		_ = c.SetPoPPathLoss(d.PoP, d.BaselineLoss)
+	})
+}
+
+// RollingReboots reboots a list of PoPs one after another — a maintenance
+// wave, the paper's Section II-A state-loss event at fleet scale.
+type RollingReboots struct {
+	// PoPs reboot in order.
+	PoPs []string
+	// Start is the first reboot; Interval separates subsequent ones.
+	Start, Interval time.Duration
+}
+
+// Name implements Scenario.
+func (r RollingReboots) Name() string { return "rolling-reboots" }
+
+// Window implements Scenario.
+func (r RollingReboots) Window() (time.Duration, time.Duration) {
+	if len(r.PoPs) == 0 {
+		return r.Start, r.Start
+	}
+	return r.Start, r.Start + time.Duration(len(r.PoPs)-1)*r.Interval + r.Interval
+}
+
+// AffectedPoPs implements Scenario.
+func (r RollingReboots) AffectedPoPs() []string {
+	out := make([]string, len(r.PoPs))
+	copy(out, r.PoPs)
+	return out
+}
+
+// Apply implements Scenario.
+func (r RollingReboots) Apply(c *Cluster) error {
+	if len(r.PoPs) == 0 {
+		return fmt.Errorf("cdn: rolling reboots needs at least one PoP")
+	}
+	if r.Interval <= 0 {
+		return fmt.Errorf("cdn: rolling reboots needs a positive interval")
+	}
+	for i, name := range r.PoPs {
+		if _, ok := c.byName[name]; !ok {
+			return fmt.Errorf("cdn: reboot PoP %q unknown", name)
+		}
+		name := name
+		if err := c.ScheduleAt(r.Start+time.Duration(i)*r.Interval, func() {
+			_, _ = c.RebootPoP(name)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var (
+	_ Scenario = FlashCrowd{}
+	_ Scenario = RegionalDegradation{}
+	_ Scenario = RollingReboots{}
+)

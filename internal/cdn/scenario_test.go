@@ -1,0 +1,230 @@
+package cdn
+
+import (
+	"testing"
+	"time"
+
+	"riptide/internal/netsim"
+)
+
+func TestSetPoPPathLoss(t *testing.T) {
+	c := newSmallCluster(t, false, 41)
+	if err := c.SetPoPPathLoss("atlantis", 0.1); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+	if err := c.SetPoPPathLoss("nrt", 0.2); err != nil {
+		t.Fatal(err)
+	}
+	// A transfer to the degraded PoP must now see heavy loss.
+	var res netsim.TransferResult
+	if err := c.InjectTransfer("lhr", "nrt", 512*1024, func(r netsim.TransferResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(time.Minute)
+	if res.Retransmits == 0 {
+		t.Error("degraded path produced no retransmits")
+	}
+	c.Stop()
+}
+
+func TestInjectTransferValidation(t *testing.T) {
+	c := newSmallCluster(t, false, 42)
+	if err := c.InjectTransfer("nope", "lhr", 100, nil); err == nil {
+		t.Error("unknown src accepted")
+	}
+	if err := c.InjectTransfer("lhr", "nope", 100, nil); err == nil {
+		t.Error("unknown dst accepted")
+	}
+	if err := c.InjectTransfer("lhr", "lhr", 100, nil); err == nil {
+		t.Error("intra-PoP transfer accepted")
+	}
+	c.Stop()
+}
+
+func TestFlashCrowdScenario(t *testing.T) {
+	c := newSmallCluster(t, false, 43)
+	crowd := FlashCrowd{
+		Target:     "lhr",
+		At:         time.Minute,
+		For:        time.Minute,
+		RatePerPoP: 2,
+	}
+	if s, e := crowd.Window(); s != time.Minute || e != 2*time.Minute {
+		t.Errorf("window = %v..%v", s, e)
+	}
+	before := c.Engine().Fired()
+	if err := crowd.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	_ = before
+	c.Run(3 * time.Minute)
+	// The crowd pulls from lhr: lhr's host must have opened extra
+	// outbound connections beyond probe traffic.
+	h, _ := c.Host("lhr")
+	_ = h
+	c.Stop()
+
+	// Validation paths.
+	if err := (FlashCrowd{Target: "nope", At: 0, For: time.Second, RatePerPoP: 1}).Apply(c); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if err := (FlashCrowd{Target: "lhr"}).Apply(c); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestFlashCrowdIncreasesTargetLoad(t *testing.T) {
+	transfers := func(withCrowd bool) uint64 {
+		c := newSmallCluster(t, false, 44)
+		if withCrowd {
+			if err := (FlashCrowd{Target: "lhr", At: 30 * time.Second, For: time.Minute, RatePerPoP: 3}).Apply(c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		c.Run(2 * time.Minute)
+		defer c.Stop()
+		return c.Engine().Fired()
+	}
+	if base, crowd := transfers(false), transfers(true); crowd <= base {
+		t.Errorf("crowd events %d <= baseline %d", crowd, base)
+	}
+}
+
+func TestRegionalDegradationScenario(t *testing.T) {
+	c := newSmallCluster(t, false, 45)
+	deg := RegionalDegradation{
+		PoP:          "nrt",
+		At:           30 * time.Second,
+		For:          time.Minute,
+		LossRate:     0.3,
+		BaselineLoss: 0.001,
+	}
+	if err := deg.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+
+	// During the episode, transfers to nrt are lossy.
+	var during netsim.TransferResult
+	_ = c.ScheduleAt(45*time.Second, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 512*1024, func(r netsim.TransferResult) { during = r })
+	})
+	// Afterwards the path heals.
+	var after netsim.TransferResult
+	_ = c.ScheduleAt(2*time.Minute, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 512*1024, func(r netsim.TransferResult) { after = r })
+	})
+	c.Run(4 * time.Minute)
+	c.Stop()
+	if during.Retransmits == 0 {
+		t.Error("no retransmits during the degradation window")
+	}
+	if after.Retransmits >= during.Retransmits {
+		t.Errorf("after-heal retransmits %d >= during %d", after.Retransmits, during.Retransmits)
+	}
+
+	if err := (RegionalDegradation{PoP: "nope", For: time.Second, LossRate: 0.1}).Apply(c); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+	if err := (RegionalDegradation{PoP: "nrt", For: time.Second, LossRate: 2}).Apply(c); err == nil {
+		t.Error("loss >= 1 accepted")
+	}
+}
+
+func TestRollingRebootsScenario(t *testing.T) {
+	c, err := NewCluster(Config{
+		PoPs:    smallTopology(),
+		Seed:    46,
+		Riptide: RiptideOptions{Enabled: true},
+		Traffic: TrafficOptions{
+			ProbeInterval: 20 * time.Second,
+			OrganicRates:  map[string]float64{"lhr": 2, "jfk": 2, "fra": 2, "nrt": 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Minute)
+	agentsBefore := map[string]bool{}
+	for _, p := range c.PoPs() {
+		agentsBefore[p.Name] = c.Agent(p.Name) != nil
+	}
+
+	wave := RollingReboots{
+		PoPs:     []string{"lhr", "fra"},
+		Start:    10 * time.Second,
+		Interval: 30 * time.Second,
+	}
+	if s, e := wave.Window(); s != 10*time.Second || e != 70*time.Second {
+		t.Errorf("window = %v..%v", s, e)
+	}
+	lhrBefore := c.Agent("lhr")
+	if err := wave.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	c.Run(3 * time.Minute)
+	if c.Agent("lhr") == lhrBefore {
+		t.Error("lhr agent not replaced by rolling reboot")
+	}
+	// The rebooted PoPs relearn afterwards.
+	if len(c.Agent("lhr").Entries()) == 0 {
+		t.Error("lhr never relearned after reboot wave")
+	}
+	c.Stop()
+
+	if err := (RollingReboots{}).Apply(c); err == nil {
+		t.Error("empty PoP list accepted")
+	}
+	if err := (RollingReboots{PoPs: []string{"lhr"}}).Apply(c); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if err := (RollingReboots{PoPs: []string{"nope"}, Interval: time.Second}).Apply(c); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+}
+
+func TestScenarioMetadata(t *testing.T) {
+	crowd := FlashCrowd{Target: "lhr"}
+	if crowd.Name() != "flash-crowd" {
+		t.Errorf("name = %q", crowd.Name())
+	}
+	if got := crowd.AffectedPoPs(); len(got) != 1 || got[0] != "lhr" {
+		t.Errorf("affected = %v", got)
+	}
+
+	deg := RegionalDegradation{PoP: "nrt", At: time.Minute, For: time.Minute}
+	if deg.Name() != "regional-degradation" {
+		t.Errorf("name = %q", deg.Name())
+	}
+	if s, e := deg.Window(); s != time.Minute || e != 2*time.Minute {
+		t.Errorf("window = %v..%v", s, e)
+	}
+	if got := deg.AffectedPoPs(); len(got) != 1 || got[0] != "nrt" {
+		t.Errorf("affected = %v", got)
+	}
+
+	wave := RollingReboots{PoPs: []string{"a", "b"}, Interval: time.Second}
+	if wave.Name() != "rolling-reboots" {
+		t.Errorf("name = %q", wave.Name())
+	}
+	got := wave.AffectedPoPs()
+	if len(got) != 2 {
+		t.Fatalf("affected = %v", got)
+	}
+	got[0] = "mutated"
+	if wave.PoPs[0] != "a" {
+		t.Error("AffectedPoPs result aliases internal slice")
+	}
+	empty := RollingReboots{}
+	if s, e := empty.Window(); s != 0 || e != 0 {
+		t.Errorf("empty window = %v..%v", s, e)
+	}
+}
+
+func TestRTTBucketString(t *testing.T) {
+	if BucketClose.String() != "<50ms" || BucketVeryFar.String() != ">150ms" {
+		t.Error("bucket names wrong")
+	}
+	if RTTBucket(99).String() == "" {
+		t.Error("unknown bucket empty")
+	}
+}

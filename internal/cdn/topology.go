@@ -1,0 +1,225 @@
+// Package cdn simulates the production content-delivery network the paper
+// evaluates Riptide on: 34 globally distributed points of presence
+// (Table II), inter-PoP WAN paths whose RTTs follow the published
+// distribution (Figure 5, median > 125 ms), the hourly 10/50/100 KB
+// diagnostic probe infrastructure (Section IV-A), per-PoP organic traffic
+// profiles (Figure 11), and a Riptide agent on every sending host.
+package cdn
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"time"
+)
+
+// Continent labels a PoP's region, for the Table II census.
+type Continent int
+
+// Continents in Table II order.
+const (
+	Europe Continent = iota + 1
+	NorthAmerica
+	SouthAmerica
+	Asia
+	Oceania
+)
+
+// String returns the Table II name of the continent.
+func (c Continent) String() string {
+	switch c {
+	case Europe:
+		return "Europe"
+	case NorthAmerica:
+		return "North America"
+	case SouthAmerica:
+		return "South America"
+	case Asia:
+		return "Asia"
+	case Oceania:
+		return "Oceania"
+	default:
+		return fmt.Sprintf("Continent(%d)", int(c))
+	}
+}
+
+// PoP is one point of presence.
+type PoP struct {
+	// Name is a short site code ("lhr", "lax").
+	Name string
+	// City is the metro the PoP serves.
+	City string
+	// Continent is the Table II region.
+	Continent Continent
+	// Lat/Lon position the PoP for great-circle RTT estimation.
+	Lat, Lon float64
+	// Addr is the PoP's representative host address; each PoP owns a /24.
+	Addr netip.Addr
+}
+
+// Prefix returns the PoP's /24.
+func (p PoP) Prefix() netip.Prefix {
+	return netip.PrefixFrom(p.Addr, 24).Masked()
+}
+
+// DefaultTopology returns the 34-PoP deployment matching the paper's
+// Table II census: Europe 10, North America 11, South America 1, Asia 9,
+// Oceania 3. City placements are representative of a global CDN; the paper
+// does not name its sites, so any placement reproducing the continent
+// counts and the Figure 5 RTT distribution is faithful.
+func DefaultTopology() []PoP {
+	mk := func(i int, name, city string, cont Continent, lat, lon float64) PoP {
+		return PoP{
+			Name:      name,
+			City:      city,
+			Continent: cont,
+			Lat:       lat,
+			Lon:       lon,
+			Addr:      netip.AddrFrom4([4]byte{10, byte(i), 0, 1}),
+		}
+	}
+	return []PoP{
+		// Europe (10).
+		mk(1, "lhr", "London", Europe, 51.51, -0.13),
+		mk(2, "fra", "Frankfurt", Europe, 50.11, 8.68),
+		mk(3, "ams", "Amsterdam", Europe, 52.37, 4.90),
+		mk(4, "cdg", "Paris", Europe, 48.86, 2.35),
+		mk(5, "mad", "Madrid", Europe, 40.42, -3.70),
+		mk(6, "mxp", "Milan", Europe, 45.46, 9.19),
+		mk(7, "arn", "Stockholm", Europe, 59.33, 18.07),
+		mk(8, "waw", "Warsaw", Europe, 52.23, 21.01),
+		mk(9, "vie", "Vienna", Europe, 48.21, 16.37),
+		mk(10, "hel", "Helsinki", Europe, 60.17, 24.94),
+		// North America (11).
+		mk(11, "jfk", "New York", NorthAmerica, 40.71, -74.01),
+		mk(12, "iad", "Ashburn", NorthAmerica, 39.04, -77.49),
+		mk(13, "atl", "Atlanta", NorthAmerica, 33.75, -84.39),
+		mk(14, "mia", "Miami", NorthAmerica, 25.76, -80.19),
+		mk(15, "ord", "Chicago", NorthAmerica, 41.88, -87.63),
+		mk(16, "dfw", "Dallas", NorthAmerica, 32.78, -96.80),
+		mk(17, "den", "Denver", NorthAmerica, 39.74, -104.99),
+		mk(18, "sea", "Seattle", NorthAmerica, 47.61, -122.33),
+		mk(19, "sjc", "San Jose", NorthAmerica, 37.34, -121.89),
+		mk(20, "lax", "Los Angeles", NorthAmerica, 34.05, -118.24),
+		mk(21, "yyz", "Toronto", NorthAmerica, 43.65, -79.38),
+		// South America (1).
+		mk(22, "gru", "Sao Paulo", SouthAmerica, -23.55, -46.63),
+		// Asia (9).
+		mk(23, "nrt", "Tokyo", Asia, 35.68, 139.69),
+		mk(24, "kix", "Osaka", Asia, 34.69, 135.50),
+		mk(25, "icn", "Seoul", Asia, 37.57, 126.98),
+		mk(26, "hkg", "Hong Kong", Asia, 22.32, 114.17),
+		mk(27, "sin", "Singapore", Asia, 1.35, 103.82),
+		mk(28, "bom", "Mumbai", Asia, 19.08, 72.88),
+		mk(29, "maa", "Chennai", Asia, 13.08, 80.27),
+		mk(30, "tpe", "Taipei", Asia, 25.03, 121.57),
+		mk(31, "kul", "Kuala Lumpur", Asia, 3.14, 101.69),
+		// Oceania (3).
+		mk(32, "syd", "Sydney", Oceania, -33.87, 151.21),
+		mk(33, "mel", "Melbourne", Oceania, -37.81, 144.96),
+		mk(34, "akl", "Auckland", Oceania, -36.85, 174.76),
+	}
+}
+
+// Census counts PoPs per continent — the data behind Table II.
+func Census(pops []PoP) map[Continent]int {
+	out := make(map[Continent]int)
+	for _, p := range pops {
+		out[p.Continent]++
+	}
+	return out
+}
+
+// Speed-of-light propagation model constants.
+const (
+	earthRadiusKm = 6371.0
+	// fiberKmPerMs is light speed in fiber (~2/3 c) in km per millisecond.
+	fiberKmPerMs = 200.0
+	// pathStretch inflates great-circle distance to account for real
+	// fiber routing, which rarely follows geodesics. 1.7 calibrates the
+	// Figure 5 distribution (median inter-PoP RTT > 125 ms).
+	pathStretch = 1.7
+	// minRTT floors same-metro / short-haul paths.
+	minRTT = 2 * time.Millisecond
+)
+
+// haversineKm returns the great-circle distance between two coordinates.
+func haversineKm(lat1, lon1, lat2, lon2 float64) float64 {
+	const deg = math.Pi / 180
+	dLat := (lat2 - lat1) * deg
+	dLon := (lon2 - lon1) * deg
+	a := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1*deg)*math.Cos(lat2*deg)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(a)))
+}
+
+// RTTBetween estimates the round-trip time between two PoPs from fiber
+// propagation over the stretched great-circle distance.
+func RTTBetween(a, b PoP) time.Duration {
+	km := haversineKm(a.Lat, a.Lon, b.Lat, b.Lon)
+	oneWayMs := km * pathStretch / fiberKmPerMs
+	rtt := time.Duration(2 * oneWayMs * float64(time.Millisecond))
+	if rtt < minRTT {
+		return minRTT
+	}
+	return rtt
+}
+
+// RTTBucket classifies an RTT into the paper's Figure 12–14 groups.
+type RTTBucket int
+
+// Buckets in paper order: (a) < 50 ms, (b) 51–100 ms, (c) 101–150 ms,
+// (d) > 150 ms.
+const (
+	BucketClose RTTBucket = iota + 1
+	BucketMedium
+	BucketFar
+	BucketVeryFar
+)
+
+// String names the bucket like the paper's subfigure captions.
+func (b RTTBucket) String() string {
+	switch b {
+	case BucketClose:
+		return "<50ms"
+	case BucketMedium:
+		return "51-100ms"
+	case BucketFar:
+		return "101-150ms"
+	case BucketVeryFar:
+		return ">150ms"
+	default:
+		return fmt.Sprintf("RTTBucket(%d)", int(b))
+	}
+}
+
+// BucketFor classifies rtt.
+func BucketFor(rtt time.Duration) RTTBucket {
+	switch {
+	case rtt <= 50*time.Millisecond:
+		return BucketClose
+	case rtt <= 100*time.Millisecond:
+		return BucketMedium
+	case rtt <= 150*time.Millisecond:
+		return BucketFar
+	default:
+		return BucketVeryFar
+	}
+}
+
+// AllBuckets lists the buckets in display order.
+func AllBuckets() []RTTBucket {
+	return []RTTBucket{BucketClose, BucketMedium, BucketFar, BucketVeryFar}
+}
+
+// PairRTTs returns the RTT of every unordered PoP pair — the data behind
+// Figure 5.
+func PairRTTs(pops []PoP) []time.Duration {
+	var out []time.Duration
+	for i := range pops {
+		for j := i + 1; j < len(pops); j++ {
+			out = append(out, RTTBetween(pops[i], pops[j]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,590 @@
+// Package core implements the Riptide algorithm (Flores, Khakpour, Bedi —
+// ICDCS 2016, Algorithm 1): learn the congestion level of the paths between
+// datacenters from live connections and program the initial congestion
+// window of future connections accordingly.
+//
+// Every update interval i_u the agent:
+//
+//  1. samples the congestion window of every open connection (the `ss` step),
+//  2. groups observations by destination (host /32 or a coarser prefix),
+//  3. reduces each group to one value with a Combiner (the paper uses the
+//     average; max and traffic-weighted variants are provided, matching the
+//     paper's "Combination Algorithm" discussion),
+//  4. folds the group value into per-destination history (EWMA with weight
+//     alpha on the historical value, by default),
+//  5. clamps the result to [CMin, CMax], and
+//  6. programs a route to the destination with that initial window (the
+//     `ip route ... initcwnd N` step), refreshing the entry's TTL.
+//
+// Entries that receive no observations for TTL expire: their route is
+// removed, restoring the kernel default initial window — the conservative
+// fallback the paper prescribes when Riptide has no information.
+//
+// The agent is backend-agnostic: internal/netsim + internal/kernel provide a
+// simulated backend, internal/linux a real one built on ss(8) and ip(8).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Defaults matching the paper's deployment (Sections III-B and IV-A).
+const (
+	DefaultUpdateInterval = 1 * time.Second  // i_u
+	DefaultTTL            = 90 * time.Second // t
+	DefaultAlpha          = 0.75             // history weight
+	DefaultCMax           = 100              // best c_max per Figure 10
+	DefaultCMin           = 10               // never below the kernel default
+	DefaultPrefixBits     = 32               // per-host routes
+)
+
+// Common errors.
+var (
+	ErrClosed = errors.New("riptide/core: agent closed")
+)
+
+// Observation is one sampled connection: what one line of `ss -i` tells
+// Riptide.
+type Observation struct {
+	// Dst is the remote address of the connection.
+	Dst netip.Addr
+	// Cwnd is the current congestion window in segments.
+	Cwnd int
+	// RTT is the connection's smoothed round-trip time (informational).
+	RTT time.Duration
+	// BytesAcked is cumulative payload acknowledged; the traffic-weighted
+	// combiner uses it as its weight.
+	BytesAcked int64
+}
+
+// ConnectionSampler supplies the current set of open connections.
+// Implementations: the simulated kernel's connection table, or the parsed
+// output of `ss -tin`.
+type ConnectionSampler interface {
+	SampleConnections() ([]Observation, error)
+}
+
+// RouteProgrammer installs and removes per-destination initcwnd overrides.
+// Implementations: the simulated kernel route table, or `ip route` commands.
+type RouteProgrammer interface {
+	// SetInitCwnd installs (or replaces) a route for prefix with the
+	// given initial window.
+	SetInitCwnd(prefix netip.Prefix, cwnd int) error
+	// ClearInitCwnd removes the override, restoring the default.
+	ClearInitCwnd(prefix netip.Prefix) error
+}
+
+// Combiner reduces one destination's observations to a single window value.
+type Combiner interface {
+	Name() string
+	// Combine is called with at least one observation.
+	Combine(obs []Observation) float64
+}
+
+// AverageCombiner is the paper's default: the mean of the observed windows.
+type AverageCombiner struct{}
+
+// Name implements Combiner.
+func (AverageCombiner) Name() string { return "average" }
+
+// Combine implements Combiner.
+func (AverageCombiner) Combine(obs []Observation) float64 {
+	sum := 0.0
+	for _, o := range obs {
+		sum += float64(o.Cwnd)
+	}
+	return sum / float64(len(obs))
+}
+
+// MaxCombiner is the paper's "more aggressive" variant: the maximum observed
+// window, "the most the link is capable of handling".
+type MaxCombiner struct{}
+
+// Name implements Combiner.
+func (MaxCombiner) Name() string { return "max" }
+
+// Combine implements Combiner.
+func (MaxCombiner) Combine(obs []Observation) float64 {
+	best := 0.0
+	for _, o := range obs {
+		if v := float64(o.Cwnd); v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// TrafficWeightedCombiner is the paper's "more conservative" variant: each
+// window weighted by the traffic the connection has carried, so lightly used
+// connections (whose windows may just be untested initial values) count less.
+type TrafficWeightedCombiner struct{}
+
+// Name implements Combiner.
+func (TrafficWeightedCombiner) Name() string { return "traffic-weighted" }
+
+// Combine implements Combiner.
+func (TrafficWeightedCombiner) Combine(obs []Observation) float64 {
+	var weighted, total float64
+	for _, o := range obs {
+		w := float64(o.BytesAcked)
+		if w <= 0 {
+			w = 1 // connections with no traffic still count minimally
+		}
+		weighted += w * float64(o.Cwnd)
+		total += w
+	}
+	return weighted / total
+}
+
+var (
+	_ Combiner = AverageCombiner{}
+	_ Combiner = MaxCombiner{}
+	_ Combiner = TrafficWeightedCombiner{}
+)
+
+// HistoryPolicy folds each round's combined value into per-destination
+// history. Implementations must be safe to call from a single goroutine.
+type HistoryPolicy interface {
+	Name() string
+	// Update folds value into dst's history and returns the smoothed
+	// result.
+	Update(dst netip.Prefix, value float64) float64
+	// Forget drops dst's history (called when an entry expires).
+	Forget(dst netip.Prefix)
+}
+
+// EWMAHistory is the paper's default: next = alpha*prev + (1-alpha)*value.
+type EWMAHistory struct {
+	alpha float64
+	state map[netip.Prefix]float64
+}
+
+// NewEWMAHistory returns an EWMAHistory with the given history weight.
+func NewEWMAHistory(alpha float64) (*EWMAHistory, error) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("riptide/core: alpha %v out of range [0,1]", alpha)
+	}
+	return &EWMAHistory{alpha: alpha, state: make(map[netip.Prefix]float64)}, nil
+}
+
+// Name implements HistoryPolicy.
+func (h *EWMAHistory) Name() string { return "ewma" }
+
+// Update implements HistoryPolicy.
+func (h *EWMAHistory) Update(dst netip.Prefix, value float64) float64 {
+	prev, ok := h.state[dst]
+	if !ok {
+		h.state[dst] = value
+		return value
+	}
+	next := h.alpha*prev + (1-h.alpha)*value
+	h.state[dst] = next
+	return next
+}
+
+// Forget implements HistoryPolicy.
+func (h *EWMAHistory) Forget(dst netip.Prefix) { delete(h.state, dst) }
+
+// NoHistory reacts instantly to each round's observations — the paper's
+// "ignore history entirely, to more rapidly respond to changes" variant.
+type NoHistory struct{}
+
+// Name implements HistoryPolicy.
+func (NoHistory) Name() string { return "none" }
+
+// Update implements HistoryPolicy.
+func (NoHistory) Update(_ netip.Prefix, value float64) float64 { return value }
+
+// Forget implements HistoryPolicy.
+func (NoHistory) Forget(netip.Prefix) {}
+
+// WindowedHistory keeps the mean of the last N values — the paper's
+// "longer-view historical analysis" variant for consistent links.
+type WindowedHistory struct {
+	n     int
+	state map[netip.Prefix][]float64
+}
+
+// NewWindowedHistory returns a WindowedHistory over the last n values.
+func NewWindowedHistory(n int) (*WindowedHistory, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("riptide/core: window %d must be >= 1", n)
+	}
+	return &WindowedHistory{n: n, state: make(map[netip.Prefix][]float64)}, nil
+}
+
+// Name implements HistoryPolicy.
+func (h *WindowedHistory) Name() string { return "windowed" }
+
+// Update implements HistoryPolicy.
+func (h *WindowedHistory) Update(dst netip.Prefix, value float64) float64 {
+	vals := append(h.state[dst], value)
+	if len(vals) > h.n {
+		vals = vals[len(vals)-h.n:]
+	}
+	h.state[dst] = vals
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// Forget implements HistoryPolicy.
+func (h *WindowedHistory) Forget(dst netip.Prefix) { delete(h.state, dst) }
+
+var (
+	_ HistoryPolicy = (*EWMAHistory)(nil)
+	_ HistoryPolicy = NoHistory{}
+	_ HistoryPolicy = (*WindowedHistory)(nil)
+)
+
+// Config configures an Agent. Sampler and Routes are required; everything
+// else has paper defaults.
+type Config struct {
+	// Sampler provides the observed table (the `ss` step).
+	Sampler ConnectionSampler
+	// Routes programs initcwnd overrides (the `ip route` step).
+	Routes RouteProgrammer
+	// Clock returns elapsed (monotonic) time; required. In simulation
+	// this is the event engine's clock, in production time.Since(start).
+	Clock func() time.Duration
+
+	// UpdateInterval is i_u. Informational to the agent itself — the
+	// caller drives Tick at this cadence — but validated and exposed.
+	UpdateInterval time.Duration
+	// TTL is t, the lifetime of a learned entry without fresh
+	// observations.
+	TTL time.Duration
+	// Alpha is the EWMA history weight (ignored when History is set).
+	Alpha float64
+	// CMax / CMin clamp the programmed window.
+	CMax, CMin int
+	// PrefixBits sets destination granularity: 32 programs per-host
+	// routes, smaller values aggregate whole prefixes (the paper's
+	// "Destinations as Routes" discussion).
+	PrefixBits int
+
+	// Combiner reduces a destination's observations; defaults to
+	// AverageCombiner.
+	Combiner Combiner
+	// History smooths across rounds; defaults to EWMAHistory(Alpha).
+	History HistoryPolicy
+	// Advisor optionally damps programmed windows with system-level
+	// knowledge, e.g. an imminent load-balancing shift (Section V). Nil
+	// means no adjustment.
+	Advisor Advisor
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Sampler == nil {
+		return errors.New("riptide/core: Config.Sampler is required")
+	}
+	if c.Routes == nil {
+		return errors.New("riptide/core: Config.Routes is required")
+	}
+	if c.Clock == nil {
+		return errors.New("riptide/core: Config.Clock is required")
+	}
+	if c.UpdateInterval == 0 {
+		c.UpdateInterval = DefaultUpdateInterval
+	}
+	if c.UpdateInterval < 0 {
+		return fmt.Errorf("riptide/core: UpdateInterval %v must be positive", c.UpdateInterval)
+	}
+	if c.TTL == 0 {
+		c.TTL = DefaultTTL
+	}
+	if c.TTL < 0 {
+		return fmt.Errorf("riptide/core: TTL %v must be positive", c.TTL)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Alpha < 0 || c.Alpha > 1 {
+		return fmt.Errorf("riptide/core: Alpha %v out of range [0,1]", c.Alpha)
+	}
+	if c.CMax == 0 {
+		c.CMax = DefaultCMax
+	}
+	if c.CMin == 0 {
+		c.CMin = DefaultCMin
+	}
+	if c.CMin < 1 || c.CMax < c.CMin {
+		return fmt.Errorf("riptide/core: window bounds [%d,%d] invalid", c.CMin, c.CMax)
+	}
+	if c.PrefixBits == 0 {
+		c.PrefixBits = DefaultPrefixBits
+	}
+	if c.PrefixBits < 1 || c.PrefixBits > 128 {
+		return fmt.Errorf("riptide/core: PrefixBits %d out of range [1,128]", c.PrefixBits)
+	}
+	if c.Combiner == nil {
+		c.Combiner = AverageCombiner{}
+	}
+	if c.History == nil {
+		h, err := NewEWMAHistory(c.Alpha)
+		if err != nil {
+			return err
+		}
+		c.History = h
+	}
+	return nil
+}
+
+// entry is one learned destination.
+type entry struct {
+	window   int
+	expires  time.Duration
+	lastObs  int // observations in the most recent round that refreshed it
+	programs uint64
+}
+
+// Entry is a read-only snapshot of one learned destination.
+type Entry struct {
+	Prefix netip.Prefix `json:"prefix"`
+	// Window is the initcwnd currently programmed for the destination.
+	Window int `json:"window"`
+	// ExpiresAt is the simulated/monotonic time the entry lapses.
+	ExpiresAt time.Duration `json:"expiresAtNanos"`
+	// Observations is the group size in the round that last refreshed it.
+	Observations int `json:"observations"`
+}
+
+// Stats counts agent activity.
+type Stats struct {
+	Ticks          uint64 `json:"ticks"`
+	Observations   uint64 `json:"observations"`
+	RoutesSet      uint64 `json:"routesSet"`
+	RoutesCleared  uint64 `json:"routesCleared"`
+	EntriesExpired uint64 `json:"entriesExpired"`
+	SampleErrors   uint64 `json:"sampleErrors"`
+	RouteErrors    uint64 `json:"routeErrors"`
+}
+
+// Agent runs Algorithm 1. Create with New, drive with Tick (one poll round
+// per call), and Close to withdraw all programmed routes.
+//
+// Agent is safe for concurrent use, though the canonical deployment drives
+// it from a single loop.
+type Agent struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[netip.Prefix]*entry
+	closed  bool
+	stats   Stats
+}
+
+// New constructs an Agent.
+func New(cfg Config) (*Agent, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	return &Agent{
+		cfg:     cfg,
+		entries: make(map[netip.Prefix]*entry),
+	}, nil
+}
+
+// Config returns the agent's effective (defaulted) configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// destKey maps a destination address to its route-granularity prefix.
+func (a *Agent) destKey(dst netip.Addr) (netip.Prefix, error) {
+	bits := a.cfg.PrefixBits
+	if dst.Is4() && bits > 32 {
+		bits = 32
+	}
+	p, err := dst.Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, fmt.Errorf("riptide/core: prefix %v/%d: %w", dst, bits, err)
+	}
+	return p, nil
+}
+
+// clamp bounds w to [CMin, CMax] and rounds to whole segments.
+func (a *Agent) clamp(w float64) int {
+	v := int(math.Round(w))
+	if v < a.cfg.CMin {
+		return a.cfg.CMin
+	}
+	if v > a.cfg.CMax {
+		return a.cfg.CMax
+	}
+	return v
+}
+
+// Tick executes one iteration of Algorithm 1: sample, group, combine,
+// smooth, clamp, program, expire. It returns the first route-programming
+// error encountered (after attempting all destinations) or a sampling error.
+func (a *Agent) Tick() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	a.stats.Ticks++
+	now := a.cfg.Clock()
+
+	obs, err := a.cfg.Sampler.SampleConnections()
+	if err != nil {
+		a.stats.SampleErrors++
+		// Expire stale entries even when sampling fails, so a dead
+		// sampler cannot pin stale aggressive windows forever.
+		firstErr := a.expireLocked(now)
+		if firstErr != nil {
+			return fmt.Errorf("sample connections: %v (also: %w)", err, firstErr)
+		}
+		return fmt.Errorf("sample connections: %w", err)
+	}
+	a.stats.Observations += uint64(len(obs))
+
+	// Group the observed table by destination prefix.
+	groups := make(map[netip.Prefix][]Observation)
+	for _, o := range obs {
+		if o.Cwnd <= 0 || !o.Dst.IsValid() {
+			continue
+		}
+		key, err := a.destKey(o.Dst)
+		if err != nil {
+			continue
+		}
+		groups[key] = append(groups[key], o)
+	}
+
+	var firstErr error
+	for dst, group := range groups {
+		combined := a.cfg.Combiner.Combine(group)
+		smoothed := a.cfg.History.Update(dst, combined)
+		if a.cfg.Advisor != nil {
+			smoothed *= a.cfg.Advisor.Advise(dst)
+		}
+		final := a.clamp(smoothed)
+
+		e, ok := a.entries[dst]
+		if !ok {
+			e = &entry{}
+			a.entries[dst] = e
+		}
+		e.expires = now + a.cfg.TTL
+		e.lastObs = len(group)
+		if e.window != final || e.programs == 0 {
+			if err := a.cfg.Routes.SetInitCwnd(dst, final); err != nil {
+				a.stats.RouteErrors++
+				if firstErr == nil {
+					firstErr = fmt.Errorf("set initcwnd %v=%d: %w", dst, final, err)
+				}
+				continue
+			}
+			e.window = final
+			e.programs++
+			a.stats.RoutesSet++
+		}
+	}
+
+	if err := a.expireLocked(now); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// expireLocked removes entries whose TTL lapsed and withdraws their routes.
+// Callers hold a.mu.
+func (a *Agent) expireLocked(now time.Duration) error {
+	var firstErr error
+	for dst, e := range a.entries {
+		if e.expires > now {
+			continue
+		}
+		if err := a.cfg.Routes.ClearInitCwnd(dst); err != nil {
+			a.stats.RouteErrors++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+			}
+			continue
+		}
+		delete(a.entries, dst)
+		a.cfg.History.Forget(dst)
+		a.stats.EntriesExpired++
+		a.stats.RoutesCleared++
+	}
+	return firstErr
+}
+
+// Entries returns a snapshot of all learned destinations, sorted by prefix
+// for determinism.
+func (a *Agent) Entries() []Entry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Entry, 0, len(a.entries))
+	for p, e := range a.entries {
+		out = append(out, Entry{
+			Prefix:       p,
+			Window:       e.window,
+			ExpiresAt:    e.expires,
+			Observations: e.lastObs,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
+			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// Lookup returns the currently programmed window for the destination, if
+// Riptide has learned one.
+func (a *Agent) Lookup(dst netip.Addr) (int, bool) {
+	key, err := a.destKey(dst)
+	if err != nil {
+		return 0, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.window, true
+}
+
+// Stats returns a copy of the agent's counters.
+func (a *Agent) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Close withdraws every programmed route and stops the agent. Further Ticks
+// return ErrClosed. Close is idempotent; it returns the first withdrawal
+// error but attempts all.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	var firstErr error
+	for dst := range a.entries {
+		if err := a.cfg.Routes.ClearInitCwnd(dst); err != nil {
+			a.stats.RouteErrors++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+			}
+			continue
+		}
+		a.stats.RoutesCleared++
+	}
+	a.entries = make(map[netip.Prefix]*entry)
+	return firstErr
+}

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestAgentStateMachineProperty drives the agent through random sequences of
+// observation rounds and clock jumps and checks the global invariants that
+// must hold after every tick:
+//
+//  1. The programmed route set exactly mirrors the agent's entries.
+//  2. Every programmed window is within [CMin, CMax].
+//  3. No entry outlives TTL without fresh observations.
+//  4. Lookup agrees with the programmed routes.
+func TestAgentStateMachineProperty(t *testing.T) {
+	type step struct {
+		// Destinations observed this round, as indexes into a fixed
+		// pool; window values derived from raw bytes.
+		DstIdx  []uint8
+		Cwnds   []uint8
+		Advance uint16 // seconds to advance before the tick
+	}
+	pool := make([]netip.Addr, 8)
+	for i := range pool {
+		pool[i] = netip.AddrFrom4([4]byte{10, 0, byte(i), 1})
+	}
+
+	f := func(steps []step, cminRaw, spanRaw uint8) bool {
+		cmin := int(cminRaw%20) + 1
+		cmax := cmin + int(spanRaw%100) + 1
+		ttl := 90 * time.Second
+
+		clock := &fakeClock{}
+		routes := newFakeRoutes()
+		sampler := &fakeSampler{}
+		a, err := New(Config{
+			Sampler: sampler,
+			Routes:  routes,
+			Clock:   clock.fn(),
+			CMin:    cmin,
+			CMax:    cmax,
+			TTL:     ttl,
+		})
+		if err != nil {
+			return false
+		}
+
+		// lastSeen tracks when each destination was last observed, to
+		// verify TTL expiry independently of the agent's bookkeeping.
+		lastSeen := map[netip.Prefix]time.Duration{}
+
+		for _, st := range steps {
+			if len(st.DstIdx) > 16 {
+				st.DstIdx = st.DstIdx[:16]
+			}
+			clock.Advance(time.Duration(st.Advance%200) * time.Second)
+			var obs []Observation
+			for i, di := range st.DstIdx {
+				cw := 1
+				if i < len(st.Cwnds) {
+					cw = int(st.Cwnds[i])%300 + 1
+				}
+				dst := pool[int(di)%len(pool)]
+				obs = append(obs, Observation{Dst: dst, Cwnd: cw})
+				lastSeen[netip.PrefixFrom(dst, 32)] = clock.Now()
+			}
+			sampler.rounds = [][]Observation{obs}
+			sampler.i = 0
+			if err := a.Tick(); err != nil {
+				return false
+			}
+
+			now := clock.Now()
+			entries := a.Entries()
+
+			// Invariant 1: routes == entries, window for window.
+			if len(routes.set) != len(entries) {
+				return false
+			}
+			for _, e := range entries {
+				w, ok := routes.set[e.Prefix]
+				if !ok || w != e.Window {
+					return false
+				}
+				// Invariant 2: clamped.
+				if w < cmin || w > cmax {
+					return false
+				}
+				// Invariant 3: within TTL of an observation.
+				seen, ok := lastSeen[e.Prefix]
+				if !ok || now-seen > ttl {
+					return false
+				}
+				// Invariant 4: Lookup agrees.
+				lw, ok := a.Lookup(e.Prefix.Addr())
+				if !ok || lw != e.Window {
+					return false
+				}
+			}
+		}
+		// Final teardown: Close leaves no routes behind.
+		if err := a.Close(); err != nil {
+			return false
+		}
+		return len(routes.set) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,220 @@
+// Package eventsim provides a deterministic discrete-event simulation engine:
+// a virtual clock and an ordered event queue. All higher-level simulation
+// packages (tcpsim, netsim, cdn) schedule their work through an Engine, so an
+// entire multi-hour CDN evaluation executes in milliseconds of real time and
+// replays identically for a given seed.
+package eventsim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrNegativeDelay is returned when scheduling an event in the past.
+var ErrNegativeDelay = errors.New("eventsim: negative delay")
+
+// Event is a handle to a scheduled callback. Cancel prevents a pending event
+// from firing; cancelling an already-fired or already-cancelled event is a
+// no-op.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+	index     int // heap index, -1 once popped
+}
+
+// Cancel prevents the event from firing. It reports whether the event was
+// still pending.
+func (ev *Event) Cancel() bool {
+	if ev == nil || ev.cancelled || ev.fired {
+		return false
+	}
+	ev.cancelled = true
+	return true
+}
+
+// Time returns the simulated time the event is (or was) scheduled for.
+func (ev *Event) Time() time.Duration { return ev.at }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic(fmt.Sprintf("eventsim: pushed %T onto event queue", x))
+	}
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine. Engine is not safe for concurrent use: the whole
+// point is single-threaded determinism.
+type Engine struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an Engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time (elapsed since simulation start).
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Fired reports how many events have executed, a cheap progress/debug metric.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are queued (including cancelled ones not
+// yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule runs fn after delay of simulated time. It returns a cancellable
+// handle, or an error for negative delays. A zero delay fires after the
+// currently executing event, in scheduling order.
+func (e *Engine) Schedule(delay time.Duration, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, ErrNegativeDelay
+	}
+	if fn == nil {
+		return nil, errors.New("eventsim: nil callback")
+	}
+	ev := &Event{at: e.now + delay, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule for static non-negative delays; it panics on
+// error and is intended for internal simulation plumbing where a failure is
+// a programming bug.
+func (e *Engine) MustSchedule(delay time.Duration, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step fires the next event. It reports false when the queue is empty or
+// only cancelled events remain.
+func (e *Engine) step(limit time.Duration, bounded bool) bool {
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if bounded && next.at > limit {
+			return false
+		}
+		heap.Pop(&e.queue)
+		if next.cancelled {
+			continue
+		}
+		if next.at > e.now {
+			e.now = next.at
+		}
+		next.fired = true
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called. The clock
+// ends at the time of the last fired event.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.step(0, false) {
+	}
+}
+
+// RunUntil executes events with timestamps <= t, then advances the clock to
+// exactly t. Events scheduled beyond t remain queued.
+func (e *Engine) RunUntil(t time.Duration) {
+	e.stopped = false
+	for !e.stopped && e.step(t, true) {
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Ticker invokes a callback at a fixed simulated interval until stopped,
+// mirroring Riptide's i_u poll loop.
+type Ticker struct {
+	engine   *Engine
+	interval time.Duration
+	fn       func(now time.Duration)
+	pending  *Event
+	stopped  bool
+}
+
+// NewTicker schedules fn every interval, first firing one interval from now.
+func NewTicker(engine *Engine, interval time.Duration, fn func(now time.Duration)) (*Ticker, error) {
+	if engine == nil {
+		return nil, errors.New("eventsim: nil engine")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("eventsim: ticker interval %v must be positive", interval)
+	}
+	if fn == nil {
+		return nil, errors.New("eventsim: nil ticker callback")
+	}
+	t := &Ticker{engine: engine, interval: interval, fn: fn}
+	t.arm()
+	return t, nil
+}
+
+func (t *Ticker) arm() {
+	t.pending = t.engine.MustSchedule(t.interval, func() {
+		if t.stopped {
+			return
+		}
+		t.fn(t.engine.Now())
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop halts future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	if t.pending != nil {
+		t.pending.Cancel()
+	}
+}

@@ -1,0 +1,273 @@
+package eventsim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestScheduleValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := e.Schedule(-time.Second, func() {}); err != ErrNegativeDelay {
+		t.Errorf("negative delay err = %v, want ErrNegativeDelay", err)
+	}
+	if _, err := e.Schedule(time.Second, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestRunFiresInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.MustSchedule(3*time.Second, func() { order = append(order, 3) })
+	e.MustSchedule(1*time.Second, func() { order = append(order, 1) })
+	e.MustSchedule(2*time.Second, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", e.Now())
+	}
+	if e.Fired() != 3 {
+		t.Errorf("Fired = %d, want 3", e.Fired())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(time.Second, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	var times []time.Duration
+	e.MustSchedule(time.Second, func() {
+		times = append(times, e.Now())
+		e.MustSchedule(2*time.Second, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != time.Second || times[1] != 3*time.Second {
+		t.Errorf("times = %v, want [1s 3s]", times)
+	}
+}
+
+func TestZeroDelayFiresAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.MustSchedule(5*time.Second, func() {
+		e.MustSchedule(0, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 5*time.Second {
+		t.Errorf("zero-delay event fired at %v, want 5s", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.MustSchedule(time.Second, func() { fired = true })
+	if !ev.Cancel() {
+		t.Error("Cancel returned false for pending event")
+	}
+	if ev.Cancel() {
+		t.Error("second Cancel returned true")
+	}
+	e.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Errorf("Fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := NewEngine()
+	ev := e.MustSchedule(time.Second, func() {})
+	e.Run()
+	if ev.Cancel() {
+		t.Error("Cancel after firing returned true")
+	}
+}
+
+func TestCancelNil(t *testing.T) {
+	var ev *Event
+	if ev.Cancel() {
+		t.Error("Cancel on nil event returned true")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		d := d * time.Second
+		e.MustSchedule(d, func() { fired = append(fired, d) })
+	}
+	e.RunUntil(2500 * time.Millisecond)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events, want 2", len(fired))
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Errorf("Now = %v, want 2.5s", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", e.Pending())
+	}
+	e.RunUntil(10 * time.Second)
+	if len(fired) != 4 {
+		t.Errorf("after second RunUntil fired %d, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Minute)
+	if e.Now() != time.Minute {
+		t.Errorf("Now = %v, want 1m", e.Now())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.MustSchedule(time.Second, func() { count++; e.Stop() })
+	e.MustSchedule(2*time.Second, func() { count++ })
+	e.Run()
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (Stop should halt the loop)", count)
+	}
+	// Run can resume afterwards.
+	e.Run()
+	if count != 2 {
+		t.Errorf("count after resume = %d, want 2", count)
+	}
+}
+
+func TestTickerValidation(t *testing.T) {
+	e := NewEngine()
+	if _, err := NewTicker(nil, time.Second, func(time.Duration) {}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewTicker(e, 0, func(time.Duration) {}); err == nil {
+		t.Error("zero interval accepted")
+	}
+	if _, err := NewTicker(e, time.Second, nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	e := NewEngine()
+	var ticks []time.Duration
+	tk, err := NewTicker(e, time.Second, func(now time.Duration) {
+		ticks = append(ticks, now)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(3500 * time.Millisecond)
+	tk.Stop()
+	e.RunUntil(10 * time.Second)
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, want := range []time.Duration{1, 2, 3} {
+		if ticks[i] != want*time.Second {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want*time.Second)
+		}
+	}
+}
+
+func TestTickerStopIdempotent(t *testing.T) {
+	e := NewEngine()
+	tk, err := NewTicker(e, time.Second, func(time.Duration) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk.Stop()
+	tk.Stop() // must not panic
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tk *Ticker
+	tk, err := NewTicker(e, time.Second, func(time.Duration) {
+		count++
+		if count == 2 {
+			tk.Stop()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.RunUntil(time.Minute)
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+// Property: events always fire in non-decreasing time order regardless of
+// scheduling order.
+func TestEventOrderingProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []time.Duration
+		for _, d := range delays {
+			d := time.Duration(d) * time.Millisecond
+			e.MustSchedule(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the clock never runs backwards across RunUntil calls.
+func TestClockMonotoneProperty(t *testing.T) {
+	f := func(steps []uint16) bool {
+		e := NewEngine()
+		last := time.Duration(0)
+		target := time.Duration(0)
+		for _, s := range steps {
+			target += time.Duration(s) * time.Millisecond
+			e.RunUntil(target)
+			if e.Now() < last {
+				return false
+			}
+			last = e.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"riptide/internal/cdn"
+	"riptide/internal/core"
+	"riptide/internal/stats"
+)
+
+// Ablations quantify the design choices Section III-B leaves open: the
+// combiner (average vs max vs traffic-weighted), the history policy and its
+// weight, destination granularity, the TTL, and the update interval. Each
+// ablation runs the same cluster workload, varying exactly one knob, and
+// reports the 50 KB probe median/p90 completion times plus route-programming
+// effort.
+
+// ablationOutcome is one row of an ablation table.
+type ablationOutcome struct {
+	label     string
+	median    float64
+	p90       float64
+	routesSet uint64
+}
+
+// runAblation executes one cluster with the given Riptide options and
+// summarizes its 50 KB probes.
+func runAblation(s Scale, label string, opts cdn.RiptideOptions) (ablationOutcome, error) {
+	cl, err := cdn.NewCluster(cdn.Config{
+		PoPs:     s.PoPs,
+		Seed:     s.Seed,
+		LossRate: s.LossRate,
+		Riptide:  opts,
+		Traffic: cdn.TrafficOptions{
+			ProbeInterval: 4 * time.Minute,
+			IdleTimeout:   90 * time.Second,
+			OrganicRates:  organicProfile(s.PoPs),
+		},
+	})
+	if err != nil {
+		return ablationOutcome{}, err
+	}
+	cl.Run(s.WarmUp + s.Duration)
+
+	var routes uint64
+	for _, p := range s.PoPs {
+		for _, a := range cl.Agents(p.Name) {
+			routes += a.Stats().RoutesSet
+		}
+	}
+	cl.Stop()
+
+	c := stats.NewCDF(512)
+	for _, p := range cl.ProbeRecords() {
+		if p.SizeBytes == 50*1024 && p.At >= s.WarmUp {
+			c.Add(float64(p.Elapsed.Milliseconds()))
+		}
+	}
+	if c.Len() == 0 {
+		return ablationOutcome{}, fmt.Errorf("experiments: ablation %q produced no probes", label)
+	}
+	med, err := c.Median()
+	if err != nil {
+		return ablationOutcome{}, err
+	}
+	p90, err := c.Percentile(90)
+	if err != nil {
+		return ablationOutcome{}, err
+	}
+	return ablationOutcome{label: label, median: med, p90: p90, routesSet: routes}, nil
+}
+
+func ablationResult(id, title string, outcomes []ablationOutcome) Result {
+	tbl := Table{
+		Title:  title,
+		Header: []string{"variant", "50KB median (ms)", "50KB p90 (ms)", "routes programmed"},
+	}
+	for _, o := range outcomes {
+		tbl.Rows = append(tbl.Rows, []string{
+			o.label,
+			fmt.Sprintf("%.0f", o.median),
+			fmt.Sprintf("%.0f", o.p90),
+			fmt.Sprintf("%d", o.routesSet),
+		})
+	}
+	return Result{ID: id, Title: title, Tables: []Table{tbl}}
+}
+
+// AblationCombiners compares the paper's average combiner against the
+// aggressive max and conservative traffic-weighted variants.
+func AblationCombiners(s Scale) (Result, error) {
+	s = s.withDefaults()
+	variants := []struct {
+		label string
+		c     core.Combiner
+	}{
+		{"average (paper default)", core.AverageCombiner{}},
+		{"max (aggressive)", core.MaxCombiner{}},
+		{"traffic-weighted (conservative)", core.TrafficWeightedCombiner{}},
+	}
+	outcomes := make([]ablationOutcome, 0, len(variants)+1)
+	baseline, err := runAblation(s, "no riptide (control)", cdn.RiptideOptions{})
+	if err != nil {
+		return Result{}, err
+	}
+	outcomes = append(outcomes, baseline)
+	for _, v := range variants {
+		o, err := runAblation(s, v.label, cdn.RiptideOptions{Enabled: true, Combiner: v.c})
+		if err != nil {
+			return Result{}, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return ablationResult("ablation-combiners", "Combiner ablation (Section III-B)", outcomes), nil
+}
+
+// AlphaSweep lists the EWMA weights the history ablation explores.
+var AlphaSweep = []float64{0.25, 0.5, 0.75, 0.9}
+
+// AblationHistory compares EWMA weights and the no-history policy.
+func AblationHistory(s Scale) (Result, error) {
+	s = s.withDefaults()
+	outcomes := make([]ablationOutcome, 0, len(AlphaSweep)+1)
+	o, err := runAblation(s, "no history (instant)", cdn.RiptideOptions{Enabled: true, History: core.NoHistory{}})
+	if err != nil {
+		return Result{}, err
+	}
+	outcomes = append(outcomes, o)
+	for _, alpha := range AlphaSweep {
+		o, err := runAblation(s, fmt.Sprintf("ewma alpha=%.2f", alpha),
+			cdn.RiptideOptions{Enabled: true, Alpha: alpha})
+		if err != nil {
+			return Result{}, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return ablationResult("ablation-history", "History-policy ablation (Section III-B)", outcomes), nil
+}
+
+// AblationGranularity compares per-host /32 routes against per-PoP /24
+// aggregation (the paper's "Destinations as Routes").
+func AblationGranularity(s Scale) (Result, error) {
+	s = s.withDefaults()
+	var outcomes []ablationOutcome
+	for _, v := range []struct {
+		label string
+		bits  int
+	}{
+		{"/32 per-host routes", 32},
+		{"/24 per-PoP routes", 24},
+		{"/16 coarse routes", 16},
+	} {
+		o, err := runAblation(s, v.label, cdn.RiptideOptions{Enabled: true, PrefixBits: v.bits})
+		if err != nil {
+			return Result{}, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return ablationResult("ablation-granularity", "Route-granularity ablation (Section III-B)", outcomes), nil
+}
+
+// TTLSweep lists the entry lifetimes the TTL ablation explores.
+var TTLSweep = []time.Duration{30 * time.Second, 90 * time.Second, 5 * time.Minute}
+
+// AblationTTL compares entry lifetimes around the paper's 90 s choice.
+func AblationTTL(s Scale) (Result, error) {
+	s = s.withDefaults()
+	var outcomes []ablationOutcome
+	for _, ttl := range TTLSweep {
+		o, err := runAblation(s, fmt.Sprintf("ttl=%v", ttl), cdn.RiptideOptions{Enabled: true, TTL: ttl})
+		if err != nil {
+			return Result{}, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return ablationResult("ablation-ttl", "TTL ablation (paper default 90s)", outcomes), nil
+}
+
+// IntervalSweep lists the poll cadences the update-interval ablation
+// explores.
+var IntervalSweep = []time.Duration{time.Second, 5 * time.Second, 15 * time.Second}
+
+// AblationUpdateInterval compares poll cadences around the paper's i_u = 1 s.
+func AblationUpdateInterval(s Scale) (Result, error) {
+	s = s.withDefaults()
+	var outcomes []ablationOutcome
+	for _, iu := range IntervalSweep {
+		o, err := runAblation(s, fmt.Sprintf("i_u=%v", iu),
+			cdn.RiptideOptions{Enabled: true, UpdateInterval: iu})
+		if err != nil {
+			return Result{}, err
+		}
+		outcomes = append(outcomes, o)
+	}
+	return ablationResult("ablation-interval", "Update-interval ablation (paper default 1s)", outcomes), nil
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func firstColumn(t *testing.T, r Result) []string {
+	t.Helper()
+	if len(r.Tables) != 1 {
+		t.Fatalf("tables = %d, want 1", len(r.Tables))
+	}
+	var out []string
+	for _, row := range r.Tables[0].Rows {
+		if len(row) != 4 {
+			t.Fatalf("row = %v, want 4 columns", row)
+		}
+		for _, cell := range row[1:3] {
+			if v, err := strconv.ParseFloat(cell, 64); err != nil || v <= 0 {
+				t.Fatalf("non-positive metric %q in row %v", cell, row)
+			}
+		}
+		out = append(out, row[0])
+	}
+	return out
+}
+
+func TestAblationCombiners(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs in -short mode")
+	}
+	r, err := AblationCombiners(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := firstColumn(t, r)
+	if len(labels) != 4 {
+		t.Fatalf("variants = %v, want control + 3 combiners", labels)
+	}
+	// Control must be the slowest at the median: any combiner beats it.
+	rows := r.Tables[0].Rows
+	control, err := strconv.ParseFloat(rows[0][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range rows[1:] {
+		v, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= control {
+			t.Errorf("variant %q median %v not better than control %v", row[0], v, control)
+		}
+	}
+}
+
+func TestAblationHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs in -short mode")
+	}
+	r, err := AblationHistory(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := firstColumn(t, r)
+	if len(labels) != 1+len(AlphaSweep) {
+		t.Fatalf("variants = %v", labels)
+	}
+}
+
+func TestAblationGranularity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs in -short mode")
+	}
+	r, err := AblationGranularity(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Tables[0].Rows
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Coarser routes must program no more routes than finer ones: route
+	// aggregation is the point of prefix granularity.
+	r32, err := strconv.ParseUint(rows[0][3], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r16, err := strconv.ParseUint(rows[2][3], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r16 > r32 {
+		t.Errorf("/16 programmed %d routes vs /32's %d; aggregation should not increase effort", r16, r32)
+	}
+}
+
+func TestAblationTTLAndInterval(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster runs in -short mode")
+	}
+	r, err := AblationTTL(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(firstColumn(t, r)); got != len(TTLSweep) {
+		t.Errorf("ttl variants = %d", got)
+	}
+	r, err = AblationUpdateInterval(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(firstColumn(t, r)); got != len(IntervalSweep) {
+		t.Errorf("interval variants = %d", got)
+	}
+}

@@ -1,0 +1,323 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"riptide/internal/cdn"
+	"riptide/internal/stats"
+)
+
+func TestFig2FileSizes(t *testing.T) {
+	if _, err := Fig2FileSizes(1, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	r, err := Fig2FileSizes(1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fig2" || len(r.Series) != 1 || len(r.Series[0].Points) == 0 {
+		t.Fatalf("result = %+v", r)
+	}
+	// CDF must be monotone and end at 1.
+	pts := r.Series[0].Points
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatalf("fig2 CDF not monotone at %d", i)
+		}
+	}
+	if pts[len(pts)-1].Y < 0.999 {
+		t.Errorf("fig2 CDF tail = %v", pts[len(pts)-1].Y)
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "%") {
+		t.Errorf("notes = %v", r.Notes)
+	}
+}
+
+func TestFig3RTTsCDF(t *testing.T) {
+	r, err := Fig3RTTsCDF(2, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != len(InitCwnds) {
+		t.Fatalf("series = %d, want %d", len(r.Series), len(InitCwnds))
+	}
+	// Larger initcwnd curves must dominate (higher CDF at each x): compare
+	// fraction completing in <= 1 RTT.
+	frac1 := func(s Series) float64 {
+		for _, p := range s.Points {
+			if p.X >= 1 {
+				return p.Y
+			}
+		}
+		return 0
+	}
+	for i := 1; i < len(r.Series); i++ {
+		if frac1(r.Series[i]) < frac1(r.Series[i-1])-0.01 {
+			t.Errorf("series %q first-RTT fraction below %q", r.Series[i].Label, r.Series[i-1].Label)
+		}
+	}
+	if len(r.Notes) < 3 {
+		t.Errorf("notes = %v", r.Notes)
+	}
+}
+
+func TestFig4TheoreticalGain(t *testing.T) {
+	r, err := Fig4TheoreticalGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	for _, s := range r.Series {
+		sawPositive := false
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y >= 1 {
+				t.Fatalf("%s gain %v out of [0,1)", s.Label, p.Y)
+			}
+			if p.Y > 0.3 {
+				sawPositive = true
+			}
+			// Below the default window there is no gain.
+			if p.X <= 14480 && p.Y != 0 {
+				t.Fatalf("%s gain %v below default window at %v bytes", s.Label, p.Y, p.X)
+			}
+		}
+		if !sawPositive {
+			t.Errorf("%s never exceeds 30%% gain", s.Label)
+		}
+		// Gains must fade for very large files (paper: diminishing beyond ~1MB).
+		last := s.Points[len(s.Points)-1]
+		if last.Y > 0.5 {
+			t.Errorf("%s gain at %v bytes = %v, want fading", s.Label, last.X, last.Y)
+		}
+	}
+}
+
+func TestFig5RTTDistribution(t *testing.T) {
+	r, err := Fig5RTTDistribution(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 1 || len(r.Notes) != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+	if _, err := Fig5RTTDistribution(cdn.DefaultTopology()[:1]); err == nil {
+		t.Error("single PoP accepted")
+	}
+}
+
+func TestFig6TransferTime(t *testing.T) {
+	r, err := Fig6TransferTime(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != len(InitCwnds) {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	if len(r.Notes) != 2 {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+	// The median-gap note must report a positive saving.
+	if !strings.Contains(r.Notes[0], "+") {
+		t.Errorf("note = %q", r.Notes[0])
+	}
+}
+
+func TestTable2Census(t *testing.T) {
+	r := Table2Census(nil)
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 5 {
+		t.Fatalf("tables = %+v", r.Tables)
+	}
+	want := map[string]string{
+		"Europe":        "10",
+		"North America": "11",
+		"South America": "1",
+		"Asia":          "9",
+		"Oceania":       "3",
+	}
+	for _, row := range r.Tables[0].Rows {
+		if want[row[0]] != row[1] {
+			t.Errorf("census row %v, want %s", row, want[row[0]])
+		}
+	}
+}
+
+func TestFig10CwndByCmaxQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster sweep in -short mode")
+	}
+	r, err := Fig10CwndByCmax(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 1+len(CmaxSweep) {
+		t.Fatalf("series = %d, want control + %d sweeps", len(r.Series), len(CmaxSweep))
+	}
+	if len(r.Notes) < 3 {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}
+
+func TestFig11TrafficProfilesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	r, err := Fig11TrafficProfiles(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+}
+
+func TestProbeCompletionFiguresQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	if _, err := ProbeCompletionFigure(9, QuickScale()); err == nil {
+		t.Error("bogus figure accepted")
+	}
+	runs, err := runProbePair(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fig, size := range probeSizeForFigure {
+		r, err := probeCompletionFromRuns(fig, size, runs)
+		if err != nil {
+			t.Fatalf("fig%d: %v", fig, err)
+		}
+		if len(r.Series) == 0 {
+			t.Errorf("fig%d: no series", fig)
+		}
+	}
+}
+
+func TestGainByPercentileQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	if _, err := GainByPercentileFigure(3, QuickScale()); err == nil {
+		t.Error("bogus figure accepted")
+	}
+	runs, err := runProbePair(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for fig, size := range map[int]int{15: 50 * 1024, 16: 100 * 1024} {
+		r, err := gainByPercentileFromRuns(fig, size, runs)
+		if err != nil {
+			t.Fatalf("fig%d: %v", fig, err)
+		}
+		if len(r.Series) != 2 {
+			t.Errorf("fig%d series = %d, want 2 senders", fig, len(r.Series))
+		}
+		for _, s := range r.Series {
+			if len(s.Points) != 19 {
+				t.Errorf("fig%d %s points = %d, want 19 (5%% steps)", fig, s.Label, len(s.Points))
+			}
+		}
+	}
+}
+
+func TestEdgeCasesQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	runs, err := runProbePair(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := edgeCasesFromRuns(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) == 0 {
+		t.Fatalf("tables = %+v", r.Tables)
+	}
+}
+
+func TestHeadlineQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	r, err := Headline(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Notes) < 2 {
+		t.Fatalf("notes = %v", r.Notes)
+	}
+}
+
+func TestRender(t *testing.T) {
+	r := Result{
+		ID:    "test",
+		Title: "Test result",
+		Notes: []string{"a note"},
+		Tables: []Table{{
+			Title:  "t",
+			Header: []string{"col1", "column2"},
+			Rows:   [][]string{{"a", "b"}, {"longer", "x"}},
+		}},
+		Series: []Series{
+			{Label: "empty"},
+			{Label: "curve", Points: []stats.Point{{X: 1, Y: 0.5}, {X: 2, Y: 1}}},
+		},
+	}
+	var sb strings.Builder
+	if err := Render(&sb, r); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"== test:", "a note", "col1", "longer", "empty"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := Scale{}.withDefaults()
+	if s.Duration == 0 || s.LossRate == 0 || s.WarmUp == 0 || len(s.PoPs) != 34 {
+		t.Errorf("defaults = %+v", s)
+	}
+	q := QuickScale()
+	if len(q.PoPs) != 6 {
+		t.Errorf("quick scale PoPs = %d", len(q.PoPs))
+	}
+}
+
+func TestProbeSuiteQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	results, err := ProbeSuite(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIDs := []string{"fig12", "fig13", "fig14", "fig15", "fig16", "edge"}
+	if len(results) != len(wantIDs) {
+		t.Fatalf("results = %d, want %d", len(results), len(wantIDs))
+	}
+	for i, want := range wantIDs {
+		if results[i].ID != want {
+			t.Errorf("result %d = %s, want %s (order must be deterministic)", i, results[i].ID, want)
+		}
+	}
+}
+
+func TestEdgeCasesEntryPoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster run in -short mode")
+	}
+	r, err := EdgeCases(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "edge" || len(r.Tables) != 1 {
+		t.Fatalf("result = %+v", r)
+	}
+}

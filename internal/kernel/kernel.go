@@ -1,0 +1,262 @@
+// Package kernel simulates the two Linux kernel surfaces Riptide touches:
+//
+//   - the connection table, which `ss -i` exposes (per-connection cwnd, RTT,
+//     bytes acked), and
+//   - the routing table, which `ip route ... initcwnd N` programs
+//     (longest-prefix-match routes carrying an initial-congestion-window
+//     attribute).
+//
+// Each simulated machine owns one Host. New connections ask the Host for
+// their initial window, which resolves through the route table exactly like
+// Linux: the most specific matching route wins; routes without an explicit
+// initcwnd fall back to the kernel default of 10 segments.
+package kernel
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DefaultInitCwnd is the kernel's default initial congestion window when no
+// route overrides it (RFC 6928; Linux >= 2.6.39).
+const DefaultInitCwnd = 10
+
+// Route is one entry in a Host's routing table.
+type Route struct {
+	// Prefix is the destination this route matches.
+	Prefix netip.Prefix
+	// InitCwnd is the initial congestion window in segments; 0 means the
+	// route does not override the kernel default.
+	InitCwnd int
+	// Proto labels who installed the route ("kernel", "static"); Riptide
+	// installs "static" routes like the paper's `ip route ... proto
+	// static` invocation.
+	Proto string
+}
+
+// ConnSnapshot is what `ss -i` would report for one established connection.
+type ConnSnapshot struct {
+	ID         uint64
+	Src, Dst   netip.Addr
+	SrcPort    uint16
+	DstPort    uint16
+	Cwnd       int
+	RTT        time.Duration
+	BytesAcked int64
+	// Opened is the simulated time the connection was established.
+	Opened time.Duration
+}
+
+// Snapshotter supplies the current state of a live connection. internal/netsim
+// connections implement this; the Host never reaches into protocol state.
+type Snapshotter interface {
+	Snapshot() ConnSnapshot
+}
+
+// Host simulates one machine's kernel networking state. Host is safe for
+// concurrent use; the simulator is single-threaded but the Riptide agent's
+// Linux backend shares the same interfaces from multiple goroutines.
+type Host struct {
+	addr netip.Addr
+
+	mu        sync.Mutex
+	routes    map[netip.Prefix]Route
+	conns     map[uint64]Snapshotter
+	nextConn  uint64
+	defaultIW int
+}
+
+// NewHost creates a Host with the given address and the Linux-default
+// initial window.
+func NewHost(addr netip.Addr) (*Host, error) {
+	if !addr.IsValid() {
+		return nil, fmt.Errorf("kernel: invalid host address")
+	}
+	return &Host{
+		addr:      addr,
+		routes:    make(map[netip.Prefix]Route),
+		conns:     make(map[uint64]Snapshotter),
+		defaultIW: DefaultInitCwnd,
+	}, nil
+}
+
+// Addr returns the host's address.
+func (h *Host) Addr() netip.Addr { return h.addr }
+
+// SetDefaultInitCwnd overrides the kernel default initial window (sysctl
+// analogue). Values < 1 are rejected.
+func (h *Host) SetDefaultInitCwnd(iw int) error {
+	if iw < 1 {
+		return fmt.Errorf("kernel: default initcwnd %d must be >= 1", iw)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.defaultIW = iw
+	return nil
+}
+
+// AddRoute installs or replaces a route, like `ip route replace`.
+func (h *Host) AddRoute(r Route) error {
+	if !r.Prefix.IsValid() {
+		return fmt.Errorf("kernel: invalid route prefix")
+	}
+	if r.InitCwnd < 0 {
+		return fmt.Errorf("kernel: route initcwnd %d must be >= 0", r.InitCwnd)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.routes[r.Prefix.Masked()] = Route{
+		Prefix:   r.Prefix.Masked(),
+		InitCwnd: r.InitCwnd,
+		Proto:    r.Proto,
+	}
+	return nil
+}
+
+// DelRoute removes the route for prefix, like `ip route del`. It reports
+// whether a route existed.
+func (h *Host) DelRoute(prefix netip.Prefix) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	key := prefix.Masked()
+	_, ok := h.routes[key]
+	delete(h.routes, key)
+	return ok
+}
+
+// Routes returns a copy of the routing table, most-specific first.
+func (h *Host) Routes() []Route {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Route, 0, len(h.routes))
+	for _, r := range h.routes {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Bits() != out[j].Prefix.Bits() {
+			return out[i].Prefix.Bits() > out[j].Prefix.Bits()
+		}
+		return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
+	})
+	return out
+}
+
+// RouteCount reports the number of installed routes.
+func (h *Host) RouteCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.routes)
+}
+
+// Lookup returns the most specific route matching dst, if any.
+func (h *Host) Lookup(dst netip.Addr) (Route, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	best := Route{}
+	found := false
+	for _, r := range h.routes {
+		if !r.Prefix.Contains(dst) {
+			continue
+		}
+		if !found || r.Prefix.Bits() > best.Prefix.Bits() {
+			best = r
+			found = true
+		}
+	}
+	return best, found
+}
+
+// InitCwndFor resolves the initial congestion window a new connection to dst
+// will start with: the longest-prefix-match route's initcwnd if it sets one,
+// otherwise the kernel default.
+func (h *Host) InitCwndFor(dst netip.Addr) int {
+	r, ok := h.Lookup(dst)
+	h.mu.Lock()
+	def := h.defaultIW
+	h.mu.Unlock()
+	if !ok || r.InitCwnd == 0 {
+		return def
+	}
+	return r.InitCwnd
+}
+
+// Register adds a live connection to the host's connection table and
+// returns its kernel-assigned id. The caller must Unregister when the
+// connection closes.
+func (h *Host) Register(s Snapshotter) (uint64, error) {
+	if s == nil {
+		return 0, fmt.Errorf("kernel: nil snapshotter")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.nextConn++
+	id := h.nextConn
+	h.conns[id] = s
+	return id, nil
+}
+
+// Unregister removes a connection from the table. It reports whether the id
+// was present.
+func (h *Host) Unregister(id uint64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.conns[id]
+	delete(h.conns, id)
+	return ok
+}
+
+// Connections snapshots every established connection, like `ss -tin`.
+// Results are sorted by id for determinism.
+func (h *Host) Connections() []ConnSnapshot {
+	h.mu.Lock()
+	ids := make([]uint64, 0, len(h.conns))
+	snaps := make([]Snapshotter, 0, len(h.conns))
+	for id := range h.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		snaps = append(snaps, h.conns[id])
+	}
+	h.mu.Unlock()
+
+	out := make([]ConnSnapshot, 0, len(snaps))
+	for i, s := range snaps {
+		snap := s.Snapshot()
+		snap.ID = ids[i]
+		out = append(out, snap)
+	}
+	return out
+}
+
+// ConnCount reports the number of established connections.
+func (h *Host) ConnCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// FormatRoutes renders routes in iproute2's `ip route show` syntax, so the
+// simulated kernel's state can be inspected with the same tooling (and
+// parsers) as a real host's.
+func FormatRoutes(routes []Route) string {
+	var b strings.Builder
+	for _, r := range routes {
+		b.WriteString(r.Prefix.String())
+		if r.Proto != "" {
+			b.WriteString(" proto ")
+			b.WriteString(r.Proto)
+		}
+		if r.InitCwnd > 0 {
+			b.WriteString(" initcwnd ")
+			b.WriteString(strconv.Itoa(r.InitCwnd))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package kernel
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func addr(t *testing.T, s string) netip.Addr {
+	t.Helper()
+	a, err := netip.ParseAddr(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func prefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newHost(t *testing.T) *Host {
+	t.Helper()
+	h, err := NewHost(netip.MustParseAddr("10.0.0.1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+type fakeConn struct{ snap ConnSnapshot }
+
+func (f *fakeConn) Snapshot() ConnSnapshot { return f.snap }
+
+func TestNewHostValidation(t *testing.T) {
+	if _, err := NewHost(netip.Addr{}); err == nil {
+		t.Error("invalid address accepted")
+	}
+}
+
+func TestDefaultInitCwnd(t *testing.T) {
+	h := newHost(t)
+	if got := h.InitCwndFor(addr(t, "10.0.0.2")); got != DefaultInitCwnd {
+		t.Errorf("InitCwndFor = %d, want default %d", got, DefaultInitCwnd)
+	}
+}
+
+func TestSetDefaultInitCwnd(t *testing.T) {
+	h := newHost(t)
+	if err := h.SetDefaultInitCwnd(0); err == nil {
+		t.Error("zero default accepted")
+	}
+	if err := h.SetDefaultInitCwnd(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.0.2")); got != 16 {
+		t.Errorf("InitCwndFor = %d, want 16", got)
+	}
+}
+
+func TestAddRouteValidation(t *testing.T) {
+	h := newHost(t)
+	if err := h.AddRoute(Route{}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.0.0.0/24"), InitCwnd: -1}); err == nil {
+		t.Error("negative initcwnd accepted")
+	}
+}
+
+func TestHostRouteOverridesInitCwnd(t *testing.T) {
+	h := newHost(t)
+	// Mirrors the paper's example: ip route add 10.0.0.127 ... initcwnd 80.
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.0.0.127/32"), InitCwnd: 80, Proto: "static"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.0.127")); got != 80 {
+		t.Errorf("InitCwndFor(routed host) = %d, want 80", got)
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.0.128")); got != DefaultInitCwnd {
+		t.Errorf("InitCwndFor(other host) = %d, want default", got)
+	}
+}
+
+func TestLongestPrefixMatchWins(t *testing.T) {
+	h := newHost(t)
+	for _, r := range []Route{
+		{Prefix: prefix(t, "10.0.0.0/8"), InitCwnd: 20},
+		{Prefix: prefix(t, "10.1.0.0/16"), InitCwnd: 40},
+		{Prefix: prefix(t, "10.1.2.0/24"), InitCwnd: 60},
+		{Prefix: prefix(t, "10.1.2.3/32"), InitCwnd: 80},
+	} {
+		if err := h.AddRoute(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		dst  string
+		want int
+	}{
+		{"10.1.2.3", 80},
+		{"10.1.2.4", 60},
+		{"10.1.3.1", 40},
+		{"10.9.9.9", 20},
+		{"192.168.1.1", DefaultInitCwnd},
+	}
+	for _, tt := range tests {
+		if got := h.InitCwndFor(addr(t, tt.dst)); got != tt.want {
+			t.Errorf("InitCwndFor(%s) = %d, want %d", tt.dst, got, tt.want)
+		}
+	}
+}
+
+func TestRouteWithZeroInitCwndFallsBack(t *testing.T) {
+	h := newHost(t)
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.0.0.0/24")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.0.5")); got != DefaultInitCwnd {
+		t.Errorf("route without initcwnd gave %d, want kernel default", got)
+	}
+}
+
+func TestAddRouteReplaces(t *testing.T) {
+	h := newHost(t)
+	p := prefix(t, "10.2.0.0/16")
+	_ = h.AddRoute(Route{Prefix: p, InitCwnd: 30})
+	_ = h.AddRoute(Route{Prefix: p, InitCwnd: 90})
+	if h.RouteCount() != 1 {
+		t.Errorf("RouteCount = %d, want 1 (replace, not duplicate)", h.RouteCount())
+	}
+	if got := h.InitCwndFor(addr(t, "10.2.1.1")); got != 90 {
+		t.Errorf("InitCwndFor = %d, want 90", got)
+	}
+}
+
+func TestAddRouteMasksPrefix(t *testing.T) {
+	h := newHost(t)
+	// Unmasked prefix (host bits set) must normalize like iproute2 does.
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.3.7.9/16"), InitCwnd: 33}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "10.3.200.200")); got != 33 {
+		t.Errorf("InitCwndFor = %d, want 33 via masked /16", got)
+	}
+	if !h.DelRoute(prefix(t, "10.3.0.0/16")) {
+		t.Error("DelRoute by masked form failed")
+	}
+}
+
+func TestDelRoute(t *testing.T) {
+	h := newHost(t)
+	p := prefix(t, "10.0.0.42/32")
+	_ = h.AddRoute(Route{Prefix: p, InitCwnd: 77})
+	if !h.DelRoute(p) {
+		t.Error("DelRoute = false for existing route")
+	}
+	if h.DelRoute(p) {
+		t.Error("DelRoute = true for missing route")
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.0.42")); got != DefaultInitCwnd {
+		t.Errorf("InitCwndFor after delete = %d, want default (paper: TTL expiry restores IW10)", got)
+	}
+}
+
+func TestRoutesSortedMostSpecificFirst(t *testing.T) {
+	h := newHost(t)
+	_ = h.AddRoute(Route{Prefix: prefix(t, "10.0.0.0/8"), InitCwnd: 1})
+	_ = h.AddRoute(Route{Prefix: prefix(t, "10.1.1.1/32"), InitCwnd: 2})
+	_ = h.AddRoute(Route{Prefix: prefix(t, "10.1.0.0/16"), InitCwnd: 3})
+	rs := h.Routes()
+	if len(rs) != 3 {
+		t.Fatalf("Routes len = %d", len(rs))
+	}
+	if rs[0].Prefix.Bits() != 32 || rs[1].Prefix.Bits() != 16 || rs[2].Prefix.Bits() != 8 {
+		t.Errorf("Routes not sorted by specificity: %v", rs)
+	}
+}
+
+func TestRegisterUnregister(t *testing.T) {
+	h := newHost(t)
+	if _, err := h.Register(nil); err == nil {
+		t.Error("nil snapshotter accepted")
+	}
+	c := &fakeConn{snap: ConnSnapshot{Cwnd: 42, Dst: addr(t, "10.0.0.9"), RTT: 120 * time.Millisecond}}
+	id, err := h.Register(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ConnCount() != 1 {
+		t.Errorf("ConnCount = %d, want 1", h.ConnCount())
+	}
+	snaps := h.Connections()
+	if len(snaps) != 1 || snaps[0].Cwnd != 42 || snaps[0].ID != id {
+		t.Errorf("Connections = %+v", snaps)
+	}
+	if !h.Unregister(id) {
+		t.Error("Unregister = false")
+	}
+	if h.Unregister(id) {
+		t.Error("double Unregister = true")
+	}
+	if h.ConnCount() != 0 {
+		t.Errorf("ConnCount after unregister = %d", h.ConnCount())
+	}
+}
+
+func TestConnectionsDeterministicOrder(t *testing.T) {
+	h := newHost(t)
+	for i := 0; i < 10; i++ {
+		if _, err := h.Register(&fakeConn{snap: ConnSnapshot{Cwnd: i}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snaps := h.Connections()
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].ID <= snaps[i-1].ID {
+			t.Fatalf("Connections not sorted by id: %v", snaps)
+		}
+	}
+}
+
+// Property: lookup always returns the longest matching prefix among those
+// installed.
+func TestLookupLongestMatchProperty(t *testing.T) {
+	f := func(octet uint8, bitsRaw [4]uint8) bool {
+		h, err := NewHost(netip.MustParseAddr("10.0.0.1"))
+		if err != nil {
+			return false
+		}
+		dst := netip.AddrFrom4([4]byte{10, 20, 30, octet})
+		longest := -1
+		for _, br := range bitsRaw {
+			bits := int(br) % 33
+			p, err := dst.Prefix(bits)
+			if err != nil {
+				return false
+			}
+			if err := h.AddRoute(Route{Prefix: p, InitCwnd: bits + 1}); err != nil {
+				return false
+			}
+			if bits > longest {
+				longest = bits
+			}
+		}
+		r, ok := h.Lookup(dst)
+		return ok && r.Prefix.Bits() == longest
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deleting every installed route restores the default initcwnd for
+// any destination.
+func TestDeleteRestoresDefaultProperty(t *testing.T) {
+	f := func(dstOctets [4]uint8, bitsRaw uint8) bool {
+		h, err := NewHost(netip.MustParseAddr("10.0.0.1"))
+		if err != nil {
+			return false
+		}
+		dst := netip.AddrFrom4([4]byte(dstOctets))
+		p, err := dst.Prefix(int(bitsRaw) % 33)
+		if err != nil {
+			return false
+		}
+		if err := h.AddRoute(Route{Prefix: p, InitCwnd: 55}); err != nil {
+			return false
+		}
+		if h.InitCwndFor(dst) != 55 {
+			return false
+		}
+		h.DelRoute(p)
+		return h.InitCwndFor(dst) == DefaultInitCwnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package linux
+
+import "testing"
+
+// FuzzParseSS exercises the ss parser with arbitrary input: it must never
+// panic and never produce an observation without a valid destination and a
+// positive window.
+func FuzzParseSS(f *testing.F) {
+	f.Add([]byte(ssFixture))
+	f.Add([]byte(""))
+	f.Add([]byte("ESTAB 0 0 1.2.3.4:1 5.6.7.8:2\n\t cwnd:"))
+	f.Add([]byte("\t cubic cwnd:10\n"))
+	f.Add([]byte("ESTAB 0 0 [::1]:1 [::2]:2\n\t rtt:-5/1 cwnd:-3 bytes_acked:x\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		obs, err := ParseSS(data)
+		if err != nil {
+			t.Fatalf("ParseSS returned error on arbitrary input: %v", err)
+		}
+		for _, o := range obs {
+			if !o.Dst.IsValid() {
+				t.Fatalf("observation with invalid dst: %+v", o)
+			}
+			if o.Cwnd <= 0 {
+				t.Fatalf("observation with non-positive cwnd: %+v", o)
+			}
+			if o.RTT < 0 || o.BytesAcked < 0 {
+				t.Fatalf("observation with negative metric: %+v", o)
+			}
+		}
+	})
+}
+
+// FuzzParseIPRouteShow: the route parser must never panic and every parsed
+// route must carry a valid prefix.
+func FuzzParseIPRouteShow(f *testing.F) {
+	f.Add([]byte(ipRouteFixture))
+	f.Add([]byte("default via"))
+	f.Add([]byte("10.0.0.1 initcwnd"))
+	f.Add([]byte("10.0.0.0/33 proto static\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, r := range ParseIPRouteShow(data) {
+			if !r.Prefix.IsValid() {
+				t.Fatalf("route with invalid prefix: %+v", r)
+			}
+			if r.InitCwnd < 0 {
+				t.Fatalf("route with negative initcwnd: %+v", r)
+			}
+		}
+	})
+}

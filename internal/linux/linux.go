@@ -1,0 +1,260 @@
+// Package linux adapts the Riptide agent to a real Linux host using the two
+// standard utilities the paper relies on:
+//
+//   - ss(8): `ss -tin` lists established TCP sockets with their congestion
+//     window, smoothed RTT, and bytes acknowledged — the observed table.
+//   - ip(8): `ip route replace <dst> ... initcwnd N` programs a
+//     per-destination initial congestion window; `ip route del` withdraws it
+//     (Linux >= 3.2 per the paper's footnote).
+//
+// Commands run through a pluggable Runner so the parsers and command
+// builders are fully unit-testable against recorded fixtures, and a
+// deployment can interpose rate limiting or auditing.
+package linux
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// Runner executes an external command and returns its combined stdout.
+type Runner interface {
+	Run(name string, args ...string) ([]byte, error)
+}
+
+// ExecRunner runs commands with os/exec under a timeout.
+type ExecRunner struct {
+	// Timeout bounds each command; defaults to 5s when zero.
+	Timeout time.Duration
+}
+
+// Run implements Runner.
+func (r ExecRunner) Run(name string, args ...string) ([]byte, error) {
+	timeout := r.Timeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	out, err := exec.CommandContext(ctx, name, args...).Output()
+	if err != nil {
+		var exitErr *exec.ExitError
+		if errors.As(err, &exitErr) {
+			return nil, fmt.Errorf("linux: %s %s: %w (stderr: %s)",
+				name, strings.Join(args, " "), err, bytes.TrimSpace(exitErr.Stderr))
+		}
+		return nil, fmt.Errorf("linux: %s %s: %w", name, strings.Join(args, " "), err)
+	}
+	return out, nil
+}
+
+var _ Runner = ExecRunner{}
+
+// Sampler implements core.ConnectionSampler by parsing `ss -tin`.
+type Sampler struct {
+	runner Runner
+}
+
+// NewSampler returns a Sampler using the given runner.
+func NewSampler(runner Runner) (*Sampler, error) {
+	if runner == nil {
+		return nil, errors.New("linux: nil runner")
+	}
+	return &Sampler{runner: runner}, nil
+}
+
+// SampleConnections implements core.ConnectionSampler.
+func (s *Sampler) SampleConnections() ([]core.Observation, error) {
+	out, err := s.runner.Run("ss", "-tin")
+	if err != nil {
+		return nil, err
+	}
+	return ParseSS(out)
+}
+
+var _ core.ConnectionSampler = (*Sampler)(nil)
+
+// ParseSS parses `ss -tin` output into observations. Sockets without a
+// parsable peer address or cwnd are skipped; only ESTAB sockets are
+// reported, since only established connections carry meaningful windows.
+func ParseSS(out []byte) ([]core.Observation, error) {
+	lines := strings.Split(string(out), "\n")
+	var obs []core.Observation
+	var cur *core.Observation
+	for _, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		if isSocketLine(line) {
+			// Flush the previous socket if it had TCP info.
+			if cur != nil && cur.Cwnd > 0 {
+				obs = append(obs, *cur)
+			}
+			cur = nil
+			fields := strings.Fields(trimmed)
+			if len(fields) < 5 || fields[0] != "ESTAB" {
+				continue
+			}
+			peer, err := splitHostPort(fields[4])
+			if err != nil {
+				continue
+			}
+			cur = &core.Observation{Dst: peer}
+			continue
+		}
+		// Indented continuation: TCP info for the current socket.
+		if cur == nil {
+			continue
+		}
+		parseInfoLine(trimmed, cur)
+	}
+	if cur != nil && cur.Cwnd > 0 {
+		obs = append(obs, *cur)
+	}
+	return obs, nil
+}
+
+// isSocketLine reports whether the raw line starts a socket entry (ss prints
+// info lines indented under the socket line).
+func isSocketLine(raw string) bool {
+	if raw == "" {
+		return false
+	}
+	return raw[0] != ' ' && raw[0] != '\t'
+}
+
+// splitHostPort parses ss's ADDR:PORT rendering, handling IPv6 brackets and
+// interface scopes.
+func splitHostPort(s string) (netip.Addr, error) {
+	idx := strings.LastIndex(s, ":")
+	if idx <= 0 {
+		return netip.Addr{}, fmt.Errorf("linux: malformed address %q", s)
+	}
+	host := s[:idx]
+	host = strings.TrimPrefix(host, "[")
+	host = strings.TrimSuffix(host, "]")
+	if pct := strings.IndexByte(host, '%'); pct >= 0 {
+		host = host[:pct]
+	}
+	addr, err := netip.ParseAddr(host)
+	if err != nil {
+		return netip.Addr{}, fmt.Errorf("linux: parse address %q: %w", s, err)
+	}
+	return addr, nil
+}
+
+// parseInfoLine extracts cwnd, rtt, and bytes_acked tokens from an ss TCP
+// info line like:
+//
+//	cubic wscale:7,7 rto:204 rtt:1.5/0.75 mss:1448 cwnd:42 bytes_acked:123
+func parseInfoLine(line string, o *core.Observation) {
+	for _, tok := range strings.Fields(line) {
+		key, val, ok := strings.Cut(tok, ":")
+		if !ok {
+			continue
+		}
+		switch key {
+		case "cwnd":
+			if v, err := strconv.Atoi(val); err == nil && v > 0 {
+				o.Cwnd = v
+			}
+		case "rtt":
+			// rtt:<srtt>/<rttvar> in milliseconds.
+			srtt, _, _ := strings.Cut(val, "/")
+			if v, err := strconv.ParseFloat(srtt, 64); err == nil && v >= 0 {
+				o.RTT = time.Duration(v * float64(time.Millisecond))
+			}
+		case "bytes_acked":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil && v >= 0 {
+				o.BytesAcked = v
+			}
+		}
+	}
+}
+
+// RoutesConfig configures the ip-route programmer.
+type RoutesConfig struct {
+	// Device is the outgoing interface (`dev eth0`). Optional.
+	Device string
+	// Gateway is the next hop (`via 10.0.0.1`). Optional, but most
+	// deployments need it: the route Riptide adds must otherwise mirror
+	// the default route (paper Section III-C).
+	Gateway string
+	// SetInitRwnd, when true, also sets initrwnd so the receive window
+	// can absorb the initial burst (paper Section III-C).
+	SetInitRwnd bool
+}
+
+// Routes implements core.RouteProgrammer with ip(8).
+type Routes struct {
+	runner Runner
+	cfg    RoutesConfig
+}
+
+// NewRoutes returns a Routes programmer.
+func NewRoutes(runner Runner, cfg RoutesConfig) (*Routes, error) {
+	if runner == nil {
+		return nil, errors.New("linux: nil runner")
+	}
+	return &Routes{runner: runner, cfg: cfg}, nil
+}
+
+var _ core.RouteProgrammer = (*Routes)(nil)
+
+// SetCommand returns the argv (without the leading "ip") that SetInitCwnd
+// will execute, mirroring the paper's Figure 8:
+//
+//	ip route replace 10.0.0.127/32 dev eth0 proto static initcwnd 80 via 10.0.0.1
+//
+// `replace` rather than `add` makes reprogramming idempotent.
+func (r *Routes) SetCommand(prefix netip.Prefix, cwnd int) []string {
+	args := []string{"route", "replace", prefix.String()}
+	if r.cfg.Device != "" {
+		args = append(args, "dev", r.cfg.Device)
+	}
+	args = append(args, "proto", "static", "initcwnd", strconv.Itoa(cwnd))
+	if r.cfg.SetInitRwnd {
+		args = append(args, "initrwnd", strconv.Itoa(cwnd))
+	}
+	if r.cfg.Gateway != "" {
+		args = append(args, "via", r.cfg.Gateway)
+	}
+	return args
+}
+
+// DelCommand returns the argv (without the leading "ip") that ClearInitCwnd
+// will execute.
+func (r *Routes) DelCommand(prefix netip.Prefix) []string {
+	return []string{"route", "del", prefix.String(), "proto", "static"}
+}
+
+// SetInitCwnd implements core.RouteProgrammer.
+func (r *Routes) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
+	if cwnd < 1 {
+		return fmt.Errorf("linux: initcwnd %d must be >= 1", cwnd)
+	}
+	if !prefix.IsValid() {
+		return errors.New("linux: invalid prefix")
+	}
+	_, err := r.runner.Run("ip", r.SetCommand(prefix, cwnd)...)
+	return err
+}
+
+// ClearInitCwnd implements core.RouteProgrammer.
+func (r *Routes) ClearInitCwnd(prefix netip.Prefix) error {
+	if !prefix.IsValid() {
+		return errors.New("linux: invalid prefix")
+	}
+	_, err := r.runner.Run("ip", r.DelCommand(prefix)...)
+	return err
+}

@@ -1,0 +1,292 @@
+package linux
+
+import (
+	"errors"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeRunner records commands and returns canned output.
+type fakeRunner struct {
+	out   []byte
+	err   error
+	calls [][]string
+}
+
+func (f *fakeRunner) Run(name string, args ...string) ([]byte, error) {
+	call := append([]string{name}, args...)
+	f.calls = append(f.calls, call)
+	return f.out, f.err
+}
+
+// ssFixture is representative `ss -tin` output: header, IPv4 and IPv6
+// established sockets with info lines, a listening socket, and a socket in
+// TIME-WAIT that must be ignored.
+const ssFixture = `State       Recv-Q Send-Q        Local Address:Port          Peer Address:Port
+ESTAB       0      0                10.0.0.5:44312            10.0.0.127:443
+	 cubic wscale:7,7 rto:204 rtt:1.5/0.75 ato:40 mss:1448 pmtu:1500 rcvmss:536 advmss:1448 cwnd:42 ssthresh:28 bytes_sent:81090 bytes_acked:81091 segs_out:63 segs_in:34 send 324Mbps lastsnd:4 lastrcv:4 lastack:4 pacing_rate 648Mbps delivery_rate 231Mbps delivered:64 app_limited busy:200ms rcv_space:14480 rcv_ssthresh:64088 minrtt:1.2
+ESTAB       0      0           192.168.1.10:55000            203.0.113.9:8443
+	 cubic rto:304 rtt:125.25/12.5 mss:1448 cwnd:80 bytes_acked:123456789 rcv_space:14480
+TIME-WAIT   0      0                10.0.0.5:39000             10.0.0.88:443
+ESTAB       0      0      [2001:db8::1]:4433            [2001:db8::2]:443
+	 cubic rto:204 rtt:10/5 mss:1428 cwnd:20 bytes_acked:555
+ESTAB       0      0                10.0.0.5:50000             10.0.0.99:443
+LISTEN      0      128               0.0.0.0:22                  0.0.0.0:*
+`
+
+func TestParseSS(t *testing.T) {
+	obs, err := ParseSS([]byte(ssFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Fatalf("parsed %d observations, want 3: %+v", len(obs), obs)
+	}
+
+	first := obs[0]
+	if first.Dst != netip.MustParseAddr("10.0.0.127") {
+		t.Errorf("dst = %v", first.Dst)
+	}
+	if first.Cwnd != 42 {
+		t.Errorf("cwnd = %d, want 42", first.Cwnd)
+	}
+	if first.RTT != 1500*time.Microsecond {
+		t.Errorf("rtt = %v, want 1.5ms", first.RTT)
+	}
+	if first.BytesAcked != 81091 {
+		t.Errorf("bytes_acked = %d", first.BytesAcked)
+	}
+
+	second := obs[1]
+	if second.Dst != netip.MustParseAddr("203.0.113.9") {
+		t.Errorf("dst = %v", second.Dst)
+	}
+	if second.Cwnd != 80 || second.RTT != 125250*time.Microsecond {
+		t.Errorf("second = %+v", second)
+	}
+
+	third := obs[2]
+	if third.Dst != netip.MustParseAddr("2001:db8::2") {
+		t.Errorf("ipv6 dst = %v", third.Dst)
+	}
+	if third.Cwnd != 20 {
+		t.Errorf("ipv6 cwnd = %d", third.Cwnd)
+	}
+}
+
+func TestParseSSSkipsNonEstablished(t *testing.T) {
+	obs, err := ParseSS([]byte(ssFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range obs {
+		if o.Dst == netip.MustParseAddr("10.0.0.88") {
+			t.Error("TIME-WAIT socket was parsed")
+		}
+	}
+}
+
+func TestParseSSEstabWithoutInfoSkipped(t *testing.T) {
+	// 10.0.0.99 has no info line -> no cwnd -> must be skipped.
+	obs, _ := ParseSS([]byte(ssFixture))
+	for _, o := range obs {
+		if o.Dst == netip.MustParseAddr("10.0.0.99") {
+			t.Error("socket without TCP info was parsed")
+		}
+	}
+}
+
+func TestParseSSEmpty(t *testing.T) {
+	obs, err := ParseSS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Errorf("obs = %v", obs)
+	}
+}
+
+func TestParseSSGarbage(t *testing.T) {
+	obs, err := ParseSS([]byte("complete\n\tgarbage:::\nnot ss output at all\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 0 {
+		t.Errorf("garbage produced observations: %v", obs)
+	}
+}
+
+func TestParseSSScopedIPv6(t *testing.T) {
+	input := "ESTAB 0 0 [fe80::1%eth0]:22 [fe80::2%eth0]:443\n\t cubic rtt:5/2 cwnd:15 bytes_acked:10\n"
+	obs, err := ParseSS([]byte(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 || obs[0].Dst != netip.MustParseAddr("fe80::2") {
+		t.Errorf("obs = %+v", obs)
+	}
+}
+
+func TestSplitHostPort(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{"10.0.0.1:443", "10.0.0.1", false},
+		{"[::1]:80", "::1", false},
+		{"[fe80::1%eth0]:22", "fe80::1", false},
+		{"nonsense", "", true},
+		{":443", "", true},
+		{"abc:def", "", true},
+	}
+	for _, tt := range tests {
+		got, err := splitHostPort(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("splitHostPort(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != netip.MustParseAddr(tt.want) {
+			t.Errorf("splitHostPort(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestNewSamplerValidation(t *testing.T) {
+	if _, err := NewSampler(nil); err == nil {
+		t.Error("nil runner accepted")
+	}
+}
+
+func TestSamplerRunsSS(t *testing.T) {
+	r := &fakeRunner{out: []byte(ssFixture)}
+	s, err := NewSampler(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs, err := s.SampleConnections()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 3 {
+		t.Errorf("obs = %d", len(obs))
+	}
+	if len(r.calls) != 1 || strings.Join(r.calls[0], " ") != "ss -tin" {
+		t.Errorf("calls = %v", r.calls)
+	}
+}
+
+func TestSamplerPropagatesError(t *testing.T) {
+	r := &fakeRunner{err: errors.New("boom")}
+	s, _ := NewSampler(r)
+	if _, err := s.SampleConnections(); err == nil {
+		t.Error("runner error swallowed")
+	}
+}
+
+func TestNewRoutesValidation(t *testing.T) {
+	if _, err := NewRoutes(nil, RoutesConfig{}); err == nil {
+		t.Error("nil runner accepted")
+	}
+}
+
+func TestSetCommandMatchesPaperFigure8(t *testing.T) {
+	r := &fakeRunner{}
+	routes, err := NewRoutes(r, RoutesConfig{Device: "eth0", Gateway: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(routes.SetCommand(netip.MustParsePrefix("10.0.0.127/32"), 80), " ")
+	want := "route replace 10.0.0.127/32 dev eth0 proto static initcwnd 80 via 10.0.0.1"
+	if got != want {
+		t.Errorf("SetCommand = %q, want %q", got, want)
+	}
+}
+
+func TestSetCommandMinimal(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	got := strings.Join(routes.SetCommand(netip.MustParsePrefix("10.1.0.0/16"), 50), " ")
+	want := "route replace 10.1.0.0/16 proto static initcwnd 50"
+	if got != want {
+		t.Errorf("SetCommand = %q, want %q", got, want)
+	}
+}
+
+func TestSetCommandWithInitRwnd(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{SetInitRwnd: true})
+	got := strings.Join(routes.SetCommand(netip.MustParsePrefix("10.0.0.1/32"), 100), " ")
+	if !strings.Contains(got, "initrwnd 100") {
+		t.Errorf("SetCommand = %q, want initrwnd (paper Section III-C)", got)
+	}
+}
+
+func TestSetInitCwndExecutes(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{Gateway: "10.0.0.1"})
+	if err := routes.SetInitCwnd(netip.MustParsePrefix("10.0.0.127/32"), 80); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.calls) != 1 || r.calls[0][0] != "ip" {
+		t.Errorf("calls = %v", r.calls)
+	}
+}
+
+func TestSetInitCwndValidation(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	if err := routes.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 0); err == nil {
+		t.Error("zero cwnd accepted")
+	}
+	if err := routes.SetInitCwnd(netip.Prefix{}, 10); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+	if len(r.calls) != 0 {
+		t.Error("invalid input reached the runner")
+	}
+}
+
+func TestClearInitCwnd(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	if err := routes.ClearInitCwnd(netip.MustParsePrefix("10.0.0.127/32")); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(r.calls[0], " ")
+	if got != "ip route del 10.0.0.127/32 proto static" {
+		t.Errorf("del command = %q", got)
+	}
+	if err := routes.ClearInitCwnd(netip.Prefix{}); err == nil {
+		t.Error("invalid prefix accepted")
+	}
+}
+
+func TestClearPropagatesError(t *testing.T) {
+	r := &fakeRunner{err: errors.New("no such route")}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	if err := routes.ClearInitCwnd(netip.MustParsePrefix("10.0.0.1/32")); err == nil {
+		t.Error("runner error swallowed")
+	}
+}
+
+func TestExecRunnerRealCommand(t *testing.T) {
+	out, err := ExecRunner{}.Run("echo", "hello")
+	if err != nil {
+		t.Skipf("echo unavailable: %v", err)
+	}
+	if strings.TrimSpace(string(out)) != "hello" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestExecRunnerFailure(t *testing.T) {
+	if _, err := (ExecRunner{Timeout: time.Second}).Run("false"); err == nil {
+		t.Error("failing command returned nil error")
+	}
+	if _, err := (ExecRunner{Timeout: time.Second}).Run("/nonexistent-binary-xyz"); err == nil {
+		t.Error("missing binary returned nil error")
+	}
+}

@@ -1,0 +1,115 @@
+package linux
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// InstalledRoute is one route parsed from `ip route show`, restricted to the
+// fields Riptide cares about.
+type InstalledRoute struct {
+	// Prefix is the route's destination. Host routes printed without a
+	// mask ("10.0.0.127") parse as /32 (or /128 for IPv6).
+	Prefix netip.Prefix
+	// InitCwnd is the route's initcwnd attribute, 0 when absent.
+	InitCwnd int
+	// Proto is the route's protocol label ("static", "kernel", ...).
+	Proto string
+	// Device and Gateway mirror the dev/via attributes when present.
+	Device  string
+	Gateway string
+}
+
+// ParseIPRouteShow parses `ip route show` output. Lines that do not look
+// like routes are skipped rather than failing the whole listing, matching
+// how defensive a production agent must be against iproute2 variations.
+func ParseIPRouteShow(out []byte) []InstalledRoute {
+	var routes []InstalledRoute
+	for _, line := range strings.Split(string(out), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		prefix, ok := parseRouteTarget(fields[0])
+		if !ok {
+			continue
+		}
+		r := InstalledRoute{Prefix: prefix}
+		for i := 1; i+1 < len(fields); i++ {
+			key, val := fields[i], fields[i+1]
+			switch key {
+			case "proto":
+				r.Proto = val
+				i++
+			case "dev":
+				r.Device = val
+				i++
+			case "via":
+				r.Gateway = val
+				i++
+			case "initcwnd":
+				if v, err := strconv.Atoi(val); err == nil && v > 0 {
+					r.InitCwnd = v
+				}
+				i++
+			}
+		}
+		routes = append(routes, r)
+	}
+	return routes
+}
+
+// parseRouteTarget parses the leading destination token of an ip-route line:
+// "default", "10.0.0.0/24", or a bare host address.
+func parseRouteTarget(tok string) (netip.Prefix, bool) {
+	if tok == "default" {
+		return netip.PrefixFrom(netip.IPv4Unspecified(), 0), true
+	}
+	if p, err := netip.ParsePrefix(tok); err == nil {
+		return p.Masked(), true
+	}
+	if a, err := netip.ParseAddr(tok); err == nil {
+		return netip.PrefixFrom(a, a.BitLen()), true
+	}
+	return netip.Prefix{}, false
+}
+
+// ListRiptideRoutes returns the routes a previous Riptide incarnation left
+// behind: proto-static routes that carry an initcwnd attribute.
+func (r *Routes) ListRiptideRoutes() ([]InstalledRoute, error) {
+	out, err := r.runner.Run("ip", "route", "show", "proto", "static")
+	if err != nil {
+		return nil, fmt.Errorf("linux: list routes: %w", err)
+	}
+	var mine []InstalledRoute
+	for _, route := range ParseIPRouteShow(out) {
+		if route.InitCwnd > 0 {
+			mine = append(mine, route)
+		}
+	}
+	return mine, nil
+}
+
+// Reconcile removes every leftover Riptide route (static + initcwnd) from a
+// previous run, returning how many were withdrawn. A restarting agent calls
+// this before its first Tick so stale aggressive windows from before a crash
+// or reboot cannot outlive the observations that justified them.
+func (r *Routes) Reconcile() (removed int, err error) {
+	stale, err := r.ListRiptideRoutes()
+	if err != nil {
+		return 0, err
+	}
+	var firstErr error
+	for _, route := range stale {
+		if err := r.ClearInitCwnd(route.Prefix); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("linux: clear stale %v: %w", route.Prefix, err)
+			}
+			continue
+		}
+		removed++
+	}
+	return removed, firstErr
+}

@@ -1,0 +1,182 @@
+package linux
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const ipRouteFixture = `default via 10.0.0.1 dev eth0 proto dhcp metric 100
+10.0.0.0/24 dev eth0 proto kernel scope link src 10.0.0.5
+10.0.0.127 dev eth0 proto static initcwnd 80 via 10.0.0.1
+10.1.0.0/16 dev eth0 proto static initcwnd 50
+192.168.9.9 via 10.0.0.1 dev eth0 proto static
+garbage line that is not a route
+2001:db8::/32 dev eth0 proto static initcwnd 40
+`
+
+func TestParseIPRouteShow(t *testing.T) {
+	routes := ParseIPRouteShow([]byte(ipRouteFixture))
+	if len(routes) != 6 {
+		t.Fatalf("parsed %d routes, want 6: %+v", len(routes), routes)
+	}
+
+	byPrefix := map[string]InstalledRoute{}
+	for _, r := range routes {
+		byPrefix[r.Prefix.String()] = r
+	}
+
+	def, ok := byPrefix["0.0.0.0/0"]
+	if !ok || def.Proto != "dhcp" || def.Gateway != "10.0.0.1" {
+		t.Errorf("default route = %+v", def)
+	}
+
+	host, ok := byPrefix["10.0.0.127/32"]
+	if !ok {
+		t.Fatal("bare host route missing (should parse as /32)")
+	}
+	if host.InitCwnd != 80 || host.Proto != "static" || host.Gateway != "10.0.0.1" || host.Device != "eth0" {
+		t.Errorf("host route = %+v", host)
+	}
+
+	prefix, ok := byPrefix["10.1.0.0/16"]
+	if !ok || prefix.InitCwnd != 50 {
+		t.Errorf("prefix route = %+v", prefix)
+	}
+
+	plain, ok := byPrefix["192.168.9.9/32"]
+	if !ok || plain.InitCwnd != 0 {
+		t.Errorf("plain static route = %+v", plain)
+	}
+
+	v6, ok := byPrefix["2001:db8::/32"]
+	if !ok || v6.InitCwnd != 40 {
+		t.Errorf("ipv6 route = %+v", v6)
+	}
+}
+
+func TestParseIPRouteShowEmpty(t *testing.T) {
+	if routes := ParseIPRouteShow(nil); len(routes) != 0 {
+		t.Errorf("routes = %v", routes)
+	}
+	if routes := ParseIPRouteShow([]byte("\n\n")); len(routes) != 0 {
+		t.Errorf("routes = %v", routes)
+	}
+}
+
+func TestParseIPRouteShowTruncatedAttrs(t *testing.T) {
+	// Trailing key with no value must not panic or invent data.
+	routes := ParseIPRouteShow([]byte("10.0.0.1 proto static initcwnd\n"))
+	if len(routes) != 1 || routes[0].InitCwnd != 0 {
+		t.Errorf("routes = %+v", routes)
+	}
+}
+
+func TestListRiptideRoutes(t *testing.T) {
+	r := &fakeRunner{out: []byte(ipRouteFixture)}
+	routes, err := NewRoutes(r, RoutesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mine, err := routes.ListRiptideRoutes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// static + initcwnd: 10.0.0.127/32, 10.1.0.0/16, 2001:db8::/32.
+	if len(mine) != 3 {
+		t.Fatalf("riptide routes = %+v", mine)
+	}
+	if got := strings.Join(r.calls[0], " "); got != "ip route show proto static" {
+		t.Errorf("list command = %q", got)
+	}
+}
+
+func TestListRiptideRoutesError(t *testing.T) {
+	r := &fakeRunner{err: errors.New("boom")}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	if _, err := routes.ListRiptideRoutes(); err == nil {
+		t.Error("runner error swallowed")
+	}
+}
+
+// reconcileRunner serves the listing then records deletions.
+type reconcileRunner struct {
+	listing []byte
+	calls   [][]string
+	failOn  string
+}
+
+func (f *reconcileRunner) Run(name string, args ...string) ([]byte, error) {
+	call := append([]string{name}, args...)
+	f.calls = append(f.calls, call)
+	joined := strings.Join(call, " ")
+	if f.failOn != "" && strings.Contains(joined, f.failOn) {
+		return nil, errors.New("injected failure")
+	}
+	if strings.Contains(joined, "route show") {
+		return f.listing, nil
+	}
+	return nil, nil
+}
+
+func TestReconcileRemovesStaleRoutes(t *testing.T) {
+	r := &reconcileRunner{listing: []byte(ipRouteFixture)}
+	routes, err := NewRoutes(r, RoutesConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed, err := routes.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 3 {
+		t.Errorf("removed = %d, want 3", removed)
+	}
+	dels := 0
+	for _, call := range r.calls {
+		if len(call) > 2 && call[1] == "route" && call[2] == "del" {
+			dels++
+		}
+	}
+	if dels != 3 {
+		t.Errorf("delete commands = %d, want 3", dels)
+	}
+}
+
+func TestReconcilePartialFailure(t *testing.T) {
+	r := &reconcileRunner{listing: []byte(ipRouteFixture), failOn: "10.1.0.0/16"}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	removed, err := routes.Reconcile()
+	if err == nil {
+		t.Error("deletion failure swallowed")
+	}
+	if removed != 2 {
+		t.Errorf("removed = %d, want 2 (the others must still be attempted)", removed)
+	}
+}
+
+func TestParseRouteTarget(t *testing.T) {
+	tests := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{"default", "0.0.0.0/0", true},
+		{"10.0.0.0/24", "10.0.0.0/24", true},
+		{"10.0.0.9", "10.0.0.9/32", true},
+		{"::1", "::1/128", true},
+		{"10.0.0.9/8", "10.0.0.0/8", true}, // masked
+		{"unreachable", "", false},
+		{"", "", false},
+	}
+	for _, tt := range tests {
+		got, ok := parseRouteTarget(tt.in)
+		if ok != tt.ok {
+			t.Errorf("parseRouteTarget(%q) ok = %v, want %v", tt.in, ok, tt.ok)
+			continue
+		}
+		if ok && got.String() != tt.want {
+			t.Errorf("parseRouteTarget(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package model implements the paper's closed-form transfer model
+// (Section II-B): how many round trips an idealized TCP connection needs to
+// deliver a file of a given size for a given initial congestion window.
+//
+// Model assumptions, exactly as stated in the paper: zero serialization
+// delay, no delayed ACKs, no loss, and no flow-control bottleneck. Every one
+// of those effects would only lengthen real transfers, so the model is a
+// lower bound that isolates the initcwnd effect.
+package model
+
+import (
+	"fmt"
+	"time"
+)
+
+// Params configures the analytic model.
+type Params struct {
+	// MSS is the payload bytes per segment. Must be positive.
+	MSS int
+	// InitCwnd is the initial congestion window in segments. Must be positive.
+	InitCwnd int
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	if p.MSS <= 0 {
+		return fmt.Errorf("model: MSS must be positive, got %d", p.MSS)
+	}
+	if p.InitCwnd <= 0 {
+		return fmt.Errorf("model: InitCwnd must be positive, got %d", p.InitCwnd)
+	}
+	return nil
+}
+
+// Segments returns the number of MSS-sized segments needed for fileBytes.
+func Segments(fileBytes int64, mss int) int64 {
+	if fileBytes <= 0 {
+		return 0
+	}
+	m := int64(mss)
+	return (fileBytes + m - 1) / m
+}
+
+// RTTsToComplete returns the number of round trips an ideal slow-starting
+// sender needs to deliver fileBytes: the window starts at InitCwnd segments
+// and doubles every RTT (lossless slow start), so after r rounds
+// InitCwnd*(2^r - 1) segments have been delivered.
+//
+// A file that fits entirely in the initial window costs exactly one RTT; a
+// zero-byte file costs zero.
+func RTTsToComplete(fileBytes int64, p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	segs := Segments(fileBytes, p.MSS)
+	if segs == 0 {
+		return 0, nil
+	}
+	window := int64(p.InitCwnd)
+	var sent int64
+	rtts := 0
+	for sent < segs {
+		sent += window
+		window *= 2
+		rtts++
+	}
+	return rtts, nil
+}
+
+// TransferTime returns the wall-clock time the model predicts for delivering
+// fileBytes over a path with the given round-trip time. When handshake is
+// true, one extra RTT is charged for connection establishment (the paper's
+// probe measurements reuse idle connections when available, so the default
+// experiments exclude it).
+func TransferTime(fileBytes int64, rtt time.Duration, p Params, handshake bool) (time.Duration, error) {
+	rtts, err := RTTsToComplete(fileBytes, p)
+	if err != nil {
+		return 0, err
+	}
+	if handshake {
+		rtts++
+	}
+	return time.Duration(rtts) * rtt, nil
+}
+
+// Gain returns the fractional reduction in round trips achieved by using
+// initcwnd `candidate` instead of `baseline` for a file of fileBytes:
+// (RTTs_baseline - RTTs_candidate) / RTTs_baseline. Zero-byte files have
+// zero gain.
+func Gain(fileBytes int64, mss, baseline, candidate int) (float64, error) {
+	base, err := RTTsToComplete(fileBytes, Params{MSS: mss, InitCwnd: baseline})
+	if err != nil {
+		return 0, fmt.Errorf("baseline: %w", err)
+	}
+	cand, err := RTTsToComplete(fileBytes, Params{MSS: mss, InitCwnd: candidate})
+	if err != nil {
+		return 0, fmt.Errorf("candidate: %w", err)
+	}
+	if base == 0 {
+		return 0, nil
+	}
+	return float64(base-cand) / float64(base), nil
+}
+
+// MaxFirstRTTBytes returns the largest file that completes in a single round
+// trip for the given parameters.
+func MaxFirstRTTBytes(p Params) (int64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return int64(p.InitCwnd) * int64(p.MSS), nil
+}

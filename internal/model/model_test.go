@@ -1,0 +1,306 @@
+package model
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"riptide/internal/workload"
+)
+
+func TestParamsValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Params
+		wantErr bool
+	}{
+		{"valid", Params{MSS: 1448, InitCwnd: 10}, false},
+		{"zero mss", Params{MSS: 0, InitCwnd: 10}, true},
+		{"negative mss", Params{MSS: -1, InitCwnd: 10}, true},
+		{"zero iw", Params{MSS: 1448, InitCwnd: 0}, true},
+		{"negative iw", Params{MSS: 1448, InitCwnd: -5}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := tt.p.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestSegments(t *testing.T) {
+	tests := []struct {
+		bytes int64
+		mss   int
+		want  int64
+	}{
+		{0, 1448, 0},
+		{-5, 1448, 0},
+		{1, 1448, 1},
+		{1448, 1448, 1},
+		{1449, 1448, 2},
+		{14480, 1448, 10},
+		{100 * 1024, 1448, 71},
+	}
+	for _, tt := range tests {
+		if got := Segments(tt.bytes, tt.mss); got != tt.want {
+			t.Errorf("Segments(%d, %d) = %d, want %d", tt.bytes, tt.mss, got, tt.want)
+		}
+	}
+}
+
+func TestRTTsToComplete(t *testing.T) {
+	tests := []struct {
+		name  string
+		bytes int64
+		iw    int
+		want  int
+	}{
+		{"zero bytes", 0, 10, 0},
+		{"fits in IW10", 14480, 10, 1},
+		{"one byte over IW10", 14481, 10, 2},
+		// IW10 slow start delivers 10,30,70,150,... cumulative segments.
+		{"needs 3 rounds", 70 * 1448, 10, 3},
+		{"needs 4 rounds", 71 * 1448, 10, 4},
+		{"100KB at IW10", 100 * 1024, 10, 4}, // 71 segments > 70
+		{"100KB at IW25", 100 * 1024, 25, 2}, // 25+50=75 >= 71
+		{"100KB at IW50", 100 * 1024, 50, 2},
+		{"100KB at IW100", 100 * 1024, 100, 1},
+		{"50KB at IW10", 50 * 1024, 10, 3}, // 36 segs; 10+20=30 < 36 <= 70
+		{"50KB at IW50", 50 * 1024, 50, 1},
+		{"10KB any IW", 10 * 1024, 10, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := RTTsToComplete(tt.bytes, Params{MSS: 1448, InitCwnd: tt.iw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tt.want {
+				t.Errorf("RTTsToComplete(%d, iw=%d) = %d, want %d", tt.bytes, tt.iw, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestRTTsToCompleteInvalidParams(t *testing.T) {
+	if _, err := RTTsToComplete(1000, Params{MSS: 0, InitCwnd: 10}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	p := Params{MSS: 1448, InitCwnd: 10}
+	got, err := TransferTime(100*1024, 125*time.Millisecond, p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 125 * time.Millisecond; got != want {
+		t.Errorf("TransferTime = %v, want %v", got, want)
+	}
+	withHS, err := TransferTime(100*1024, 125*time.Millisecond, p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 5 * 125 * time.Millisecond; withHS != want {
+		t.Errorf("TransferTime with handshake = %v, want %v", withHS, want)
+	}
+}
+
+func TestGain(t *testing.T) {
+	// 100KB: IW10 needs 4 RTTs, IW100 needs 1 -> gain 0.75.
+	g, err := Gain(100*1024, 1448, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0.75 {
+		t.Errorf("Gain = %v, want 0.75", g)
+	}
+	// Zero-byte files: no gain.
+	g, err = Gain(0, 1448, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Errorf("Gain(0 bytes) = %v, want 0", g)
+	}
+}
+
+func TestGainInvalid(t *testing.T) {
+	if _, err := Gain(1000, 1448, 0, 100); err == nil {
+		t.Error("invalid baseline accepted")
+	}
+	if _, err := Gain(1000, 1448, 10, 0); err == nil {
+		t.Error("invalid candidate accepted")
+	}
+}
+
+func TestMaxFirstRTTBytes(t *testing.T) {
+	got, err := MaxFirstRTTBytes(Params{MSS: 1448, InitCwnd: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 14480 {
+		t.Errorf("MaxFirstRTTBytes = %d, want 14480", got)
+	}
+	if _, err := MaxFirstRTTBytes(Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+// TestPaperFigure3Statistics reproduces the two headline numbers the paper
+// reads off Figure 3: raising initcwnd from 10 to 50 lets ~31% more files
+// complete in the first RTT, and at initcwnd 100 all but ~15% of files
+// complete in the first RTT.
+func TestPaperFigure3Statistics(t *testing.T) {
+	rng := workload.NewRand(42)
+	sizes := workload.CDNFileSizes()
+	const n = 100000
+	firstRTT := map[int]int{10: 0, 50: 0, 100: 0}
+	for i := 0; i < n; i++ {
+		f := int64(sizes.Sample(rng))
+		for iw := range firstRTT {
+			rtts, err := RTTsToComplete(f, Params{MSS: workload.DefaultMSS, InitCwnd: iw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rtts <= 1 {
+				firstRTT[iw]++
+			}
+		}
+	}
+	f10 := float64(firstRTT[10]) / n
+	f50 := float64(firstRTT[50]) / n
+	f100 := float64(firstRTT[100]) / n
+	if delta := f50 - f10; delta < 0.20 || delta > 0.42 {
+		t.Errorf("IW50 first-RTT improvement = %v, paper reports ~0.31", delta)
+	}
+	if miss := 1 - f100; miss < 0.05 || miss > 0.30 {
+		t.Errorf("IW100 miss fraction = %v, paper reports ~0.15", miss)
+	}
+	if !(f10 < f50 && f50 < f100) {
+		t.Errorf("first-RTT fractions not ordered: %v %v %v", f10, f50, f100)
+	}
+}
+
+// TestPaperFigure4Band verifies the gain band: improvements concentrate
+// between 15KB and 1MB and vanish for very large files.
+func TestPaperFigure4Band(t *testing.T) {
+	mss := workload.DefaultMSS
+	// Below the default window: no gain possible.
+	g, err := Gain(10*1024, mss, 10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 0 {
+		t.Errorf("gain for 10KB = %v, want 0", g)
+	}
+	// In the band: significant gain.
+	g, _ = Gain(100*1024, mss, 10, 100)
+	if g < 0.5 {
+		t.Errorf("gain for 100KB = %v, want >= 0.5", g)
+	}
+	// Far above the band: diminishing gain.
+	g, _ = Gain(64<<20, mss, 10, 100)
+	if g > 0.35 {
+		t.Errorf("gain for 64MB = %v, want modest (< 0.35)", g)
+	}
+}
+
+// Property: more aggressive initial windows never need more RTTs.
+func TestRTTsMonotoneInInitCwndProperty(t *testing.T) {
+	f := func(bytesRaw uint32, iwRaw uint8) bool {
+		fileBytes := int64(bytesRaw)
+		iw := int(iwRaw%200) + 1
+		a, err1 := RTTsToComplete(fileBytes, Params{MSS: 1448, InitCwnd: iw})
+		b, err2 := RTTsToComplete(fileBytes, Params{MSS: 1448, InitCwnd: iw + 1})
+		return err1 == nil && err2 == nil && b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: larger files never need fewer RTTs.
+func TestRTTsMonotoneInSizeProperty(t *testing.T) {
+	f := func(bytesRaw uint32, extra uint16, iwRaw uint8) bool {
+		iw := int(iwRaw%200) + 1
+		p := Params{MSS: 1448, InitCwnd: iw}
+		a, err1 := RTTsToComplete(int64(bytesRaw), p)
+		b, err2 := RTTsToComplete(int64(bytesRaw)+int64(extra), p)
+		return err1 == nil && err2 == nil && b >= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gain is always in [0, 1) when candidate >= baseline.
+func TestGainBoundedProperty(t *testing.T) {
+	f := func(bytesRaw uint32, baseRaw, candRaw uint8) bool {
+		base := int(baseRaw%100) + 1
+		cand := base + int(candRaw%100)
+		g, err := Gain(int64(bytesRaw), 1448, base, cand)
+		return err == nil && g >= 0 && g < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	rounds, err := Timeline(100*1024, Params{MSS: 1448, InitCwnd: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 4 {
+		t.Fatalf("rounds = %d, want 4", len(rounds))
+	}
+	wantWindows := []int{10, 20, 40, 80}
+	var cum int64
+	for i, r := range rounds {
+		if r.Number != i+1 {
+			t.Errorf("round %d numbered %d", i, r.Number)
+		}
+		if r.WindowSegments != wantWindows[i] {
+			t.Errorf("round %d window = %d, want %d", i, r.WindowSegments, wantWindows[i])
+		}
+		cum += r.SentSegments
+		if r.CumulativeSegments != cum {
+			t.Errorf("round %d cumulative = %d, want %d", i, r.CumulativeSegments, cum)
+		}
+	}
+	if cum != 71 {
+		t.Errorf("total segments = %d, want 71", cum)
+	}
+	if _, err := Timeline(1000, Params{}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestTimelineZeroBytes(t *testing.T) {
+	rounds, err := Timeline(0, Params{MSS: 1448, InitCwnd: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 0 {
+		t.Errorf("rounds = %v, want none", rounds)
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	out, err := RenderTimeline(20*1448, 125*time.Millisecond, 1448, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"20 segments", "initcwnd 10", "initcwnd 25", "saves 1 RTT", "125ms"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := RenderTimeline(1000, time.Second, 0, 10, 25); err == nil {
+		t.Error("invalid mss accepted")
+	}
+}

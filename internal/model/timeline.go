@@ -1,0 +1,81 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Round is one RTT of an idealized transfer: which segments went out and
+// how the window grew — the data behind the paper's Figure 1 illustration.
+type Round struct {
+	// Number is 1-based.
+	Number int
+	// WindowSegments is the congestion window during this round.
+	WindowSegments int
+	// SentSegments is how many segments actually went out (window-capped
+	// and remaining-capped).
+	SentSegments int64
+	// CumulativeSegments counts everything delivered through this round.
+	CumulativeSegments int64
+}
+
+// Timeline expands a transfer into its per-round schedule under lossless
+// slow start, for illustration and debugging.
+func Timeline(fileBytes int64, p Params) ([]Round, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	segs := Segments(fileBytes, p.MSS)
+	var rounds []Round
+	window := int64(p.InitCwnd)
+	var sent int64
+	for n := 1; sent < segs; n++ {
+		burst := window
+		if rem := segs - sent; burst > rem {
+			burst = rem
+		}
+		sent += burst
+		rounds = append(rounds, Round{
+			Number:             n,
+			WindowSegments:     int(window),
+			SentSegments:       burst,
+			CumulativeSegments: sent,
+		})
+		window *= 2
+	}
+	return rounds, nil
+}
+
+// RenderTimeline formats a side-by-side Figure-1-style comparison of the
+// same file transferred under two initial windows over the given RTT.
+func RenderTimeline(fileBytes int64, rtt time.Duration, mss int, iwA, iwB int) (string, error) {
+	ta, err := Timeline(fileBytes, Params{MSS: mss, InitCwnd: iwA})
+	if err != nil {
+		return "", err
+	}
+	tb, err := Timeline(fileBytes, Params{MSS: mss, InitCwnd: iwB})
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d-byte file (%d segments), RTT %v\n",
+		fileBytes, Segments(fileBytes, mss), rtt)
+	render := func(label string, rounds []Round) {
+		fmt.Fprintf(&b, "  initcwnd %s:\n", label)
+		for _, r := range rounds {
+			fmt.Fprintf(&b, "    RTT %d: window %-4d sent %-4d (total %d/%d)\n",
+				r.Number, r.WindowSegments, r.SentSegments,
+				r.CumulativeSegments, Segments(fileBytes, mss))
+		}
+		fmt.Fprintf(&b, "    completes at %v\n", time.Duration(len(rounds))*rtt)
+	}
+	render(fmt.Sprintf("%d", iwA), ta)
+	render(fmt.Sprintf("%d", iwB), tb)
+	saved := len(ta) - len(tb)
+	if saved > 0 {
+		fmt.Fprintf(&b, "  initcwnd %d saves %d RTT(s) = %v\n",
+			iwB, saved, time.Duration(saved)*rtt)
+	}
+	return b.String(), nil
+}

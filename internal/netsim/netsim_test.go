@@ -1,0 +1,646 @@
+package netsim
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"riptide/internal/eventsim"
+	"riptide/internal/kernel"
+	"riptide/internal/tcpsim"
+)
+
+var (
+	hostA = netip.MustParseAddr("10.0.0.1")
+	hostB = netip.MustParseAddr("10.0.0.2")
+)
+
+func newNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	n, err := NewNetwork(Config{Engine: eventsim.NewEngine(), Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// twoHosts builds a two-host network with a lossless 100ms path.
+func twoHosts(t *testing.T, cfg PathConfig) *Network {
+	t.Helper()
+	n := newNet(t, 1)
+	if _, err := n.AddHost(hostA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost(hostB); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.RTT == 0 {
+		cfg.RTT = 100 * time.Millisecond
+	}
+	if err := n.SetBidiPath(hostA, hostB, cfg); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(Config{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := NewNetwork(Config{Engine: eventsim.NewEngine(), MSS: -1}); err == nil {
+		t.Error("negative MSS accepted")
+	}
+}
+
+func TestAddHostDuplicate(t *testing.T) {
+	n := newNet(t, 1)
+	if _, err := n.AddHost(hostA); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddHost(hostA); err == nil {
+		t.Error("duplicate host accepted")
+	}
+}
+
+func TestSetPathValidation(t *testing.T) {
+	n := newNet(t, 1)
+	_, _ = n.AddHost(hostA)
+	_, _ = n.AddHost(hostB)
+	bad := []PathConfig{
+		{RTT: 0},
+		{RTT: -time.Second},
+		{RTT: time.Second, LossRate: 1},
+		{RTT: time.Second, LossRate: -0.1},
+		{RTT: time.Second, CapacitySegments: -1},
+		{RTT: time.Second, CongestionLossFactor: -1},
+	}
+	for i, cfg := range bad {
+		if err := n.SetPath(hostA, hostB, cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := n.SetPath(netip.MustParseAddr("1.1.1.1"), hostB, PathConfig{RTT: time.Second}); err == nil {
+		t.Error("unknown src accepted")
+	}
+	if err := n.SetPath(hostA, netip.MustParseAddr("1.1.1.1"), PathConfig{RTT: time.Second}); err == nil {
+		t.Error("unknown dst accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	n := newNet(t, 1)
+	_, _ = n.AddHost(hostA)
+	_, _ = n.AddHost(hostB)
+	if _, err := n.Open(hostA, hostB); err == nil {
+		t.Error("open without path accepted")
+	}
+	if _, err := n.Open(netip.MustParseAddr("9.9.9.9"), hostB); err == nil {
+		t.Error("open from unknown host accepted")
+	}
+}
+
+func TestOpenUsesKernelDefaultIW(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	c, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window().InitCwnd() != kernel.DefaultInitCwnd {
+		t.Errorf("initcwnd = %d, want kernel default", c.Window().InitCwnd())
+	}
+}
+
+func TestOpenHonoursRiptideRoute(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	h, err := n.Host(hostA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// What the Riptide agent does: install a /32 with learned initcwnd.
+	p := netip.PrefixFrom(hostB, 32)
+	if err := h.AddRoute(kernel.Route{Prefix: p, InitCwnd: 80, Proto: "static"}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window().InitCwnd() != 80 {
+		t.Errorf("initcwnd = %d, want 80 from route", c.Window().InitCwnd())
+	}
+}
+
+func TestTransferLossless(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res TransferResult
+	gotDone := false
+	// 100KB = 71 segments at 1448B; IW10 lossless slow start: 4 rounds.
+	if err := c.Transfer(100*1024, func(r TransferResult) { res = r; gotDone = true }); err != nil {
+		t.Fatal(err)
+	}
+	n.Engine().Run()
+	if !gotDone {
+		t.Fatal("transfer never completed")
+	}
+	if res.Rounds != 4 {
+		t.Errorf("rounds = %d, want 4", res.Rounds)
+	}
+	if res.Elapsed != 400*time.Millisecond {
+		t.Errorf("elapsed = %v, want 400ms", res.Elapsed)
+	}
+	if res.Retransmits != 0 {
+		t.Errorf("retransmits = %d, want 0", res.Retransmits)
+	}
+	if n.CompletedTransfers() != 1 {
+		t.Errorf("CompletedTransfers = %d", n.CompletedTransfers())
+	}
+}
+
+func TestTransferWithLargeIWFinishesFaster(t *testing.T) {
+	run := func(iw int) time.Duration {
+		n := twoHosts(t, PathConfig{RTT: 120 * time.Millisecond})
+		h, _ := n.Host(hostA)
+		if iw != 0 {
+			_ = h.AddRoute(kernel.Route{Prefix: netip.PrefixFrom(hostB, 32), InitCwnd: iw})
+		}
+		c, err := n.Open(hostA, hostB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var elapsed time.Duration
+		_ = c.Transfer(100*1024, func(r TransferResult) { elapsed = r.Elapsed })
+		n.Engine().Run()
+		return elapsed
+	}
+	def, riptide := run(0), run(100)
+	if riptide >= def {
+		t.Errorf("riptide elapsed %v >= default %v", riptide, def)
+	}
+	if riptide != 120*time.Millisecond {
+		t.Errorf("IW100 elapsed = %v, want single RTT", riptide)
+	}
+}
+
+func TestZeroByteTransfer(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	c, _ := n.Open(hostA, hostB)
+	called := false
+	if err := c.Transfer(0, func(r TransferResult) {
+		called = true
+		if r.Rounds != 0 || r.Bytes != 0 {
+			t.Errorf("zero transfer result = %+v", r)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("zero-byte transfer callback not invoked synchronously")
+	}
+}
+
+func TestTransferOnClosedConn(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	c, _ := n.Open(hostA, hostB)
+	c.Close()
+	if err := c.Transfer(1000, nil); err != ErrConnClosed {
+		t.Errorf("err = %v, want ErrConnClosed", err)
+	}
+}
+
+func TestCloseIdempotentAndUnregisters(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	h, _ := n.Host(hostA)
+	c, _ := n.Open(hostA, hostB)
+	if h.ConnCount() != 1 {
+		t.Fatalf("ConnCount = %d", h.ConnCount())
+	}
+	c.Close()
+	c.Close()
+	if h.ConnCount() != 0 {
+		t.Errorf("ConnCount after close = %d", h.ConnCount())
+	}
+	if !c.Closed() {
+		t.Error("Closed() = false")
+	}
+}
+
+func TestTransfersSerializeFIFO(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	var order []int
+	_ = c.Transfer(14480, func(TransferResult) { order = append(order, 1) })
+	_ = c.Transfer(14480, func(TransferResult) { order = append(order, 2) })
+	if c.Idle() {
+		t.Error("conn should not be idle with queued transfers")
+	}
+	n.Engine().Run()
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("completion order = %v", order)
+	}
+	if !c.Idle() {
+		t.Error("conn should be idle after transfers drain")
+	}
+}
+
+func TestSnapshotReflectsProgress(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	_ = c.Transfer(100*1024, nil)
+	n.Engine().Run()
+	snap := c.Snapshot()
+	if snap.Cwnd <= kernel.DefaultInitCwnd {
+		t.Errorf("cwnd = %d, want grown beyond initial", snap.Cwnd)
+	}
+	if snap.BytesAcked < 100*1024 {
+		t.Errorf("BytesAcked = %d, want >= 100KB", snap.BytesAcked)
+	}
+	if snap.Dst != hostB || snap.Src != hostA {
+		t.Errorf("snapshot addrs = %v -> %v", snap.Src, snap.Dst)
+	}
+	if snap.RTT != 100*time.Millisecond {
+		t.Errorf("snapshot RTT = %v", snap.RTT)
+	}
+}
+
+func TestKernelSeesConnection(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	h, _ := n.Host(hostA)
+	c, _ := n.Open(hostA, hostB)
+	_ = c
+	snaps := h.Connections()
+	if len(snaps) != 1 {
+		t.Fatalf("kernel sees %d conns, want 1", len(snaps))
+	}
+	if snaps[0].Cwnd != kernel.DefaultInitCwnd {
+		t.Errorf("kernel-observed cwnd = %d", snaps[0].Cwnd)
+	}
+}
+
+func TestRandomLossCausesRetransmits(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond, LossRate: 0.05})
+	c, _ := n.Open(hostA, hostB)
+	var res TransferResult
+	_ = c.Transfer(1<<20, func(r TransferResult) { res = r })
+	n.Engine().Run()
+	if res.Retransmits == 0 {
+		t.Error("5% loss on 1MB transfer produced no retransmits")
+	}
+	if res.Bytes < 1<<20 {
+		t.Errorf("delivered bytes = %d, want >= 1MB", res.Bytes)
+	}
+	if c.Window().LossEvents() == 0 {
+		t.Error("window never saw a loss event")
+	}
+}
+
+func TestLossSlowsTransfer(t *testing.T) {
+	elapsed := func(loss float64, seed int64) time.Duration {
+		engine := eventsim.NewEngine()
+		n, err := NewNetwork(Config{Engine: engine, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 100 * time.Millisecond, LossRate: loss})
+		c, _ := n.Open(hostA, hostB)
+		var out time.Duration
+		_ = c.Transfer(512*1024, func(r TransferResult) { out = r.Elapsed })
+		engine.Run()
+		return out
+	}
+	if clean, lossy := elapsed(0, 7), elapsed(0.08, 7); lossy <= clean {
+		t.Errorf("lossy transfer (%v) not slower than clean (%v)", lossy, clean)
+	}
+}
+
+func TestCongestionLossWhenOverCapacity(t *testing.T) {
+	// Tiny capacity: concurrent large transfers must overload the path.
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond, CapacitySegments: 20})
+	var totalRetrans int64
+	for i := 0; i < 8; i++ {
+		c, err := n.Open(hostA, hostB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = c.Transfer(512*1024, func(r TransferResult) { totalRetrans += r.Retransmits })
+	}
+	n.Engine().Run()
+	if totalRetrans == 0 {
+		t.Error("overloaded path produced no congestion loss")
+	}
+}
+
+func TestNoCongestionLossUnderCapacity(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond, CapacitySegments: 100000})
+	c, _ := n.Open(hostA, hostB)
+	var res TransferResult
+	_ = c.Transfer(100*1024, func(r TransferResult) { res = r })
+	n.Engine().Run()
+	if res.Retransmits != 0 {
+		t.Errorf("retransmits = %d under ample capacity", res.Retransmits)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	run := func() (time.Duration, int64) {
+		engine := eventsim.NewEngine()
+		n, _ := NewNetwork(Config{Engine: engine, Seed: 42})
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 80 * time.Millisecond, LossRate: 0.03})
+		c, _ := n.Open(hostA, hostB)
+		var res TransferResult
+		_ = c.Transfer(1<<20, func(r TransferResult) { res = r })
+		engine.Run()
+		return res.Elapsed, res.Retransmits
+	}
+	e1, r1 := run()
+	e2, r2 := run()
+	if e1 != e2 || r1 != r2 {
+		t.Errorf("replay diverged: (%v,%d) vs (%v,%d)", e1, r1, e2, r2)
+	}
+}
+
+func TestRenoAlgorithmOption(t *testing.T) {
+	engine := eventsim.NewEngine()
+	n, err := NewNetwork(Config{Engine: engine, Algorithm: tcpsim.NewReno()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = n.AddHost(hostA)
+	_, _ = n.AddHost(hostB)
+	_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	if c.Window().Algorithm().Name() != "reno" {
+		t.Errorf("algorithm = %q", c.Window().Algorithm().Name())
+	}
+}
+
+func TestPathRTT(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 150 * time.Millisecond})
+	rtt, err := n.PathRTT(hostA, hostB)
+	if err != nil || rtt != 150*time.Millisecond {
+		t.Errorf("PathRTT = %v, %v", rtt, err)
+	}
+	if _, err := n.PathRTT(hostA, netip.MustParseAddr("8.8.8.8")); err == nil {
+		t.Error("missing path accepted")
+	}
+}
+
+// Property: lossless transfers complete in exactly the analytic slow-start
+// round count (ties netsim to internal/model).
+func TestLosslessMatchesModelProperty(t *testing.T) {
+	f := func(kb uint16, iwRaw uint8) bool {
+		bytes := int64(kb%2000+1) * 1024
+		iw := int(iwRaw%150) + 1
+		engine := eventsim.NewEngine()
+		n, err := NewNetwork(Config{Engine: engine, Seed: 1})
+		if err != nil {
+			return false
+		}
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 50 * time.Millisecond})
+		h, _ := n.Host(hostA)
+		_ = h.AddRoute(kernel.Route{Prefix: netip.PrefixFrom(hostB, 32), InitCwnd: iw})
+		c, err := n.Open(hostA, hostB)
+		if err != nil {
+			return false
+		}
+		var rounds int
+		_ = c.Transfer(bytes, func(r TransferResult) { rounds = r.Rounds })
+		engine.Run()
+
+		// Analytic: slow start doubling from iw.
+		segs := (bytes + int64(n.MSS()) - 1) / int64(n.MSS())
+		want, window, sent := 0, int64(iw), int64(0)
+		for sent < segs {
+			sent += window
+			window *= 2
+			want++
+		}
+		return rounds == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: transfers always deliver all requested bytes, under any loss
+// rate below 50%.
+func TestAllBytesDeliveredProperty(t *testing.T) {
+	f := func(kb uint8, lossRaw uint8, seed int64) bool {
+		bytes := int64(kb%200+1) * 1024
+		loss := float64(lossRaw%50) / 100
+		engine := eventsim.NewEngine()
+		n, err := NewNetwork(Config{Engine: engine, Seed: seed})
+		if err != nil {
+			return false
+		}
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 10 * time.Millisecond, LossRate: loss})
+		c, err := n.Open(hostA, hostB)
+		if err != nil {
+			return false
+		}
+		var res TransferResult
+		_ = c.Transfer(bytes, func(r TransferResult) { res = r })
+		engine.Run()
+		return res.Bytes >= bytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIdleRestartResetsWindow(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	_ = c.Transfer(512*1024, nil)
+	n.Engine().Run()
+	grown := c.Window().Cwnd()
+	if grown <= kernel.DefaultInitCwnd {
+		t.Fatalf("window never grew: %d", grown)
+	}
+	// Let the connection idle past the RTO, then start another transfer:
+	// RFC 2861 restart must bring the first burst back to the initial
+	// window.
+	n.Engine().RunUntil(n.Engine().Now() + time.Minute)
+	var rounds int
+	_ = c.Transfer(512*1024, func(r TransferResult) { rounds = r.Rounds })
+	n.Engine().Run()
+	// 512KB = 363 segs from IW10: 10+20+40+80+160+320 -> 6 rounds.
+	if rounds != 6 {
+		t.Errorf("rounds after idle = %d, want 6 (restarted from IW10)", rounds)
+	}
+}
+
+func TestIdleRestartUsesCurrentRoute(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	_ = c.Transfer(100*1024, nil)
+	n.Engine().Run()
+	// Riptide programs a route AFTER the connection opened; the idle
+	// restart must pick it up, like Linux re-reading dst metrics.
+	h, _ := n.Host(hostA)
+	_ = h.AddRoute(kernel.Route{Prefix: netip.PrefixFrom(hostB, 32), InitCwnd: 80})
+	n.Engine().RunUntil(n.Engine().Now() + time.Minute)
+	var rounds int
+	_ = c.Transfer(100*1024, func(r TransferResult) { rounds = r.Rounds })
+	n.Engine().Run()
+	if rounds != 1 {
+		t.Errorf("rounds = %d, want 1 (restart window 80 >= 71 segments)", rounds)
+	}
+	if c.Window().InitCwnd() != 80 {
+		t.Errorf("restart window = %d, want 80", c.Window().InitCwnd())
+	}
+}
+
+func TestIdleRestartDisabled(t *testing.T) {
+	engine := eventsim.NewEngine()
+	n, err := NewNetwork(Config{Engine: engine, Seed: 1, DisableIdleRestart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = n.AddHost(hostA)
+	_, _ = n.AddHost(hostB)
+	_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	_ = c.Transfer(512*1024, nil)
+	engine.Run()
+	engine.RunUntil(engine.Now() + time.Minute)
+	var rounds int
+	_ = c.Transfer(512*1024, func(r TransferResult) { rounds = r.Rounds })
+	engine.Run()
+	if rounds >= 6 {
+		t.Errorf("rounds = %d with idle restart disabled, want fewer (window kept)", rounds)
+	}
+}
+
+func TestNoIdleRestartForBackToBackTransfers(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	var first, second int
+	_ = c.Transfer(512*1024, func(r TransferResult) { first = r.Rounds })
+	_ = c.Transfer(512*1024, func(r TransferResult) { second = r.Rounds })
+	n.Engine().Run()
+	if second >= first {
+		t.Errorf("back-to-back rounds = %d then %d; second should reuse the grown window", first, second)
+	}
+}
+
+func TestRTTJitterValidation(t *testing.T) {
+	n := newNet(t, 1)
+	_, _ = n.AddHost(hostA)
+	_, _ = n.AddHost(hostB)
+	for _, bad := range []float64{-0.1, 1.5} {
+		if err := n.SetPath(hostA, hostB, PathConfig{RTT: time.Second, RTTJitter: bad}); err == nil {
+			t.Errorf("jitter %v accepted", bad)
+		}
+	}
+}
+
+func TestRTTJitterLengthensRounds(t *testing.T) {
+	elapsed := func(jitter float64) time.Duration {
+		engine := eventsim.NewEngine()
+		n, err := NewNetwork(Config{Engine: engine, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 100 * time.Millisecond, RTTJitter: jitter})
+		c, _ := n.Open(hostA, hostB)
+		var out time.Duration
+		_ = c.Transfer(100*1024, func(r TransferResult) { out = r.Elapsed })
+		engine.Run()
+		return out
+	}
+	exact := elapsed(0)
+	jittered := elapsed(0.1)
+	if exact != 400*time.Millisecond {
+		t.Errorf("exact elapsed = %v, want 400ms", exact)
+	}
+	if jittered <= exact {
+		t.Errorf("jittered elapsed %v not longer than exact %v", jittered, exact)
+	}
+	if jittered > 2*exact {
+		t.Errorf("jittered elapsed %v implausibly long", jittered)
+	}
+}
+
+func TestRTTJitterDeterministicPerSeed(t *testing.T) {
+	run := func() time.Duration {
+		engine := eventsim.NewEngine()
+		n, _ := NewNetwork(Config{Engine: engine, Seed: 9})
+		_, _ = n.AddHost(hostA)
+		_, _ = n.AddHost(hostB)
+		_ = n.SetBidiPath(hostA, hostB, PathConfig{RTT: 100 * time.Millisecond, RTTJitter: 0.2})
+		c, _ := n.Open(hostA, hostB)
+		var out time.Duration
+		_ = c.Transfer(256*1024, func(r TransferResult) { out = r.Elapsed })
+		engine.Run()
+		return out
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("jittered runs diverged: %v vs %v", a, b)
+	}
+}
+
+func TestCloseConnsInvolving(t *testing.T) {
+	n := twoHosts(t, PathConfig{})
+	hostC := netip.MustParseAddr("10.0.0.3")
+	if _, err := n.AddHost(hostC); err != nil {
+		t.Fatal(err)
+	}
+	_ = n.SetBidiPath(hostA, hostC, PathConfig{RTT: 50 * time.Millisecond})
+	_ = n.SetBidiPath(hostB, hostC, PathConfig{RTT: 50 * time.Millisecond})
+
+	ab, _ := n.Open(hostA, hostB)
+	ac, _ := n.Open(hostA, hostC)
+	cb, _ := n.Open(hostC, hostB)
+	if n.OpenConns() != 3 {
+		t.Fatalf("open = %d", n.OpenConns())
+	}
+
+	// Reboot C: both its outgoing and incoming connections die.
+	if closed := n.CloseConnsInvolving(hostC); closed != 2 {
+		t.Errorf("closed = %d, want 2", closed)
+	}
+	if !ac.Closed() || !cb.Closed() {
+		t.Error("connections touching C survived")
+	}
+	if ab.Closed() {
+		t.Error("unrelated connection killed")
+	}
+	if n.OpenConns() != 1 {
+		t.Errorf("open after reboot = %d, want 1", n.OpenConns())
+	}
+}
+
+func TestCloseMidTransferStopsRounds(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	c, _ := n.Open(hostA, hostB)
+	done := false
+	_ = c.Transfer(1<<20, func(TransferResult) { done = true })
+	// Let one round complete, then kill the connection mid-transfer.
+	n.Engine().RunUntil(150 * time.Millisecond)
+	c.Close()
+	n.Engine().Run()
+	if done {
+		t.Error("transfer completed on a closed connection")
+	}
+	if !c.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	if err := c.Transfer(100, nil); err != ErrConnClosed {
+		t.Errorf("Transfer after close = %v, want ErrConnClosed", err)
+	}
+}

@@ -1,0 +1,366 @@
+// Package stats provides the statistical primitives used throughout the
+// Riptide reproduction: empirical CDFs, percentile estimation, exponentially
+// weighted moving averages, histograms, and small summary helpers.
+//
+// Everything here is deterministic and allocation-conscious; the experiment
+// harness calls these routines over millions of samples.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrNoSamples is returned by estimators that need at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// CDF is an empirical cumulative distribution function over float64 samples.
+// The zero value is an empty CDF ready for Add.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF returns a CDF pre-sized for n samples.
+func NewCDF(n int) *CDF {
+	return &CDF{samples: make([]float64, 0, n)}
+}
+
+// FromSamples builds a CDF from a copy of the provided samples.
+func FromSamples(samples []float64) *CDF {
+	c := NewCDF(len(samples))
+	c.AddAll(samples)
+	return c
+}
+
+// Add records one sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddAll records every sample in vs.
+func (c *CDF) AddAll(vs []float64) {
+	c.samples = append(c.samples, vs...)
+	c.sorted = false
+}
+
+// Len reports the number of samples recorded.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= v), the fraction of samples at or below v.
+func (c *CDF) At(v float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	// First index with sample > v.
+	idx := sort.Search(len(c.samples), func(i int) bool { return c.samples[i] > v })
+	return float64(idx) / float64(len(c.samples))
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) using linear
+// interpolation between closest ranks.
+func (c *CDF) Percentile(p float64) (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v out of range [0,100]", p)
+	}
+	c.ensureSorted()
+	if len(c.samples) == 1 {
+		return c.samples[0], nil
+	}
+	rank := p / 100 * float64(len(c.samples)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return c.samples[lo], nil
+	}
+	frac := rank - float64(lo)
+	return c.samples[lo]*(1-frac) + c.samples[hi]*frac, nil
+}
+
+// MustPercentile is Percentile for callers that know the CDF is non-empty.
+// It panics on error; reserve it for tests and experiment code over data the
+// caller just generated.
+func (c *CDF) MustPercentile(p float64) float64 {
+	v, err := c.Percentile(p)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// Median returns the 50th percentile.
+func (c *CDF) Median() (float64, error) { return c.Percentile(50) }
+
+// Min returns the smallest sample.
+func (c *CDF) Min() (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	c.ensureSorted()
+	return c.samples[0], nil
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	c.ensureSorted()
+	return c.samples[len(c.samples)-1], nil
+}
+
+// Mean returns the arithmetic mean of the samples.
+func (c *CDF) Mean() (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples)), nil
+}
+
+// Point is one (x, y) pair of a rendered CDF curve, y = P(X <= x).
+type Point struct {
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+}
+
+// Curve renders the CDF as n evenly spaced points across the sample range,
+// suitable for plotting or textual comparison. It returns nil for an empty
+// CDF or n < 2.
+func (c *CDF) Curve(n int) []Point {
+	if len(c.samples) == 0 || n < 2 {
+		return nil
+	}
+	c.ensureSorted()
+	lo, hi := c.samples[0], c.samples[len(c.samples)-1]
+	pts := make([]Point, n)
+	for i := range pts {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		if i == n-1 {
+			x = hi // pin exactly so the curve reaches P = 1 despite float rounding
+		}
+		pts[i] = Point{X: x, Y: c.At(x)}
+	}
+	return pts
+}
+
+// Quantiles returns the values at each requested percentile, in order.
+func (c *CDF) Quantiles(ps []float64) ([]float64, error) {
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		v, err := c.Percentile(p)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Samples returns a copy of the recorded samples in sorted order.
+func (c *CDF) Samples() []float64 {
+	c.ensureSorted()
+	out := make([]float64, len(c.samples))
+	copy(out, c.samples)
+	return out
+}
+
+// EWMA is an exponentially weighted moving average. The weight alpha is
+// applied to the *historical* value, matching the Riptide paper:
+//
+//	next = alpha*previous + (1-alpha)*observation
+//
+// The zero value is unusable; construct with NewEWMA.
+type EWMA struct {
+	alpha   float64
+	value   float64
+	started bool
+}
+
+// NewEWMA returns an EWMA with history weight alpha in [0, 1]. alpha = 0
+// ignores history entirely; alpha = 1 never updates after the first sample.
+func NewEWMA(alpha float64) (*EWMA, error) {
+	if alpha < 0 || alpha > 1 || math.IsNaN(alpha) {
+		return nil, fmt.Errorf("stats: EWMA alpha %v out of range [0,1]", alpha)
+	}
+	return &EWMA{alpha: alpha}, nil
+}
+
+// Update folds one observation into the average and returns the new value.
+// The first observation becomes the value directly.
+func (e *EWMA) Update(observation float64) float64 {
+	if !e.started {
+		e.value = observation
+		e.started = true
+		return e.value
+	}
+	e.value = e.alpha*e.value + (1-e.alpha)*observation
+	return e.value
+}
+
+// Value returns the current average. ok is false before any Update.
+func (e *EWMA) Value() (v float64, ok bool) { return e.value, e.started }
+
+// Reset discards all history.
+func (e *EWMA) Reset() {
+	e.value = 0
+	e.started = false
+}
+
+// Alpha returns the configured history weight.
+func (e *EWMA) Alpha() float64 { return e.alpha }
+
+// Histogram counts samples into fixed-width buckets over [lo, hi). Samples
+// outside the range land in saturating under/overflow buckets.
+type Histogram struct {
+	lo, hi    float64
+	width     float64
+	counts    []uint64
+	underflow uint64
+	overflow  uint64
+	total     uint64
+}
+
+// NewHistogram builds a histogram with n buckets spanning [lo, hi).
+func NewHistogram(lo, hi float64, n int) (*Histogram, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: histogram needs >= 1 bucket, got %d", n)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram range [%v,%v) is empty", lo, hi)
+	}
+	return &Histogram{
+		lo:     lo,
+		hi:     hi,
+		width:  (hi - lo) / float64(n),
+		counts: make([]uint64, n),
+	}, nil
+}
+
+// Add records one sample.
+func (h *Histogram) Add(v float64) {
+	h.total++
+	switch {
+	case v < h.lo:
+		h.underflow++
+	case v >= h.hi:
+		h.overflow++
+	default:
+		idx := int((v - h.lo) / h.width)
+		if idx >= len(h.counts) { // guard against float rounding at hi
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// Total reports the number of samples recorded, including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Bucket returns the count of bucket i and its [lo, hi) bounds.
+func (h *Histogram) Bucket(i int) (count uint64, lo, hi float64) {
+	lo = h.lo + float64(i)*h.width
+	return h.counts[i], lo, lo + h.width
+}
+
+// Buckets reports the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// OutOfRange returns the underflow and overflow counts.
+func (h *Histogram) OutOfRange() (under, over uint64) { return h.underflow, h.overflow }
+
+// Summary holds the five-number-plus-mean summary of a sample set.
+type Summary struct {
+	Count  int     `json:"count"`
+	Min    float64 `json:"min"`
+	P25    float64 `json:"p25"`
+	Median float64 `json:"median"`
+	P75    float64 `json:"p75"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+	Max    float64 `json:"max"`
+	Mean   float64 `json:"mean"`
+}
+
+// Summarize computes a Summary for the samples in c.
+func Summarize(c *CDF) (Summary, error) {
+	if c.Len() == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	qs, err := c.Quantiles([]float64{0, 25, 50, 75, 90, 99, 100})
+	if err != nil {
+		return Summary{}, err
+	}
+	mean, err := c.Mean()
+	if err != nil {
+		return Summary{}, err
+	}
+	return Summary{
+		Count:  c.Len(),
+		Min:    qs[0],
+		P25:    qs[1],
+		Median: qs[2],
+		P75:    qs[3],
+		P90:    qs[4],
+		P99:    qs[5],
+		Max:    qs[6],
+		Mean:   mean,
+	}, nil
+}
+
+// RelativeGain returns the fractional improvement of measured b over baseline
+// a at each requested percentile: (a_p - b_p) / a_p. Positive values mean b
+// (e.g. Riptide) is faster/smaller than a (the control).
+func RelativeGain(a, b *CDF, percentiles []float64) ([]float64, error) {
+	if a.Len() == 0 || b.Len() == 0 {
+		return nil, ErrNoSamples
+	}
+	gains := make([]float64, len(percentiles))
+	for i, p := range percentiles {
+		av, err := a.Percentile(p)
+		if err != nil {
+			return nil, err
+		}
+		bv, err := b.Percentile(p)
+		if err != nil {
+			return nil, err
+		}
+		if av == 0 {
+			gains[i] = 0
+			continue
+		}
+		gains[i] = (av - bv) / av
+	}
+	return gains, nil
+}
+
+// PercentileSteps returns percentiles from start to end inclusive in the given
+// step, e.g. PercentileSteps(5, 95, 5) = [5 10 ... 95]. It returns nil when
+// the parameters describe an empty range.
+func PercentileSteps(start, end, step float64) []float64 {
+	if step <= 0 || end < start {
+		return nil
+	}
+	var out []float64
+	for p := start; p <= end+1e-9; p += step {
+		out = append(out, p)
+	}
+	return out
+}

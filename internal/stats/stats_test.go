@@ -1,0 +1,411 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if got := c.At(10); got != 0 {
+		t.Errorf("At on empty CDF = %v, want 0", got)
+	}
+	if _, err := c.Percentile(50); err != ErrNoSamples {
+		t.Errorf("Percentile on empty CDF err = %v, want ErrNoSamples", err)
+	}
+	if _, err := c.Mean(); err != ErrNoSamples {
+		t.Errorf("Mean on empty CDF err = %v, want ErrNoSamples", err)
+	}
+	if pts := c.Curve(10); pts != nil {
+		t.Errorf("Curve on empty CDF = %v, want nil", pts)
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := FromSamples([]float64{1, 2, 3, 4})
+	tests := []struct {
+		v    float64
+		want float64
+	}{
+		{0.5, 0},
+		{1, 0.25},
+		{2.5, 0.5},
+		{4, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.At(tt.v); got != tt.want {
+			t.Errorf("At(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	c := FromSamples([]float64{10, 20, 30, 40, 50})
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10},
+		{25, 20},
+		{50, 30},
+		{75, 40},
+		{100, 50},
+		{12.5, 15}, // interpolated
+	}
+	for _, tt := range tests {
+		got, err := c.Percentile(tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v) err: %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-9) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestCDFPercentileOutOfRange(t *testing.T) {
+	c := FromSamples([]float64{1})
+	for _, p := range []float64{-1, 101} {
+		if _, err := c.Percentile(p); err == nil {
+			t.Errorf("Percentile(%v) succeeded, want error", p)
+		}
+	}
+}
+
+func TestCDFSingleSample(t *testing.T) {
+	c := FromSamples([]float64{42})
+	for _, p := range []float64{0, 50, 100} {
+		got, err := c.Percentile(p)
+		if err != nil || got != 42 {
+			t.Errorf("Percentile(%v) = %v, %v; want 42, nil", p, got, err)
+		}
+	}
+}
+
+func TestCDFMinMaxMean(t *testing.T) {
+	c := FromSamples([]float64{3, 1, 2})
+	if v, _ := c.Min(); v != 1 {
+		t.Errorf("Min = %v, want 1", v)
+	}
+	if v, _ := c.Max(); v != 3 {
+		t.Errorf("Max = %v, want 3", v)
+	}
+	if v, _ := c.Mean(); v != 2 {
+		t.Errorf("Mean = %v, want 2", v)
+	}
+}
+
+func TestCDFCurveMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := NewCDF(1000)
+	for i := 0; i < 1000; i++ {
+		c.Add(rng.NormFloat64() * 10)
+	}
+	pts := c.Curve(50)
+	if len(pts) != 50 {
+		t.Fatalf("Curve returned %d points, want 50", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y < pts[i-1].Y {
+			t.Fatalf("CDF curve not monotone at %d: %v < %v", i, pts[i].Y, pts[i-1].Y)
+		}
+	}
+	if pts[len(pts)-1].Y != 1 {
+		t.Errorf("CDF curve does not reach 1 at max: %v", pts[len(pts)-1].Y)
+	}
+}
+
+func TestCDFSamplesIsCopy(t *testing.T) {
+	c := FromSamples([]float64{2, 1})
+	s := c.Samples()
+	s[0] = 999
+	if v, _ := c.Min(); v != 1 {
+		t.Errorf("mutating Samples() result changed the CDF: min = %v", v)
+	}
+}
+
+// Property: percentiles are monotone non-decreasing in p.
+func TestCDFPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				samples = append(samples, v)
+			}
+		}
+		if len(samples) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 101)
+		p2 = math.Mod(math.Abs(p2), 101)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		c := FromSamples(samples)
+		v1, err1 := c.Percentile(p1)
+		v2, err2 := c.Percentile(p2)
+		return err1 == nil && err2 == nil && v1 <= v2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: At is bounded in [0,1] and At(max) == 1.
+func TestCDFAtBoundsProperty(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		samples := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				samples = append(samples, v)
+			}
+		}
+		c := FromSamples(samples)
+		y := c.At(probe)
+		if y < 0 || y > 1 {
+			return false
+		}
+		if len(samples) > 0 {
+			mx, _ := c.Max()
+			if c.At(mx) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEWMAAlphaValidation(t *testing.T) {
+	for _, bad := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := NewEWMA(bad); err == nil {
+			t.Errorf("NewEWMA(%v) succeeded, want error", bad)
+		}
+	}
+	for _, ok := range []float64{0, 0.5, 1} {
+		if _, err := NewEWMA(ok); err != nil {
+			t.Errorf("NewEWMA(%v) err: %v", ok, err)
+		}
+	}
+}
+
+func TestEWMAFirstObservation(t *testing.T) {
+	e, _ := NewEWMA(0.9)
+	if _, ok := e.Value(); ok {
+		t.Error("Value ok before any update")
+	}
+	if got := e.Update(50); got != 50 {
+		t.Errorf("first Update = %v, want 50", got)
+	}
+}
+
+func TestEWMAPaperWeighting(t *testing.T) {
+	// alpha weights history: next = 0.75*prev + 0.25*obs.
+	e, _ := NewEWMA(0.75)
+	e.Update(100)
+	got := e.Update(0)
+	if !almostEqual(got, 75, 1e-9) {
+		t.Errorf("EWMA after 100 then 0 = %v, want 75", got)
+	}
+}
+
+func TestEWMAAlphaZeroTracksObservation(t *testing.T) {
+	e, _ := NewEWMA(0)
+	e.Update(10)
+	if got := e.Update(99); got != 99 {
+		t.Errorf("alpha=0 EWMA = %v, want 99", got)
+	}
+}
+
+func TestEWMAAlphaOneFrozen(t *testing.T) {
+	e, _ := NewEWMA(1)
+	e.Update(10)
+	if got := e.Update(99); got != 10 {
+		t.Errorf("alpha=1 EWMA = %v, want 10", got)
+	}
+}
+
+func TestEWMAReset(t *testing.T) {
+	e, _ := NewEWMA(0.5)
+	e.Update(10)
+	e.Reset()
+	if _, ok := e.Value(); ok {
+		t.Error("Value ok after Reset")
+	}
+	if got := e.Update(20); got != 20 {
+		t.Errorf("Update after Reset = %v, want 20", got)
+	}
+}
+
+// Property: EWMA output is always between min and max of all observations.
+func TestEWMABoundedProperty(t *testing.T) {
+	f := func(alphaRaw float64, obs []float64) bool {
+		alpha := math.Mod(math.Abs(alphaRaw), 1)
+		e, err := NewEWMA(alpha)
+		if err != nil {
+			return false
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, o := range obs {
+			if math.IsNaN(o) || math.IsInf(o, 0) {
+				continue
+			}
+			lo = math.Min(lo, o)
+			hi = math.Max(hi, o)
+			v := e.Update(o)
+			if v < lo-1e-6 || v > hi+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHistogram(10, 10, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{-1, 0, 1.9, 2, 9.999, 10, 11} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d, want 7", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 1 || over != 2 {
+		t.Errorf("OutOfRange = %d,%d; want 1,2", under, over)
+	}
+	if n, lo, hi := h.Bucket(0); n != 2 || lo != 0 || hi != 2 {
+		t.Errorf("Bucket(0) = %d [%v,%v), want 2 [0,2)", n, lo, hi)
+	}
+	if n, _, _ := h.Bucket(1); n != 1 {
+		t.Errorf("Bucket(1) = %d, want 1", n)
+	}
+	if n, _, _ := h.Bucket(4); n != 1 {
+		t.Errorf("Bucket(4) = %d, want 1", n)
+	}
+}
+
+func TestHistogramTotalConservedProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		h, err := NewHistogram(-100, 100, 32)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Add(v)
+			n++
+		}
+		var sum uint64
+		for i := 0; i < h.Buckets(); i++ {
+			c, _, _ := h.Bucket(i)
+			sum += c
+		}
+		u, o := h.OutOfRange()
+		return sum+u+o == uint64(n) && h.Total() == uint64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := NewCDF(100)
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	s, err := Summarize(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !almostEqual(s.Mean, 50.5, 1e-9) {
+		t.Errorf("Mean = %v, want 50.5", s.Mean)
+	}
+	if !almostEqual(s.Median, 50.5, 1e-9) {
+		t.Errorf("Median = %v, want 50.5", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(&CDF{}); err != ErrNoSamples {
+		t.Errorf("err = %v, want ErrNoSamples", err)
+	}
+}
+
+func TestRelativeGain(t *testing.T) {
+	base := FromSamples([]float64{100, 200, 300})
+	improved := FromSamples([]float64{50, 100, 150})
+	gains, err := RelativeGain(base, improved, []float64{0, 50, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gains {
+		if !almostEqual(g, 0.5, 1e-9) {
+			t.Errorf("gain[%d] = %v, want 0.5", i, g)
+		}
+	}
+}
+
+func TestRelativeGainZeroBaseline(t *testing.T) {
+	base := FromSamples([]float64{0})
+	improved := FromSamples([]float64{5})
+	gains, err := RelativeGain(base, improved, []float64{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gains[0] != 0 {
+		t.Errorf("gain with zero baseline = %v, want 0", gains[0])
+	}
+}
+
+func TestRelativeGainEmpty(t *testing.T) {
+	if _, err := RelativeGain(&CDF{}, FromSamples([]float64{1}), []float64{50}); err == nil {
+		t.Error("RelativeGain with empty baseline succeeded")
+	}
+}
+
+func TestPercentileSteps(t *testing.T) {
+	got := PercentileSteps(5, 95, 5)
+	if len(got) != 19 {
+		t.Fatalf("len = %d, want 19 (%v)", len(got), got)
+	}
+	if got[0] != 5 || got[len(got)-1] != 95 {
+		t.Errorf("bounds = %v..%v, want 5..95", got[0], got[len(got)-1])
+	}
+	if PercentileSteps(10, 5, 5) != nil {
+		t.Error("reversed range should be nil")
+	}
+	if PercentileSteps(0, 10, 0) != nil {
+		t.Error("zero step should be nil")
+	}
+}

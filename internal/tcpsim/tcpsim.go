@@ -1,0 +1,299 @@
+// Package tcpsim models TCP congestion-window dynamics at RTT-round
+// granularity: slow start, congestion avoidance under Reno AIMD or CUBIC
+// growth, fast-recovery multiplicative decrease, and retransmission-timeout
+// collapse.
+//
+// Riptide (the system under study) never replaces TCP's congestion control —
+// it only chooses the *initial* window. Everything after the first round is
+// ordinary TCP behaviour, which this package reproduces faithfully enough
+// that the evaluation figures retain their published shapes.
+//
+// The unit of simulated time is one ACK-clocked round (one RTT). A driver —
+// internal/netsim — calls Ack or Loss once per round per connection.
+package tcpsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Default protocol constants, matching Linux.
+const (
+	// DefaultInitCwnd is Linux's default initial window (RFC 6928).
+	DefaultInitCwnd = 10
+	// MinCwnd is the floor the window never drops below in recovery.
+	MinCwnd = 2
+	// RenoBeta is Reno's multiplicative-decrease factor.
+	RenoBeta = 0.5
+	// CubicBeta is CUBIC's multiplicative-decrease factor (Linux uses 717/1024).
+	CubicBeta = 0.7
+	// CubicC is CUBIC's scaling constant (RFC 8312).
+	CubicC = 0.4
+)
+
+// Algorithm is a pluggable congestion-avoidance policy. Implementations
+// mutate only the fields of Window they own (cwnd, ssthresh, private state
+// accessed through the Window's algState).
+type Algorithm interface {
+	// Name identifies the algorithm ("reno", "cubic").
+	Name() string
+	// OnRoundAcked grows the window after a loss-free round in which
+	// acked segments were cumulatively acknowledged.
+	OnRoundAcked(w *Window, acked int, now time.Duration)
+	// OnLoss applies the multiplicative decrease for a fast-retransmit
+	// style loss event.
+	OnLoss(w *Window, now time.Duration)
+}
+
+// Config configures a Window.
+type Config struct {
+	// InitCwnd is the initial congestion window in segments. This is the
+	// knob Riptide turns. Defaults to DefaultInitCwnd when zero.
+	InitCwnd int
+	// Algorithm selects window growth. Defaults to NewCubic().
+	Algorithm Algorithm
+	// SsthreshInit is the initial slow-start threshold in segments.
+	// Defaults to "infinite" (no threshold until the first loss), as in
+	// Linux for fresh connections without cached metrics.
+	SsthreshInit float64
+	// DelayedAcks models a receiver acknowledging every other segment
+	// (RFC 1122): slow-start growth halves to cwnd/2 per round instead of
+	// doubling. The paper's closed-form model assumes no delayed ACKs, so
+	// the default is off; turn it on for worst-case sensitivity analyses.
+	DelayedAcks bool
+}
+
+// Window is the congestion-control state of one TCP connection.
+type Window struct {
+	cwnd        float64
+	ssthresh    float64
+	initCwnd    int
+	alg         Algorithm
+	delayedAcks bool
+
+	// CUBIC per-connection state (kept here so Window stays a value bag
+	// and algorithms stay stateless/shareable).
+	cubicWMax       float64
+	cubicEpochStart time.Duration
+	cubicHasEpoch   bool
+
+	lossEvents    uint64
+	timeoutEvents uint64
+	roundsAcked   uint64
+}
+
+// NewWindow constructs a Window from cfg.
+func NewWindow(cfg Config) (*Window, error) {
+	iw := cfg.InitCwnd
+	if iw == 0 {
+		iw = DefaultInitCwnd
+	}
+	if iw < 1 {
+		return nil, fmt.Errorf("tcpsim: initial cwnd %d must be >= 1", iw)
+	}
+	alg := cfg.Algorithm
+	if alg == nil {
+		alg = NewCubic()
+	}
+	ssthresh := cfg.SsthreshInit
+	if ssthresh == 0 {
+		ssthresh = math.Inf(1)
+	}
+	if ssthresh < MinCwnd {
+		return nil, fmt.Errorf("tcpsim: initial ssthresh %v must be >= %d", ssthresh, MinCwnd)
+	}
+	return &Window{
+		cwnd:        float64(iw),
+		ssthresh:    ssthresh,
+		initCwnd:    iw,
+		alg:         alg,
+		delayedAcks: cfg.DelayedAcks,
+	}, nil
+}
+
+// Cwnd returns the current congestion window in whole segments (>= 1).
+func (w *Window) Cwnd() int {
+	c := int(w.cwnd)
+	if c < 1 {
+		return 1
+	}
+	return c
+}
+
+// CwndF returns the precise fractional window.
+func (w *Window) CwndF() float64 { return w.cwnd }
+
+// Ssthresh returns the slow-start threshold in segments (may be +Inf before
+// any loss).
+func (w *Window) Ssthresh() float64 { return w.ssthresh }
+
+// InitCwnd returns the initial window the connection started with.
+func (w *Window) InitCwnd() int { return w.initCwnd }
+
+// InSlowStart reports whether the window is below the slow-start threshold.
+func (w *Window) InSlowStart() bool { return w.cwnd < w.ssthresh }
+
+// Algorithm returns the active congestion-avoidance policy.
+func (w *Window) Algorithm() Algorithm { return w.alg }
+
+// LossEvents returns the number of fast-retransmit loss events seen.
+func (w *Window) LossEvents() uint64 { return w.lossEvents }
+
+// TimeoutEvents returns the number of RTO collapses seen.
+func (w *Window) TimeoutEvents() uint64 { return w.timeoutEvents }
+
+// Rounds returns the number of loss-free acked rounds processed.
+func (w *Window) Rounds() uint64 { return w.roundsAcked }
+
+// Ack processes one loss-free round that cumulatively acknowledged acked
+// segments at simulated time now.
+func (w *Window) Ack(acked int, now time.Duration) {
+	if acked <= 0 {
+		return
+	}
+	w.roundsAcked++
+	if w.InSlowStart() {
+		// Slow start: cwnd += number of ACKs received. With delayed
+		// ACKs the receiver acknowledges every other segment, halving
+		// the growth; otherwise the window doubles per full round.
+		// Growth never overshoots ssthresh.
+		growth := float64(acked)
+		if w.delayedAcks {
+			growth /= 2
+		}
+		w.cwnd += growth
+		if w.cwnd > w.ssthresh && !math.IsInf(w.ssthresh, 1) {
+			w.cwnd = w.ssthresh
+		}
+		return
+	}
+	w.alg.OnRoundAcked(w, acked, now)
+}
+
+// Loss processes a fast-retransmit loss event (triple duplicate ACK) at
+// simulated time now.
+func (w *Window) Loss(now time.Duration) {
+	w.lossEvents++
+	w.alg.OnLoss(w, now)
+	if w.cwnd < MinCwnd {
+		w.cwnd = MinCwnd
+	}
+	if w.ssthresh < MinCwnd {
+		w.ssthresh = MinCwnd
+	}
+}
+
+// RestartAfterIdle applies RFC 2861 congestion-window validation: after an
+// idle period longer than the RTO, the window restarts from the (possibly
+// route-supplied) initial window rather than bursting a stale large window
+// into an unknown network. Linux enables this by default
+// (tcp_slow_start_after_idle) and re-reads the destination route's initcwnd,
+// which is how Riptide's learned windows benefit reused connections too.
+// ssthresh is preserved, so growth back up is fast.
+func (w *Window) RestartAfterIdle(restartCwnd int) {
+	if restartCwnd < 1 {
+		restartCwnd = 1
+	}
+	w.initCwnd = restartCwnd
+	w.cwnd = float64(restartCwnd)
+	w.cubicHasEpoch = false
+}
+
+// Timeout processes a retransmission timeout: ssthresh halves and the window
+// collapses to one segment (RFC 5681), restarting slow start.
+func (w *Window) Timeout(now time.Duration) {
+	w.timeoutEvents++
+	w.ssthresh = math.Max(w.cwnd/2, MinCwnd)
+	w.cwnd = 1
+	w.cubicHasEpoch = false
+	_ = now
+}
+
+// Reno implements classic AIMD congestion avoidance (RFC 5681).
+type Reno struct{}
+
+// NewReno returns the Reno algorithm.
+func NewReno() Reno { return Reno{} }
+
+// Name implements Algorithm.
+func (Reno) Name() string { return "reno" }
+
+// OnRoundAcked implements Algorithm: cwnd grows by acked/cwnd per ACK, i.e.
+// about one segment per round when a full window is acked.
+func (Reno) OnRoundAcked(w *Window, acked int, _ time.Duration) {
+	w.cwnd += float64(acked) / w.cwnd
+}
+
+// OnLoss implements Algorithm: multiplicative decrease by RenoBeta.
+func (Reno) OnLoss(w *Window, _ time.Duration) {
+	w.ssthresh = math.Max(w.cwnd*RenoBeta, MinCwnd)
+	w.cwnd = w.ssthresh
+}
+
+// Cubic implements CUBIC congestion avoidance (RFC 8312), the Linux default
+// the paper's deployment runs.
+type Cubic struct{}
+
+// NewCubic returns the CUBIC algorithm.
+func NewCubic() Cubic { return Cubic{} }
+
+// Name implements Algorithm.
+func (Cubic) Name() string { return "cubic" }
+
+// OnRoundAcked implements Algorithm: the window chases the cubic function
+// W(t) = C·(t−K)³ + W_max anchored at the last congestion event.
+func (Cubic) OnRoundAcked(w *Window, acked int, now time.Duration) {
+	if !w.cubicHasEpoch {
+		// First CA round with no prior congestion epoch: anchor the
+		// cubic at the current window so growth starts in the flat
+		// region around W_max.
+		w.cubicWMax = w.cwnd
+		w.cubicEpochStart = now
+		w.cubicHasEpoch = true
+	}
+	t := (now - w.cubicEpochStart).Seconds()
+	k := math.Cbrt(w.cubicWMax * (1 - CubicBeta) / CubicC)
+	target := CubicC*math.Pow(t-k, 3) + w.cubicWMax
+	switch {
+	case target > w.cwnd:
+		// Chase the target, at most doubling per round (TCP-friendly
+		// upper bound on burstiness).
+		step := (target - w.cwnd)
+		if step > w.cwnd {
+			step = w.cwnd
+		}
+		w.cwnd += step
+	default:
+		// In the concave plateau or below target: grow slowly like
+		// Reno so the window is never frozen.
+		w.cwnd += float64(acked) / (100 * w.cwnd)
+	}
+}
+
+// OnLoss implements Algorithm: remember W_max, cut by CubicBeta, restart the
+// cubic epoch.
+func (Cubic) OnLoss(w *Window, now time.Duration) {
+	w.cubicWMax = w.cwnd
+	w.cwnd = math.Max(w.cwnd*CubicBeta, MinCwnd)
+	w.ssthresh = w.cwnd
+	w.cubicEpochStart = now
+	w.cubicHasEpoch = true
+}
+
+var (
+	_ Algorithm = Reno{}
+	_ Algorithm = Cubic{}
+)
+
+// AlgorithmByName returns the algorithm with the given name.
+func AlgorithmByName(name string) (Algorithm, error) {
+	switch name {
+	case "reno":
+		return NewReno(), nil
+	case "cubic":
+		return NewCubic(), nil
+	default:
+		return nil, fmt.Errorf("tcpsim: unknown congestion algorithm %q", name)
+	}
+}

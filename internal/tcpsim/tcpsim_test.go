@@ -1,0 +1,334 @@
+package tcpsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustWindow(t *testing.T, cfg Config) *Window {
+	t.Helper()
+	w, err := NewWindow(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestNewWindowDefaults(t *testing.T) {
+	w := mustWindow(t, Config{})
+	if w.Cwnd() != DefaultInitCwnd {
+		t.Errorf("default cwnd = %d, want %d", w.Cwnd(), DefaultInitCwnd)
+	}
+	if w.Algorithm().Name() != "cubic" {
+		t.Errorf("default algorithm = %q, want cubic", w.Algorithm().Name())
+	}
+	if !math.IsInf(w.Ssthresh(), 1) {
+		t.Errorf("default ssthresh = %v, want +Inf", w.Ssthresh())
+	}
+	if !w.InSlowStart() {
+		t.Error("fresh window should be in slow start")
+	}
+}
+
+func TestNewWindowValidation(t *testing.T) {
+	if _, err := NewWindow(Config{InitCwnd: -1}); err == nil {
+		t.Error("negative initcwnd accepted")
+	}
+	if _, err := NewWindow(Config{SsthreshInit: 1}); err == nil {
+		t.Error("sub-minimum ssthresh accepted")
+	}
+}
+
+func TestNewWindowCustomInitCwnd(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 80})
+	if w.Cwnd() != 80 || w.InitCwnd() != 80 {
+		t.Errorf("cwnd = %d initcwnd = %d, want 80/80", w.Cwnd(), w.InitCwnd())
+	}
+}
+
+func TestSlowStartDoubles(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10, Algorithm: NewReno()})
+	// Each loss-free round acks the full window, doubling it.
+	want := []int{20, 40, 80, 160}
+	for i, exp := range want {
+		w.Ack(w.Cwnd(), time.Duration(i)*100*time.Millisecond)
+		if w.Cwnd() != exp {
+			t.Fatalf("round %d cwnd = %d, want %d", i, w.Cwnd(), exp)
+		}
+	}
+	if w.Rounds() != 4 {
+		t.Errorf("Rounds = %d, want 4", w.Rounds())
+	}
+}
+
+func TestSlowStartCapsAtSsthresh(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10, SsthreshInit: 25, Algorithm: NewReno()})
+	w.Ack(10, 0) // 10 -> 20
+	w.Ack(20, 0) // would be 40, capped at ssthresh 25
+	if w.CwndF() != 25 {
+		t.Errorf("cwnd = %v, want capped at 25", w.CwndF())
+	}
+	if w.InSlowStart() {
+		t.Error("window at ssthresh should be in congestion avoidance")
+	}
+}
+
+func TestAckIgnoresNonPositive(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10})
+	w.Ack(0, 0)
+	w.Ack(-3, 0)
+	if w.Cwnd() != 10 || w.Rounds() != 0 {
+		t.Errorf("cwnd = %d rounds = %d after no-op acks", w.Cwnd(), w.Rounds())
+	}
+}
+
+func TestRenoCongestionAvoidanceLinear(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10, SsthreshInit: 10, Algorithm: NewReno()})
+	// ssthresh == cwnd: not in slow start, so CA growth ~ +1/round.
+	before := w.CwndF()
+	w.Ack(w.Cwnd(), 0)
+	after := w.CwndF()
+	if growth := after - before; growth < 0.9 || growth > 1.1 {
+		t.Errorf("CA round growth = %v, want ~1 segment", growth)
+	}
+}
+
+func TestRenoLossHalvesWindow(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 100, Algorithm: NewReno()})
+	w.Loss(0)
+	if w.CwndF() != 50 {
+		t.Errorf("cwnd after loss = %v, want 50", w.CwndF())
+	}
+	if w.Ssthresh() != 50 {
+		t.Errorf("ssthresh after loss = %v, want 50", w.Ssthresh())
+	}
+	if w.LossEvents() != 1 {
+		t.Errorf("LossEvents = %d, want 1", w.LossEvents())
+	}
+}
+
+func TestCubicLossUsesBeta(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 100, Algorithm: NewCubic()})
+	w.Loss(0)
+	if got := w.CwndF(); math.Abs(got-70) > 1e-9 {
+		t.Errorf("cwnd after CUBIC loss = %v, want 70", got)
+	}
+}
+
+func TestLossNeverBelowMinCwnd(t *testing.T) {
+	for _, alg := range []Algorithm{NewReno(), NewCubic()} {
+		w := mustWindow(t, Config{InitCwnd: 1, Algorithm: alg})
+		for i := 0; i < 10; i++ {
+			w.Loss(time.Duration(i) * time.Second)
+		}
+		if w.CwndF() < MinCwnd {
+			t.Errorf("%s cwnd = %v below MinCwnd", alg.Name(), w.CwndF())
+		}
+	}
+}
+
+func TestTimeoutCollapsesToOne(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 64, Algorithm: NewReno()})
+	w.Timeout(0)
+	if w.Cwnd() != 1 {
+		t.Errorf("cwnd after timeout = %d, want 1", w.Cwnd())
+	}
+	if w.Ssthresh() != 32 {
+		t.Errorf("ssthresh after timeout = %v, want 32", w.Ssthresh())
+	}
+	if !w.InSlowStart() {
+		t.Error("window should re-enter slow start after timeout")
+	}
+	if w.TimeoutEvents() != 1 {
+		t.Errorf("TimeoutEvents = %d, want 1", w.TimeoutEvents())
+	}
+}
+
+func TestCubicRecoversTowardWMax(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 100, Algorithm: NewCubic()})
+	w.Loss(0) // wMax=100, cwnd=70
+	rtt := 100 * time.Millisecond
+	now := time.Duration(0)
+	for i := 0; i < 200; i++ {
+		now += rtt
+		w.Ack(w.Cwnd(), now)
+	}
+	if w.CwndF() < 95 {
+		t.Errorf("CUBIC cwnd after 20s = %v, want recovered toward wMax 100", w.CwndF())
+	}
+}
+
+func TestCubicGrowthBoundedPerRound(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10, SsthreshInit: 10, Algorithm: NewCubic()})
+	// Jump time far ahead so the cubic target is enormous; growth must
+	// still at most double per round.
+	before := w.CwndF()
+	w.Ack(w.Cwnd(), time.Hour)
+	if w.CwndF() > 2*before+1e-9 {
+		t.Errorf("CUBIC grew %v -> %v in one round (more than doubled)", before, w.CwndF())
+	}
+}
+
+func TestCwndFlooredAtOne(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 1, Algorithm: NewReno()})
+	w.Timeout(0)
+	if w.Cwnd() < 1 {
+		t.Errorf("Cwnd = %d, want >= 1", w.Cwnd())
+	}
+}
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"reno", "cubic"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil || alg.Name() != name {
+			t.Errorf("AlgorithmByName(%q) = %v, %v", name, alg, err)
+		}
+	}
+	if _, err := AlgorithmByName("bbr"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+// TestRiptideScenario is the end-to-end sanity check for the paper's core
+// claim at this layer: a connection starting at a Riptide-learned window of
+// 80 delivers 100KB-worth of segments in fewer rounds than the default.
+func TestRiptideScenario(t *testing.T) {
+	deliver := func(iw int) int {
+		w := mustWindow(t, Config{InitCwnd: iw})
+		remaining := 71 // 100KB in 1448B segments
+		rounds := 0
+		now := time.Duration(0)
+		for remaining > 0 {
+			send := w.Cwnd()
+			if send > remaining {
+				send = remaining
+			}
+			remaining -= send
+			now += 100 * time.Millisecond
+			w.Ack(send, now)
+			rounds++
+		}
+		return rounds
+	}
+	if def, riptide := deliver(10), deliver(80); riptide >= def {
+		t.Errorf("riptide rounds = %d, default = %d; want fewer", riptide, def)
+	}
+}
+
+// Property: a loss event never increases the window, for either algorithm.
+func TestLossNeverIncreasesWindowProperty(t *testing.T) {
+	f := func(iwRaw uint8, useCubic bool, lossAtSec uint16) bool {
+		var alg Algorithm = NewReno()
+		if useCubic {
+			alg = NewCubic()
+		}
+		w, err := NewWindow(Config{InitCwnd: int(iwRaw%250) + 1, Algorithm: alg})
+		if err != nil {
+			return false
+		}
+		before := w.CwndF()
+		w.Loss(time.Duration(lossAtSec) * time.Second)
+		return w.CwndF() <= before || before < MinCwnd
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cwnd stays >= 1 segment under any interleaving of acks, losses,
+// and timeouts.
+func TestCwndPositiveProperty(t *testing.T) {
+	f := func(ops []uint8, useCubic bool) bool {
+		var alg Algorithm = NewReno()
+		if useCubic {
+			alg = NewCubic()
+		}
+		w, err := NewWindow(Config{InitCwnd: 10, Algorithm: alg})
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		for _, op := range ops {
+			now += 50 * time.Millisecond
+			switch op % 3 {
+			case 0:
+				w.Ack(w.Cwnd(), now)
+			case 1:
+				w.Loss(now)
+			case 2:
+				w.Timeout(now)
+			}
+			if w.Cwnd() < 1 || math.IsNaN(w.CwndF()) || math.IsInf(w.CwndF(), 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slow start from any initial window is capped by ssthresh.
+func TestSlowStartRespectsSsthreshProperty(t *testing.T) {
+	f := func(iwRaw, ssRaw uint8, rounds uint8) bool {
+		iw := int(iwRaw%50) + 1
+		ss := float64(ssRaw%200) + MinCwnd
+		w, err := NewWindow(Config{InitCwnd: iw, SsthreshInit: ss, Algorithm: NewReno()})
+		if err != nil {
+			return false
+		}
+		now := time.Duration(0)
+		for i := 0; i < int(rounds%20); i++ {
+			now += 100 * time.Millisecond
+			if !w.InSlowStart() {
+				return true // reached CA, cap respected
+			}
+			w.Ack(w.Cwnd(), now)
+			if w.CwndF() > ss+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDelayedAcksHalveSlowStartGrowth(t *testing.T) {
+	w := mustWindow(t, Config{InitCwnd: 10, Algorithm: NewReno(), DelayedAcks: true})
+	// Full-window round under delayed ACKs: growth = acked/2.
+	w.Ack(10, 0)
+	if w.CwndF() != 15 {
+		t.Errorf("cwnd = %v, want 15 (1.5x per round)", w.CwndF())
+	}
+	w.Ack(15, 0)
+	if w.CwndF() != 22.5 {
+		t.Errorf("cwnd = %v, want 22.5", w.CwndF())
+	}
+}
+
+func TestDelayedAcksSlowerThanImmediate(t *testing.T) {
+	deliver := func(delayed bool) int {
+		w := mustWindow(t, Config{InitCwnd: 10, DelayedAcks: delayed})
+		remaining, rounds := 200, 0
+		now := time.Duration(0)
+		for remaining > 0 {
+			send := w.Cwnd()
+			if send > remaining {
+				send = remaining
+			}
+			remaining -= send
+			now += 100 * time.Millisecond
+			w.Ack(send, now)
+			rounds++
+		}
+		return rounds
+	}
+	if fast, slow := deliver(false), deliver(true); slow <= fast {
+		t.Errorf("delayed-ack rounds %d <= immediate %d", slow, fast)
+	}
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"riptide/internal/cdn"
+)
+
+func sampleProbes() []cdn.ProbeRecord {
+	return []cdn.ProbeRecord{
+		{
+			Src: "lhr", Dst: "jfk",
+			SrcHost: netip.MustParseAddr("10.1.0.1"), DstHost: netip.MustParseAddr("10.11.0.2"),
+			SizeBytes: 51200,
+			RTT:       80 * time.Millisecond, Bucket: cdn.BucketMedium,
+			Elapsed: 320 * time.Millisecond, Rounds: 4, InitCwnd: 80,
+			FreshConn: true, At: 5 * time.Minute,
+		},
+		{
+			Src: "jfk", Dst: "nrt", SizeBytes: 102400,
+			RTT: 190 * time.Millisecond, Bucket: cdn.BucketVeryFar,
+			Elapsed: 380 * time.Millisecond, Rounds: 2, InitCwnd: 100,
+			FreshConn: false, At: 6 * time.Minute,
+		},
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProbes(&buf, sampleProbes()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProbes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleProbes()
+	if len(got) != len(want) {
+		t.Fatalf("got %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestWriteProbesEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProbes(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 || !strings.HasPrefix(lines[0], "src,") {
+		t.Errorf("empty export = %q", buf.String())
+	}
+	got, err := ReadProbes(strings.NewReader(buf.String()))
+	if err != nil || len(got) != 0 {
+		t.Errorf("round trip of empty export = %v, %v", got, err)
+	}
+}
+
+func TestReadProbesEmptyInput(t *testing.T) {
+	got, err := ReadProbes(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input = %v, %v", got, err)
+	}
+}
+
+func TestReadProbesBadHeader(t *testing.T) {
+	if _, err := ReadProbes(strings.NewReader("a,b,c\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+}
+
+func TestReadProbesBadRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProbes(&buf, sampleProbes()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	corrupted := strings.Replace(buf.String(), "51200", "not-a-number", 1)
+	if _, err := ReadProbes(strings.NewReader(corrupted)); err == nil {
+		t.Error("corrupted row accepted")
+	}
+}
+
+func TestReadProbesRecomputesBucket(t *testing.T) {
+	var buf bytes.Buffer
+	recs := sampleProbes()[:1]
+	recs[0].Bucket = cdn.BucketVeryFar // wrong on purpose; RTT says medium
+	if err := WriteProbes(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProbes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].Bucket != cdn.BucketMedium {
+		t.Errorf("bucket = %v, want recomputed medium", got[0].Bucket)
+	}
+}
+
+func sampleCwnd() []cdn.CwndSample {
+	return []cdn.CwndSample{
+		{Src: "lhr", Host: netip.MustParseAddr("10.1.0.1"), Dst: "10.11.0.1", Cwnd: 100, OpenedAfterStart: true, At: 3 * time.Minute},
+		{Src: "gru", Dst: "10.1.0.1", Cwnd: 12, OpenedAfterStart: false, At: 4 * time.Minute},
+	}
+}
+
+func TestCwndRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCwndSamples(&buf, sampleCwnd()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCwndSamples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleCwnd()
+	if len(got) != len(want) {
+		t.Fatalf("got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("sample %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadCwndBadInput(t *testing.T) {
+	if _, err := ReadCwndSamples(strings.NewReader("x,y\n")); err == nil {
+		t.Error("bad header accepted")
+	}
+	if _, err := ReadCwndSamples(strings.NewReader("src,host,dst,cwnd,opened_after_start,at_ms\nlhr,10.1.0.1,x,NaN,true,1\n")); err == nil {
+		t.Error("bad cwnd accepted")
+	}
+	got, err := ReadCwndSamples(strings.NewReader(""))
+	if err != nil || got != nil {
+		t.Errorf("empty input = %v, %v", got, err)
+	}
+}

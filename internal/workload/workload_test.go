@@ -1,0 +1,353 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"riptide/internal/stats"
+)
+
+func TestConstant(t *testing.T) {
+	rng := NewRand(1)
+	c := Constant(42)
+	for i := 0; i < 10; i++ {
+		if got := c.Sample(rng); got != 42 {
+			t.Fatalf("Constant.Sample = %v, want 42", got)
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	rng := NewRand(2)
+	u := Uniform{Lo: 5, Hi: 10}
+	for i := 0; i < 1000; i++ {
+		v := u.Sample(rng)
+		if v < 5 || v >= 10 {
+			t.Fatalf("Uniform sample %v outside [5,10)", v)
+		}
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	rng := NewRand(3)
+	l := LogNormal{Mu: math.Log(100), Sigma: 0.5}
+	c := stats.NewCDF(20000)
+	for i := 0; i < 20000; i++ {
+		c.Add(l.Sample(rng))
+	}
+	med, err := c.Median()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if med < 90 || med > 110 {
+		t.Errorf("LogNormal median = %v, want ~100", med)
+	}
+}
+
+func TestLogNormalQuantile(t *testing.T) {
+	l := LogNormal{Mu: 0, Sigma: 1}
+	if got := l.Quantile(0.5); math.Abs(got-1) > 1e-6 {
+		t.Errorf("Quantile(0.5) = %v, want 1", got)
+	}
+	// 84.13th percentile of standard lognormal is e^1.
+	if got := l.Quantile(0.8413); math.Abs(got-math.E) > 0.01 {
+		t.Errorf("Quantile(0.8413) = %v, want e", got)
+	}
+	if !math.IsNaN(l.Quantile(0)) || !math.IsNaN(l.Quantile(1)) {
+		t.Error("Quantile at 0/1 should be NaN")
+	}
+}
+
+func TestParetoLowerBound(t *testing.T) {
+	rng := NewRand(4)
+	p := Pareto{Xm: 1000, Alpha: 1.5}
+	for i := 0; i < 1000; i++ {
+		if v := p.Sample(rng); v < 1000 {
+			t.Fatalf("Pareto sample %v below Xm", v)
+		}
+	}
+}
+
+func TestParetoTailHeaviness(t *testing.T) {
+	rng := NewRand(5)
+	p := Pareto{Xm: 1, Alpha: 1.2}
+	n, over := 50000, 0
+	for i := 0; i < n; i++ {
+		if p.Sample(rng) > 10 {
+			over++
+		}
+	}
+	// P(X > 10) = 10^-1.2 ~= 0.063.
+	frac := float64(over) / float64(n)
+	if frac < 0.05 || frac > 0.08 {
+		t.Errorf("Pareto tail fraction = %v, want ~0.063", frac)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	rng := NewRand(6)
+	e := Exponential{Mean: 250}
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += e.Sample(rng)
+	}
+	mean := sum / n
+	if mean < 240 || mean > 260 {
+		t.Errorf("Exponential mean = %v, want ~250", mean)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	rng := NewRand(7)
+	tr := Truncated{Inner: Uniform{Lo: -100, Hi: 100}, Lo: 0, Hi: 10}
+	for i := 0; i < 1000; i++ {
+		v := tr.Sample(rng)
+		if v < 0 || v > 10 {
+			t.Fatalf("Truncated sample %v outside [0,10]", v)
+		}
+	}
+}
+
+func TestNewMixtureValidation(t *testing.T) {
+	if _, err := NewMixture(); err == nil {
+		t.Error("empty mixture accepted")
+	}
+	if _, err := NewMixture(Component{Weight: 0, Sampler: Constant(1)}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewMixture(Component{Weight: -1, Sampler: Constant(1)}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := NewMixture(Component{Weight: 1, Sampler: nil}); err == nil {
+		t.Error("nil sampler accepted")
+	}
+	if _, err := NewMixture(Component{Weight: math.Inf(1), Sampler: Constant(1)}); err == nil {
+		t.Error("infinite weight accepted")
+	}
+}
+
+func TestMixtureProportions(t *testing.T) {
+	m, err := NewMixture(
+		Component{Weight: 3, Sampler: Constant(1)},
+		Component{Weight: 1, Sampler: Constant(2)},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(8)
+	ones := 0
+	const n = 40000
+	for i := 0; i < n; i++ {
+		if m.Sample(rng) == 1 {
+			ones++
+		}
+	}
+	frac := float64(ones) / n
+	if frac < 0.73 || frac > 0.77 {
+		t.Errorf("component-1 fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestEmpiricalValidation(t *testing.T) {
+	if _, err := NewEmpirical(nil); err == nil {
+		t.Error("empty empirical accepted")
+	}
+}
+
+func TestEmpiricalSingleSample(t *testing.T) {
+	e, err := NewEmpirical([]float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(9)
+	for i := 0; i < 10; i++ {
+		if v := e.Sample(rng); v != 7 {
+			t.Fatalf("Sample = %v, want 7", v)
+		}
+	}
+}
+
+func TestEmpiricalStaysWithinRange(t *testing.T) {
+	e, err := NewEmpirical([]float64{10, 30, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(10)
+	for i := 0; i < 5000; i++ {
+		v := e.Sample(rng)
+		if v < 10 || v > 30 {
+			t.Fatalf("Empirical sample %v outside [10,30]", v)
+		}
+	}
+}
+
+func TestEmpiricalIsACopy(t *testing.T) {
+	src := []float64{1, 2, 3}
+	e, err := NewEmpirical(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 1e9
+	rng := NewRand(11)
+	for i := 0; i < 1000; i++ {
+		if v := e.Sample(rng); v > 3 {
+			t.Fatalf("Empirical affected by caller mutation: %v", v)
+		}
+	}
+}
+
+// TestCDNFileSizesMatchesPaperStatistic validates the Figure 2 calibration:
+// the paper states 54% of production-CDN files are too large for the default
+// 10-segment initial window (~15 KB).
+func TestCDNFileSizesMatchesPaperStatistic(t *testing.T) {
+	rng := NewRand(12)
+	sizes := CDNFileSizes()
+	const n = 200000
+	over := 0
+	for i := 0; i < n; i++ {
+		if sizes.Sample(rng) > float64(DefaultIWBytes) {
+			over++
+		}
+	}
+	frac := float64(over) / n
+	if frac < 0.51 || frac > 0.57 {
+		t.Errorf("fraction over default IW = %v, want ~0.54 (paper Fig 2)", frac)
+	}
+}
+
+// TestCDNFileSizesMassBand checks the "gains band": the majority of
+// over-IW files fall between 15 KB and 1 MB (Figure 4's improvement band),
+// and very large files do not dominate.
+func TestCDNFileSizesMassBand(t *testing.T) {
+	rng := NewRand(13)
+	sizes := CDNFileSizes()
+	const n = 100000
+	inBand, huge := 0, 0
+	for i := 0; i < n; i++ {
+		v := sizes.Sample(rng)
+		if v > float64(DefaultIWBytes) && v <= 1<<20 {
+			inBand++
+		}
+		if v > 10<<20 {
+			huge++
+		}
+	}
+	if frac := float64(inBand) / n; frac < 0.30 {
+		t.Errorf("15KB-1MB band fraction = %v, want >= 0.30", frac)
+	}
+	if frac := float64(huge) / n; frac > 0.10 {
+		t.Errorf(">10MB fraction = %v, want <= 0.10 (large files must not dominate)", frac)
+	}
+}
+
+func TestCDNFileSizesBounds(t *testing.T) {
+	rng := NewRand(14)
+	sizes := CDNFileSizes()
+	for i := 0; i < 10000; i++ {
+		v := sizes.Sample(rng)
+		if v < 100 || v > 256<<20 {
+			t.Fatalf("file size %v outside truncation bounds", v)
+		}
+	}
+}
+
+func TestProbeSizes(t *testing.T) {
+	want := []int{10240, 51200, 102400}
+	if len(ProbeSizes) != len(want) {
+		t.Fatalf("ProbeSizes = %v", ProbeSizes)
+	}
+	for i := range want {
+		if ProbeSizes[i] != want[i] {
+			t.Errorf("ProbeSizes[%d] = %d, want %d", i, ProbeSizes[i], want[i])
+		}
+	}
+}
+
+func TestNormQuantileRoundTrip(t *testing.T) {
+	// Standard normal CDF via erfc for verification.
+	cdf := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	for _, p := range []float64{0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+		x := normQuantile(p)
+		if got := cdf(x); math.Abs(got-p) > 1e-6 {
+			t.Errorf("cdf(normQuantile(%v)) = %v", p, got)
+		}
+	}
+}
+
+func TestDeterministicSeeds(t *testing.T) {
+	s := CDNFileSizes()
+	a, b := NewRand(99), NewRand(99)
+	for i := 0; i < 100; i++ {
+		if va, vb := s.Sample(a), s.Sample(b); va != vb {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, va, vb)
+		}
+	}
+}
+
+// Property: mixtures only emit values one of their components can emit.
+func TestMixtureEmitsComponentValuesProperty(t *testing.T) {
+	f := func(seed int64, w1, w2 uint8) bool {
+		m, err := NewMixture(
+			Component{Weight: float64(w1) + 1, Sampler: Constant(1)},
+			Component{Weight: float64(w2) + 1, Sampler: Constant(2)},
+		)
+		if err != nil {
+			return false
+		}
+		rng := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := m.Sample(rng)
+			if v != 1 && v != 2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadSizesCSV(t *testing.T) {
+	input := "size_bytes\n1024\n2048,extra,columns\n\n4096\n"
+	s, err := LoadSizesCSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(50)
+	for i := 0; i < 1000; i++ {
+		v := s.Sample(rng)
+		if v < 1024 || v > 4096 {
+			t.Fatalf("sample %v outside loaded range", v)
+		}
+	}
+}
+
+func TestLoadSizesCSVBareList(t *testing.T) {
+	s, err := LoadSizesCSV(strings.NewReader("100\n200\n300\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := NewRand(51)
+	if v := s.Sample(rng); v < 100 || v > 300 {
+		t.Errorf("sample %v", v)
+	}
+}
+
+func TestLoadSizesCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                  // empty
+		"header\n",          // header only
+		"100\nnot-a-size\n", // garbage mid-file
+		"100\n-5\n",         // negative
+		"100\n0\n",          // zero
+	}
+	for _, in := range cases {
+		if _, err := LoadSizesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
