@@ -3,9 +3,13 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short race bench report report-full fuzz examples clean
+.PHONY: all check build vet test test-short test-race race bench report report-full fuzz examples clean
 
-all: build vet test
+all: check
+
+# Default gate: compile, vet, full test suite, and a race pass over the
+# packages with real concurrency (the agent loop and the ss/ip backends).
+check: build vet test test-race
 
 build:
 	$(GO) build ./...
@@ -18,6 +22,9 @@ test:
 
 test-short:
 	$(GO) test -short ./...
+
+test-race:
+	$(GO) test -race ./internal/core/... ./internal/linux/...
 
 race:
 	$(GO) test -race ./internal/core ./internal/kernel .

@@ -23,6 +23,7 @@ import (
 	"riptide"
 	"riptide/internal/core"
 	"riptide/internal/linux"
+	"riptide/internal/metrics"
 )
 
 func main() {
@@ -61,9 +62,17 @@ func run(args []string) error {
 		dryRun     = fs.Bool("dry-run", false, "print ip commands instead of executing them")
 		combiner   = fs.String("combiner", "average", "combiner: average|max|traffic-weighted")
 		verbose    = fs.Bool("v", false, "log each tick's learned entries")
-		statusAddr = fs.String("status", "", "serve /status and /healthz on this address (e.g. 127.0.0.1:9090)")
+		statusAddr = fs.String("status", "", "serve /status, /metrics, /metrics.json, /healthz on this address (e.g. 127.0.0.1:9090)")
 		reconcile  = fs.Bool("reconcile", true, "withdraw leftover riptide routes from a previous run at startup")
 		runFor     = fs.Duration("run-for", 0, "exit after this long instead of waiting for a signal (diagnostics)")
+
+		routeAttempts = fs.Int("route-attempts", core.DefaultRetryAttempts, "attempts per ip-route operation (1 disables retries)")
+		retryBase     = fs.Duration("retry-base", core.DefaultRetryBaseDelay, "backoff before the first route retry (doubles per retry)")
+		retryMax      = fs.Duration("retry-max", core.DefaultRetryMaxDelay, "backoff cap for route retries")
+		failureBudget = fs.Int("route-failure-budget", core.DefaultRetryFailureBudget, "consecutive per-destination programming failures before falling back to clearing the route (negative disables)")
+
+		breakerThreshold = fs.Int("breaker-threshold", core.DefaultBreakerThreshold, "consecutive ss failures that open the sampler circuit breaker (negative disables)")
+		breakerCooldown  = fs.Duration("breaker-cooldown", core.DefaultBreakerCooldown, "how long the open breaker degrades ticks to expiry-only before probing ss again")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,7 +92,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown combiner %q", *combiner)
 	}
 
-	runner := linux.ExecRunner{}
+	// One registry spans the agent, the retry decorator, and the exec
+	// runner, so /metrics and /metrics.json show the whole pipeline.
+	reg := metrics.NewRegistry()
+
+	runner := linux.ExecRunner{Metrics: reg}
 	sampler, err := linux.NewSampler(runner)
 	if err != nil {
 		return err
@@ -115,18 +128,35 @@ func run(args []string) error {
 		routes = ipRoutes
 	}
 
+	// The retry decorator sits between the agent and the backend: bounded
+	// backoff for transient ip failures, and a conservative fall-back to
+	// clearing the route when a destination keeps failing.
+	retry, err := core.NewRetryingRouteProgrammer(routes, core.RetryPolicy{
+		MaxAttempts:   *routeAttempts,
+		BaseDelay:     *retryBase,
+		MaxDelay:      *retryMax,
+		FailureBudget: *failureBudget,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+
 	start := time.Now()
 	agent, err := core.New(core.Config{
-		Sampler:        sampler,
-		Routes:         routes,
-		Clock:          func() time.Duration { return time.Since(start) },
-		UpdateInterval: *interval,
-		TTL:            *ttl,
-		Alpha:          *alpha,
-		CMax:           *cmax,
-		CMin:           *cmin,
-		PrefixBits:     *prefixBits,
-		Combiner:       comb,
+		Sampler:          sampler,
+		Routes:           retry,
+		Clock:            func() time.Duration { return time.Since(start) },
+		UpdateInterval:   *interval,
+		TTL:              *ttl,
+		Alpha:            *alpha,
+		CMax:             *cmax,
+		CMin:             *cmin,
+		PrefixBits:       *prefixBits,
+		Combiner:         comb,
+		BreakerThreshold: *breakerThreshold,
+		BreakerCooldown:  *breakerCooldown,
+		Metrics:          reg,
 	})
 	if err != nil {
 		return err
@@ -142,7 +172,7 @@ func run(args []string) error {
 
 	if *statusAddr != "" {
 		go func() {
-			if err := serveStatus(ctx, *statusAddr, agent); err != nil {
+			if err := serveStatus(ctx, *statusAddr, agent, retry); err != nil {
 				logger.Printf("status server: %v", err)
 			}
 		}()
@@ -172,7 +202,8 @@ func run(args []string) error {
 		logger.Printf("tick: %v", tickErr)
 	})
 	s := agent.Stats()
-	logger.Printf("stopped: ticks=%d observations=%d routes-set=%d routes-cleared=%d",
-		s.Ticks, s.Observations, s.RoutesSet, s.RoutesCleared)
+	rs := retry.Stats()
+	logger.Printf("stopped: ticks=%d observations=%d routes-set=%d routes-cleared=%d retries=%d fallbacks=%d degraded-ticks=%d",
+		s.Ticks, s.Observations, s.RoutesSet, s.RoutesCleared, rs.Retries, rs.Fallbacks, s.DegradedTicks)
 	return err
 }

@@ -8,20 +8,52 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"sort"
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/metrics"
 )
 
 // statusPayload is the JSON document served at /status.
 type statusPayload struct {
-	Entries []core.Entry `json:"entries"`
-	Stats   core.Stats   `json:"stats"`
+	Entries []core.Entry     `json:"entries"`
+	Stats   core.Stats       `json:"stats"`
+	Retry   *core.RetryStats `json:"retry,omitempty"`
+}
+
+// metricsPayload is the JSON document served at /metrics.json:
+//
+//	{
+//	  "stats":   { ...core.Stats: ticks, observations, routesSet, ... },
+//	  "retry":   { ...core.RetryStats: attempts, retries, fallbacks, ... },
+//	  "metrics": {
+//	    "counters":   { "<name>": <uint64>, ... },
+//	    "histograms": { "<name>": { "count": n, "sumNanos": ns,
+//	                                "buckets": [ {"upperNanos": ns|-1, "count": n}, ... ] } }
+//	  }
+//	}
+//
+// Histogram bucket counts are per-bucket (not cumulative); upperNanos -1
+// marks the +Inf bucket.
+type metricsPayload struct {
+	Stats   core.Stats       `json:"stats"`
+	Retry   *core.RetryStats `json:"retry,omitempty"`
+	Metrics metrics.Snapshot `json:"metrics"`
 }
 
 // newStatusHandler serves the agent's learned entries and counters for
-// operational visibility: /status (JSON) and /healthz (200 once ticking).
-func newStatusHandler(agent *core.Agent) http.Handler {
+// operational visibility: /status (JSON), /metrics (Prometheus text),
+// /metrics.json (full JSON snapshot), and /healthz (200 once ticking).
+// retry may be nil when the daemon runs without the retry decorator.
+func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer) http.Handler {
+	retryStats := func() *core.RetryStats {
+		if retry == nil {
+			return nil
+		}
+		s := retry.Stats()
+		return &s
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -32,6 +64,7 @@ func newStatusHandler(agent *core.Agent) http.Handler {
 		payload := statusPayload{
 			Entries: agent.Entries(),
 			Stats:   agent.Stats(),
+			Retry:   retryStats(),
 		}
 		if payload.Entries == nil {
 			payload.Entries = []core.Entry{}
@@ -49,6 +82,21 @@ func newStatusHandler(agent *core.Agent) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		writeMetrics(w, agent)
 	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		payload := metricsPayload{
+			Stats:   agent.Stats(),
+			Retry:   retryStats(),
+			Metrics: agent.Metrics().Snapshot(),
+		}
+		if err := json.NewEncoder(w).Encode(payload); err != nil {
+			return
+		}
+	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if agent.Stats().Ticks == 0 {
 			http.Error(w, "no ticks yet", http.StatusServiceUnavailable)
@@ -60,7 +108,8 @@ func newStatusHandler(agent *core.Agent) http.Handler {
 }
 
 // writeMetrics renders the agent's counters and gauges in Prometheus text
-// exposition format.
+// exposition format, followed by everything in the shared metrics registry
+// (latency histograms, retry counters, exec counters).
 func writeMetrics(w io.Writer, agent *core.Agent) {
 	s := agent.Stats()
 	entries := agent.Entries()
@@ -75,6 +124,8 @@ func writeMetrics(w io.Writer, agent *core.Agent) {
 		{"riptide_entries_expired_total", "Learned entries dropped by TTL", s.EntriesExpired},
 		{"riptide_sample_errors_total", "Failed ss invocations", s.SampleErrors},
 		{"riptide_route_errors_total", "Failed ip route invocations", s.RouteErrors},
+		{"riptide_degraded_ticks_total", "Expiry-only ticks while the sampler breaker was open", s.DegradedTicks},
+		{"riptide_breaker_opens_total", "Sampler circuit-breaker open transitions", s.BreakerOpens},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
@@ -85,17 +136,53 @@ func writeMetrics(w io.Writer, agent *core.Agent) {
 	for _, e := range entries {
 		fmt.Fprintf(w, "riptide_entry_initcwnd{prefix=%q} %d\n", e.Prefix, e.Window)
 	}
+	writeRegistryMetrics(w, agent.Metrics().Snapshot())
+}
+
+// writeRegistryMetrics renders a metrics.Snapshot in Prometheus text format:
+// counters gain a _total suffix; histograms emit cumulative _bucket series
+// with le in seconds, plus _sum and _count.
+func writeRegistryMetrics(w io.Writer, snap metrics.Snapshot) {
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "# TYPE %s_total counter\n%s_total %d\n", name, name, snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		cumulative := uint64(0)
+		for _, b := range h.Buckets {
+			cumulative += b.Count
+			le := "+Inf"
+			if b.UpperNanos >= 0 {
+				le = fmt.Sprintf("%g", time.Duration(b.UpperNanos).Seconds())
+			}
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cumulative)
+		}
+		fmt.Fprintf(w, "%s_sum %g\n", name, time.Duration(h.SumNanos).Seconds())
+		fmt.Fprintf(w, "%s_count %d\n", name, h.Count)
+	}
 }
 
 // serveStatus runs the status endpoint until ctx is done. Errors other than
 // a clean shutdown are returned.
-func serveStatus(ctx context.Context, addr string, agent *core.Agent) error {
+func serveStatus(ctx context.Context, addr string, agent *core.Agent, retry *core.RetryingRouteProgrammer) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           newStatusHandler(agent),
+		Handler:           newStatusHandler(agent, retry),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	done := make(chan error, 1)

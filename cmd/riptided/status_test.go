@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"net/http/httptest"
 	"net/netip"
 	"strings"
@@ -38,7 +39,7 @@ func TestStatusEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent)
+	h := newStatusHandler(agent, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
@@ -58,7 +59,7 @@ func TestStatusEndpoint(t *testing.T) {
 }
 
 func TestStatusMethodNotAllowed(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t))
+	h := newStatusHandler(newTestAgent(t), nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("POST", "/status", nil))
 	if rec.Code != 405 {
@@ -68,7 +69,7 @@ func TestStatusMethodNotAllowed(t *testing.T) {
 
 func TestHealthzBeforeAndAfterTick(t *testing.T) {
 	agent := newTestAgent(t)
-	h := newStatusHandler(agent)
+	h := newStatusHandler(agent, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
@@ -87,7 +88,7 @@ func TestHealthzBeforeAndAfterTick(t *testing.T) {
 }
 
 func TestStatusEmptyEntriesIsArray(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t))
+	h := newStatusHandler(newTestAgent(t), nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	body := rec.Body.String()
@@ -101,7 +102,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent)
+	h := newStatusHandler(agent, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 {
@@ -113,9 +114,113 @@ func TestMetricsEndpoint(t *testing.T) {
 		"riptide_entries 1",
 		`riptide_entry_initcwnd{prefix="10.0.0.7/32"} 64`,
 		"# TYPE riptide_routes_set_total counter",
+		"riptide_degraded_ticks_total 0",
+		"riptide_breaker_opens_total 0",
+		"# TYPE riptide_tick_duration histogram",
+		`riptide_tick_duration_bucket{le="+Inf"} 1`,
+		"riptide_tick_duration_count 1",
+		"riptide_sample_duration_count 1",
+		"riptide_program_duration_count 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)
 		}
+	}
+}
+
+func TestMetricsJSONEndpoint(t *testing.T) {
+	agent := newTestAgent(t)
+	retry, err := core.NewRetryingRouteProgrammer(failOnceRoutes(), core.RetryPolicy{
+		Sleep:   func(time.Duration) {},
+		Metrics: agent.Metrics(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exercise one retried operation so the counters are non-zero.
+	if err := retry.SetInitCwnd(netip.MustParsePrefix("10.0.0.7/32"), 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := agent.Tick(); err != nil {
+		t.Fatal(err)
+	}
+
+	h := newStatusHandler(agent, retry)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var payload metricsPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Stats.Ticks != 1 {
+		t.Errorf("stats = %+v", payload.Stats)
+	}
+	if payload.Retry == nil || payload.Retry.Retries != 1 || payload.Retry.Attempts != 2 {
+		t.Errorf("retry stats = %+v", payload.Retry)
+	}
+	if got := payload.Metrics.Counters["riptide_route_retries"]; got != 1 {
+		t.Errorf("riptide_route_retries = %d, want 1", got)
+	}
+	tick, ok := payload.Metrics.Histograms["riptide_tick_duration"]
+	if !ok || tick.Count != 1 || len(tick.Buckets) == 0 {
+		t.Errorf("tick histogram = %+v", tick)
+	}
+	if last := tick.Buckets[len(tick.Buckets)-1]; last.UpperNanos != -1 {
+		t.Errorf("last bucket = %+v, want +Inf sentinel", last)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/metrics.json", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST code = %d, want 405", rec.Code)
+	}
+}
+
+// retryOnceRoutes fails the first SetInitCwnd, then succeeds.
+type retryOnceRoutes struct {
+	tried bool
+}
+
+func failOnceRoutes() *retryOnceRoutes { return &retryOnceRoutes{} }
+
+func (r *retryOnceRoutes) SetInitCwnd(netip.Prefix, int) error {
+	if !r.tried {
+		r.tried = true
+		return errors.New("transient")
+	}
+	return nil
+}
+
+func (r *retryOnceRoutes) ClearInitCwnd(netip.Prefix) error { return nil }
+
+func TestStatusIncludesRetryStats(t *testing.T) {
+	agent := newTestAgent(t)
+	retry, err := core.NewRetryingRouteProgrammer(nopRoutes{}, core.RetryPolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newStatusHandler(agent, retry)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	var payload statusPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Retry == nil {
+		t.Error("retry stats missing from /status when the decorator is wired")
+	}
+
+	// Without the decorator the field is omitted entirely.
+	h = newStatusHandler(agent, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if strings.Contains(rec.Body.String(), `"retry"`) {
+		t.Errorf("retry key present without decorator: %s", rec.Body.String())
 	}
 }

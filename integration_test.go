@@ -112,7 +112,7 @@ func TestLinuxBackendEndToEnd(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	if len(runner.ipCalls) != 3 || runner.ipCalls[2] != "route del 10.0.0.127/32 proto static" {
+	if len(runner.ipCalls) != 3 || runner.ipCalls[2] != "route del 10.0.0.127/32 dev eth0 proto static via 10.0.0.1" {
 		t.Fatalf("ip calls after expiry = %v", runner.ipCalls)
 	}
 

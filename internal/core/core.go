@@ -22,6 +22,12 @@
 //
 // The agent is backend-agnostic: internal/netsim + internal/kernel provide a
 // simulated backend, internal/linux a real one built on ss(8) and ip(8).
+//
+// Each poll round runs as a three-stage pipeline (see tick.go) so backend
+// I/O never blocks readers; RetryingRouteProgrammer (retry.go) adds bounded
+// backoff and a conservative clear-the-route fallback around flaky route
+// substrates, and a sampler circuit breaker degrades to expiry-only rounds
+// when `ss` keeps failing.
 package core
 
 import (
@@ -32,6 +38,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"riptide/internal/metrics"
 )
 
 // Defaults matching the paper's deployment (Sections III-B and IV-A).
@@ -42,6 +50,14 @@ const (
 	DefaultCMax           = 100              // best c_max per Figure 10
 	DefaultCMin           = 10               // never below the kernel default
 	DefaultPrefixBits     = 32               // per-host routes
+)
+
+// Circuit-breaker defaults: a production sampler (`ss` exec) that fails this
+// many ticks in a row is almost certainly wedged; degrading to expiry-only
+// ticks keeps the TTL safety net alive without hammering a broken substrate.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
 )
 
 // Common errors.
@@ -278,8 +294,25 @@ type Config struct {
 	History HistoryPolicy
 	// Advisor optionally damps programmed windows with system-level
 	// knowledge, e.g. an imminent load-balancing shift (Section V). Nil
-	// means no adjustment.
+	// means no adjustment. Non-finite multipliers are rejected (treated
+	// as 1) and counted in the riptide_advisor_rejects metric.
 	Advisor Advisor
+
+	// BreakerThreshold is the number of consecutive sampler failures that
+	// open the sampler circuit breaker, degrading subsequent ticks to
+	// expiry-only passes. 0 means DefaultBreakerThreshold; a negative
+	// value disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is how long (measured by Clock) the breaker stays
+	// open before the next tick probes the sampler again. 0 means
+	// DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+
+	// Metrics receives the agent's counters and latency histograms
+	// (sample/program/tick durations). Nil means a private registry,
+	// retrievable via Agent.Metrics; deployments share one registry
+	// across the agent, the retry decorator, and the exec runner.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) applyDefaults() error {
@@ -335,6 +368,18 @@ func (c *Config) applyDefaults() error {
 		}
 		c.History = h
 	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = DefaultBreakerThreshold
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = DefaultBreakerCooldown
+	}
+	if c.BreakerCooldown < 0 {
+		return fmt.Errorf("riptide/core: BreakerCooldown %v must be positive", c.BreakerCooldown)
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
+	}
 	return nil
 }
 
@@ -366,20 +411,43 @@ type Stats struct {
 	EntriesExpired uint64 `json:"entriesExpired"`
 	SampleErrors   uint64 `json:"sampleErrors"`
 	RouteErrors    uint64 `json:"routeErrors"`
+	// DegradedTicks counts expiry-only ticks run while the sampler
+	// circuit breaker was open.
+	DegradedTicks uint64 `json:"degradedTicks"`
+	// BreakerOpens counts closed-to-open transitions of the sampler
+	// circuit breaker.
+	BreakerOpens uint64 `json:"breakerOpens"`
 }
 
 // Agent runs Algorithm 1. Create with New, drive with Tick (one poll round
 // per call), and Close to withdraw all programmed routes.
 //
-// Agent is safe for concurrent use, though the canonical deployment drives
-// it from a single loop.
+// Agent is safe for concurrent use. Tick and Close serialize with each
+// other (including their backend I/O), but readers — Entries, Lookup,
+// Stats — only synchronize on the in-memory state, so they return promptly
+// even while a Tick is blocked inside a slow sampler or route programmer.
 type Agent struct {
 	cfg Config
 
-	mu      sync.Mutex
+	// tickMu serializes the mutating paths (Tick, Close) end to end,
+	// including backend I/O, so their plan/commit stages cannot
+	// interleave. mu guards only the in-memory maps and counters and is
+	// never held across a Sampler or RouteProgrammer call.
+	tickMu sync.Mutex
+	mu     sync.Mutex
+
 	entries map[netip.Prefix]*entry
 	closed  bool
 	stats   Stats
+
+	// Sampler circuit-breaker state; touched only under tickMu.
+	sampleFailures int
+	breakerOpen    bool
+	breakerUntil   time.Duration
+
+	mTick    *metrics.Histogram
+	mSample  *metrics.Histogram
+	mProgram *metrics.Histogram
 }
 
 // New constructs an Agent.
@@ -388,13 +456,20 @@ func New(cfg Config) (*Agent, error) {
 		return nil, err
 	}
 	return &Agent{
-		cfg:     cfg,
-		entries: make(map[netip.Prefix]*entry),
+		cfg:      cfg,
+		entries:  make(map[netip.Prefix]*entry),
+		mTick:    cfg.Metrics.Histogram("riptide_tick_duration"),
+		mSample:  cfg.Metrics.Histogram("riptide_sample_duration"),
+		mProgram: cfg.Metrics.Histogram("riptide_program_duration"),
 	}, nil
 }
 
 // Config returns the agent's effective (defaulted) configuration.
 func (a *Agent) Config() Config { return a.cfg }
+
+// Metrics returns the agent's metrics registry (the one from Config, or the
+// private registry created when none was supplied).
+func (a *Agent) Metrics() *metrics.Registry { return a.cfg.Metrics }
 
 // destKey maps a destination address to its route-granularity prefix.
 func (a *Agent) destKey(dst netip.Addr) (netip.Prefix, error) {
@@ -409,8 +484,14 @@ func (a *Agent) destKey(dst netip.Addr) (netip.Prefix, error) {
 	return p, nil
 }
 
-// clamp bounds w to [CMin, CMax] and rounds to whole segments.
+// clamp bounds w to [CMin, CMax] and rounds to whole segments. Non-finite
+// values (a custom Combiner or Advisor gone wrong) fall to CMin — the
+// conservative floor — rather than reaching int(math.Round), whose result
+// for NaN/±Inf is platform-dependent.
 func (a *Agent) clamp(w float64) int {
+	if math.IsNaN(w) || math.IsInf(w, 0) {
+		return a.cfg.CMin
+	}
 	v := int(math.Round(w))
 	if v < a.cfg.CMin {
 		return a.cfg.CMin
@@ -419,103 +500,6 @@ func (a *Agent) clamp(w float64) int {
 		return a.cfg.CMax
 	}
 	return v
-}
-
-// Tick executes one iteration of Algorithm 1: sample, group, combine,
-// smooth, clamp, program, expire. It returns the first route-programming
-// error encountered (after attempting all destinations) or a sampling error.
-func (a *Agent) Tick() error {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.closed {
-		return ErrClosed
-	}
-	a.stats.Ticks++
-	now := a.cfg.Clock()
-
-	obs, err := a.cfg.Sampler.SampleConnections()
-	if err != nil {
-		a.stats.SampleErrors++
-		// Expire stale entries even when sampling fails, so a dead
-		// sampler cannot pin stale aggressive windows forever.
-		firstErr := a.expireLocked(now)
-		if firstErr != nil {
-			return fmt.Errorf("sample connections: %v (also: %w)", err, firstErr)
-		}
-		return fmt.Errorf("sample connections: %w", err)
-	}
-	a.stats.Observations += uint64(len(obs))
-
-	// Group the observed table by destination prefix.
-	groups := make(map[netip.Prefix][]Observation)
-	for _, o := range obs {
-		if o.Cwnd <= 0 || !o.Dst.IsValid() {
-			continue
-		}
-		key, err := a.destKey(o.Dst)
-		if err != nil {
-			continue
-		}
-		groups[key] = append(groups[key], o)
-	}
-
-	var firstErr error
-	for dst, group := range groups {
-		combined := a.cfg.Combiner.Combine(group)
-		smoothed := a.cfg.History.Update(dst, combined)
-		if a.cfg.Advisor != nil {
-			smoothed *= a.cfg.Advisor.Advise(dst)
-		}
-		final := a.clamp(smoothed)
-
-		e, ok := a.entries[dst]
-		if !ok {
-			e = &entry{}
-			a.entries[dst] = e
-		}
-		e.expires = now + a.cfg.TTL
-		e.lastObs = len(group)
-		if e.window != final || e.programs == 0 {
-			if err := a.cfg.Routes.SetInitCwnd(dst, final); err != nil {
-				a.stats.RouteErrors++
-				if firstErr == nil {
-					firstErr = fmt.Errorf("set initcwnd %v=%d: %w", dst, final, err)
-				}
-				continue
-			}
-			e.window = final
-			e.programs++
-			a.stats.RoutesSet++
-		}
-	}
-
-	if err := a.expireLocked(now); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	return firstErr
-}
-
-// expireLocked removes entries whose TTL lapsed and withdraws their routes.
-// Callers hold a.mu.
-func (a *Agent) expireLocked(now time.Duration) error {
-	var firstErr error
-	for dst, e := range a.entries {
-		if e.expires > now {
-			continue
-		}
-		if err := a.cfg.Routes.ClearInitCwnd(dst); err != nil {
-			a.stats.RouteErrors++
-			if firstErr == nil {
-				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
-			}
-			continue
-		}
-		delete(a.entries, dst)
-		a.cfg.History.Forget(dst)
-		a.stats.EntriesExpired++
-		a.stats.RoutesCleared++
-	}
-	return firstErr
 }
 
 // Entries returns a snapshot of all learned destinations, sorted by prefix
@@ -533,12 +517,18 @@ func (a *Agent) Entries() []Entry {
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Prefix.Addr() != out[j].Prefix.Addr() {
-			return out[i].Prefix.Addr().Less(out[j].Prefix.Addr())
-		}
-		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+		return lessPrefix(out[i].Prefix, out[j].Prefix)
 	})
 	return out
+}
+
+// lessPrefix orders prefixes by address then mask length, for deterministic
+// snapshots and programming order.
+func lessPrefix(a, b netip.Prefix) bool {
+	if a.Addr() != b.Addr() {
+		return a.Addr().Less(b.Addr())
+	}
+	return a.Bits() < b.Bits()
 }
 
 // Lookup returns the currently programmed window for the destination, if
@@ -566,25 +556,42 @@ func (a *Agent) Stats() Stats {
 
 // Close withdraws every programmed route and stops the agent. Further Ticks
 // return ErrClosed. Close is idempotent; it returns the first withdrawal
-// error but attempts all.
+// error but attempts all. Close waits for an in-flight Tick to finish, but
+// readers stay unblocked while the withdrawals run.
 func (a *Agent) Close() error {
+	a.tickMu.Lock()
+	defer a.tickMu.Unlock()
+
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if a.closed {
+		a.mu.Unlock()
 		return nil
 	}
 	a.closed = true
-	var firstErr error
+	targets := make([]netip.Prefix, 0, len(a.entries))
 	for dst := range a.entries {
+		targets = append(targets, dst)
+	}
+	a.entries = make(map[netip.Prefix]*entry)
+	a.mu.Unlock()
+
+	var firstErr error
+	for _, dst := range targets {
 		if err := a.cfg.Routes.ClearInitCwnd(dst); err != nil {
-			a.stats.RouteErrors++
+			a.countLocked(func(s *Stats) { s.RouteErrors++ })
 			if firstErr == nil {
 				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
 			}
 			continue
 		}
-		a.stats.RoutesCleared++
+		a.countLocked(func(s *Stats) { s.RoutesCleared++ })
 	}
-	a.entries = make(map[netip.Prefix]*entry)
 	return firstErr
+}
+
+// countLocked applies a counter mutation under the state lock.
+func (a *Agent) countLocked(f func(*Stats)) {
+	a.mu.Lock()
+	f(&a.stats)
+	a.mu.Unlock()
 }

@@ -1,0 +1,222 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"riptide/internal/metrics"
+)
+
+// ErrFallbackCleared marks a SetInitCwnd failure where the retry decorator
+// exhausted the destination's failure budget and withdrew the route instead,
+// restoring the kernel-default initial window — the paper's conservative
+// fallback when Riptide cannot maintain an override. The agent reacts by
+// dropping its entry for the destination.
+var ErrFallbackCleared = errors.New("riptide/core: route withdrawn after exhausting failure budget")
+
+// Retry defaults, tuned for iproute2 execs that fail transiently during
+// route churn: three quick attempts spread over ~150ms, never more than a
+// second apart.
+const (
+	DefaultRetryAttempts      = 3
+	DefaultRetryBaseDelay     = 50 * time.Millisecond
+	DefaultRetryMaxDelay      = 1 * time.Second
+	DefaultRetryFailureBudget = 3
+)
+
+// RetryPolicy configures a RetryingRouteProgrammer.
+type RetryPolicy struct {
+	// MaxAttempts is the total tries per route operation (first attempt
+	// included). 0 means DefaultRetryAttempts.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry. 0 means DefaultRetryBaseDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. 0 means DefaultRetryMaxDelay.
+	MaxDelay time.Duration
+	// FailureBudget is the number of consecutive exhausted SetInitCwnd
+	// calls for one destination before the decorator falls back to
+	// clearing the route. 0 means DefaultRetryFailureBudget; a negative
+	// value disables the fallback.
+	FailureBudget int
+	// Sleep is the delay hook, for tests. Nil means time.Sleep.
+	Sleep func(time.Duration)
+	// Metrics receives riptide_route_attempts / _retries /
+	// _retry_exhausted / _fallbacks counters. Nil means metrics are not
+	// recorded.
+	Metrics *metrics.Registry
+}
+
+// RetryStats counts decorator activity.
+type RetryStats struct {
+	// Attempts is every call into the wrapped programmer.
+	Attempts uint64 `json:"attempts"`
+	// Retries is attempts beyond the first for an operation.
+	Retries uint64 `json:"retries"`
+	// Exhausted counts operations that failed every attempt.
+	Exhausted uint64 `json:"exhausted"`
+	// Fallbacks counts destinations cleared after exhausting the budget.
+	Fallbacks uint64 `json:"fallbacks"`
+	// FallbackErrors counts fallback clears that themselves failed.
+	FallbackErrors uint64 `json:"fallbackErrors"`
+}
+
+// RetryingRouteProgrammer decorates a RouteProgrammer with bounded
+// exponential backoff and a per-destination failure budget. When a
+// destination keeps failing after retries, the decorator clears its route —
+// reverting to the kernel default is always safe, while leaving a stale
+// aggressive window installed is not — and reports ErrFallbackCleared so the
+// agent can drop the entry.
+//
+// It is safe for concurrent use and implements RouteProgrammer, so it nests
+// between the agent and any backend (linux ip(8), the simulated kernel, or
+// another decorator).
+type RetryingRouteProgrammer struct {
+	inner  RouteProgrammer
+	policy RetryPolicy
+
+	mu       sync.Mutex
+	failures map[netip.Prefix]int
+	stats    RetryStats
+}
+
+// NewRetryingRouteProgrammer wraps inner with the given policy.
+func NewRetryingRouteProgrammer(inner RouteProgrammer, policy RetryPolicy) (*RetryingRouteProgrammer, error) {
+	if inner == nil {
+		return nil, errors.New("riptide/core: nil inner RouteProgrammer")
+	}
+	if policy.MaxAttempts == 0 {
+		policy.MaxAttempts = DefaultRetryAttempts
+	}
+	if policy.MaxAttempts < 1 {
+		return nil, fmt.Errorf("riptide/core: MaxAttempts %d must be >= 1", policy.MaxAttempts)
+	}
+	if policy.BaseDelay == 0 {
+		policy.BaseDelay = DefaultRetryBaseDelay
+	}
+	if policy.BaseDelay < 0 {
+		return nil, fmt.Errorf("riptide/core: BaseDelay %v must be positive", policy.BaseDelay)
+	}
+	if policy.MaxDelay == 0 {
+		policy.MaxDelay = DefaultRetryMaxDelay
+	}
+	if policy.MaxDelay < policy.BaseDelay {
+		return nil, fmt.Errorf("riptide/core: MaxDelay %v below BaseDelay %v", policy.MaxDelay, policy.BaseDelay)
+	}
+	if policy.FailureBudget == 0 {
+		policy.FailureBudget = DefaultRetryFailureBudget
+	}
+	if policy.Sleep == nil {
+		policy.Sleep = time.Sleep
+	}
+	return &RetryingRouteProgrammer{
+		inner:    inner,
+		policy:   policy,
+		failures: make(map[netip.Prefix]int),
+	}, nil
+}
+
+var _ RouteProgrammer = (*RetryingRouteProgrammer)(nil)
+
+// Stats returns a copy of the decorator's counters.
+func (r *RetryingRouteProgrammer) Stats() RetryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// backoff returns the delay before the given retry (1-based).
+func (r *RetryingRouteProgrammer) backoff(retry int) time.Duration {
+	d := r.policy.BaseDelay
+	for i := 1; i < retry; i++ {
+		d *= 2
+		if d >= r.policy.MaxDelay || d < 0 {
+			return r.policy.MaxDelay
+		}
+	}
+	if d > r.policy.MaxDelay {
+		return r.policy.MaxDelay
+	}
+	return d
+}
+
+// do runs op with retries; it returns the last error when every attempt
+// failed.
+func (r *RetryingRouteProgrammer) do(op func() error) error {
+	var err error
+	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			r.count(func(s *RetryStats) { s.Retries++ }, "riptide_route_retries")
+			r.policy.Sleep(r.backoff(attempt - 1))
+		}
+		r.count(func(s *RetryStats) { s.Attempts++ }, "riptide_route_attempts")
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	r.count(func(s *RetryStats) { s.Exhausted++ }, "riptide_route_retry_exhausted")
+	return err
+}
+
+// count applies a stats mutation and mirrors it into the metrics registry.
+func (r *RetryingRouteProgrammer) count(f func(*RetryStats), metric string) {
+	r.mu.Lock()
+	f(&r.stats)
+	r.mu.Unlock()
+	if r.policy.Metrics != nil {
+		r.policy.Metrics.Counter(metric).Inc()
+	}
+}
+
+// SetInitCwnd implements RouteProgrammer with retries and the fallback
+// budget.
+func (r *RetryingRouteProgrammer) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
+	err := r.do(func() error { return r.inner.SetInitCwnd(prefix, cwnd) })
+	if err == nil {
+		r.mu.Lock()
+		delete(r.failures, prefix)
+		r.mu.Unlock()
+		return nil
+	}
+
+	r.mu.Lock()
+	r.failures[prefix]++
+	consecutive := r.failures[prefix]
+	budget := r.policy.FailureBudget
+	exhausted := budget > 0 && consecutive >= budget
+	if exhausted {
+		delete(r.failures, prefix)
+	}
+	r.mu.Unlock()
+	if !exhausted {
+		return err
+	}
+
+	// Budget exhausted: withdraw the route so the destination reverts to
+	// the kernel default rather than keeping whatever half-state the
+	// failing substrate left behind.
+	if clrErr := r.inner.ClearInitCwnd(prefix); clrErr != nil {
+		r.count(func(s *RetryStats) { s.FallbackErrors++ }, "riptide_route_fallback_errors")
+		return fmt.Errorf("set initcwnd %v after %d consecutive failures: %v (fallback clear failed: %w)",
+			prefix, consecutive, err, clrErr)
+	}
+	r.count(func(s *RetryStats) { s.Fallbacks++ }, "riptide_route_fallbacks")
+	return fmt.Errorf("%w (dst %v, %d consecutive failures, last: %v)",
+		ErrFallbackCleared, prefix, consecutive, err)
+}
+
+// ClearInitCwnd implements RouteProgrammer with retries (no fallback — the
+// clear is already the conservative action; a failure is reported so the
+// agent keeps the entry and retries next round).
+func (r *RetryingRouteProgrammer) ClearInitCwnd(prefix netip.Prefix) error {
+	err := r.do(func() error { return r.inner.ClearInitCwnd(prefix) })
+	if err == nil {
+		r.mu.Lock()
+		delete(r.failures, prefix)
+		r.mu.Unlock()
+	}
+	return err
+}

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"riptide/internal/metrics"
+)
+
+// flakyRoutes fails the first failN SetInitCwnd calls, then succeeds.
+type flakyRoutes struct {
+	*fakeRoutes
+	failN   int
+	setTry  int
+	clrFail error
+}
+
+func newFlakyRoutes(failN int) *flakyRoutes {
+	return &flakyRoutes{fakeRoutes: newFakeRoutes(), failN: failN}
+}
+
+func (f *flakyRoutes) SetInitCwnd(p netip.Prefix, c int) error {
+	f.setTry++
+	if f.setTry <= f.failN {
+		return errors.New("transient EBUSY")
+	}
+	return f.fakeRoutes.SetInitCwnd(p, c)
+}
+
+func (f *flakyRoutes) ClearInitCwnd(p netip.Prefix) error {
+	if f.clrFail != nil {
+		return f.clrFail
+	}
+	return f.fakeRoutes.ClearInitCwnd(p)
+}
+
+// sleepRecorder captures backoff delays without sleeping.
+type sleepRecorder struct{ delays []time.Duration }
+
+func (s *sleepRecorder) fn() func(time.Duration) {
+	return func(d time.Duration) { s.delays = append(s.delays, d) }
+}
+
+func mustRetry(t *testing.T, inner RouteProgrammer, policy RetryPolicy) *RetryingRouteProgrammer {
+	t.Helper()
+	r, err := NewRetryingRouteProgrammer(inner, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRetryPolicyValidation(t *testing.T) {
+	if _, err := NewRetryingRouteProgrammer(nil, RetryPolicy{}); err == nil {
+		t.Error("nil inner accepted")
+	}
+	bad := []RetryPolicy{
+		{MaxAttempts: -1},
+		{BaseDelay: -time.Second},
+		{BaseDelay: time.Second, MaxDelay: time.Millisecond},
+	}
+	for i, p := range bad {
+		if _, err := NewRetryingRouteProgrammer(newFakeRoutes(), p); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	inner := newFlakyRoutes(2)
+	rec := &sleepRecorder{}
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+		Sleep:       rec.fn(),
+	})
+	p := netip.MustParsePrefix("10.0.0.1/32")
+	if err := r.SetInitCwnd(p, 40); err != nil {
+		t.Fatal(err)
+	}
+	if inner.set[p] != 40 {
+		t.Errorf("route not installed: %v", inner.set)
+	}
+	// Exponential backoff: 50ms then 100ms.
+	want := []time.Duration{50 * time.Millisecond, 100 * time.Millisecond}
+	if len(rec.delays) != 2 || rec.delays[0] != want[0] || rec.delays[1] != want[1] {
+		t.Errorf("backoff delays = %v, want %v", rec.delays, want)
+	}
+	s := r.Stats()
+	if s.Attempts != 3 || s.Retries != 2 || s.Exhausted != 0 || s.Fallbacks != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestRetryBackoffCapped(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20) // never succeeds
+	rec := &sleepRecorder{}
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts:   6,
+		BaseDelay:     100 * time.Millisecond,
+		MaxDelay:      300 * time.Millisecond,
+		FailureBudget: -1,
+		Sleep:         rec.fn(),
+	})
+	_ = r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40)
+	// 100, 200, then capped at 300 for the rest.
+	want := []time.Duration{100, 200, 300, 300, 300}
+	for i, w := range want {
+		if rec.delays[i] != w*time.Millisecond {
+			t.Fatalf("delays = %v, want %v (ms)", rec.delays, want)
+		}
+	}
+}
+
+func TestRetryExhaustionReturnsLastError(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 2, FailureBudget: -1, Sleep: func(time.Duration) {}})
+	err := r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40)
+	if err == nil || errors.Is(err, ErrFallbackCleared) {
+		t.Fatalf("err = %v, want plain exhaustion error", err)
+	}
+	if s := r.Stats(); s.Exhausted != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestFailureBudgetFallsBackToClear(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	reg := metrics.NewRegistry()
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts:   2,
+		FailureBudget: 3,
+		Sleep:         func(time.Duration) {},
+		Metrics:       reg,
+	})
+	p := netip.MustParsePrefix("10.0.0.1/32")
+
+	// Two exhausted calls stay plain errors; the third exhausts the
+	// budget and falls back to clearing the route.
+	for i := 0; i < 2; i++ {
+		if err := r.SetInitCwnd(p, 40); err == nil || errors.Is(err, ErrFallbackCleared) {
+			t.Fatalf("call %d: err = %v, want plain error", i, err)
+		}
+	}
+	err := r.SetInitCwnd(p, 40)
+	if !errors.Is(err, ErrFallbackCleared) {
+		t.Fatalf("err = %v, want ErrFallbackCleared", err)
+	}
+	if inner.clrOps != 1 {
+		t.Errorf("fallback clears = %d, want 1", inner.clrOps)
+	}
+	s := r.Stats()
+	if s.Fallbacks != 1 || s.Exhausted != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if got := reg.Counter("riptide_route_fallbacks").Value(); got != 1 {
+		t.Errorf("fallback metric = %d, want 1", got)
+	}
+
+	// The budget resets after the fallback: the next failure is 1 of 3
+	// again, not an immediate re-fallback.
+	if err := r.SetInitCwnd(p, 40); errors.Is(err, ErrFallbackCleared) {
+		t.Error("budget did not reset after fallback")
+	}
+}
+
+func TestFailureBudgetResetBySuccess(t *testing.T) {
+	inner := newFlakyRoutes(0)
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 1, FailureBudget: 2, Sleep: func(time.Duration) {}})
+	p := netip.MustParsePrefix("10.0.0.1/32")
+
+	inner.failN = 1 << 20 // fail from now on
+	inner.setTry = 0
+	if err := r.SetInitCwnd(p, 40); err == nil {
+		t.Fatal("expected failure")
+	}
+	inner.failN = 0 // recover
+	if err := r.SetInitCwnd(p, 40); err != nil {
+		t.Fatal(err)
+	}
+	inner.failN = 1 << 20
+	inner.setTry = 0
+	// One more failure must NOT trip the budget (consecutive count reset).
+	if err := r.SetInitCwnd(p, 40); errors.Is(err, ErrFallbackCleared) {
+		t.Error("budget not reset by intervening success")
+	}
+}
+
+func TestFallbackClearFailureIsNotFallbackCleared(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	inner.clrFail = errors.New("clear also failed")
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 1, FailureBudget: 1, Sleep: func(time.Duration) {}})
+	err := r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40)
+	if err == nil || errors.Is(err, ErrFallbackCleared) {
+		t.Fatalf("err = %v; a failed fallback clear must not claim the route was cleared", err)
+	}
+	if s := r.Stats(); s.FallbackErrors != 1 || s.Fallbacks != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestClearRetriesAndSurfacesError(t *testing.T) {
+	inner := newFakeRoutes()
+	inner.failClr = errors.New("EBUSY")
+	rec := &sleepRecorder{}
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 3, Sleep: rec.fn()})
+	if err := r.ClearInitCwnd(netip.MustParsePrefix("10.0.0.1/32")); err == nil {
+		t.Fatal("clear error swallowed")
+	}
+	if len(rec.delays) != 2 {
+		t.Errorf("clear retried %d times, want 2", len(rec.delays))
+	}
+}
+
+// --- Agent + decorator integration ----------------------------------------
+
+func TestAgentDropsEntryOnFallbackCleared(t *testing.T) {
+	d := dst(t, "10.0.0.1")
+	inner := newFakeRoutes()
+	retry := mustRetry(t, inner, RetryPolicy{MaxAttempts: 1, FailureBudget: 1, Sleep: func(time.Duration) {}})
+	sampler := &fakeSampler{rounds: [][]Observation{
+		{{Dst: d, Cwnd: 50}},
+		{{Dst: d, Cwnd: 90}},
+	}}
+	clock := &fakeClock{}
+	a, err := New(Config{
+		Sampler: sampler,
+		Routes:  retry,
+		Clock:   clock.fn(),
+		History: NoHistory{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := a.Lookup(d); !ok || w != 50 {
+		t.Fatalf("Lookup = %d,%v", w, ok)
+	}
+
+	// The substrate breaks; the reprogram to 90 exhausts the budget, the
+	// decorator clears the route, and the agent must drop its entry.
+	inner.failSet = errors.New("substrate broke")
+	if err := a.Tick(); err == nil {
+		t.Fatal("fallback error swallowed")
+	}
+	if _, ok := a.Lookup(d); ok {
+		t.Error("entry survived a fallback clear; Lookup must report kernel default")
+	}
+	if len(inner.set) != 0 {
+		t.Errorf("route still installed after fallback: %v", inner.set)
+	}
+	s := a.Stats()
+	if s.RouteErrors != 1 || s.RoutesCleared != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+
+	// Recovery: the next round re-learns the destination from scratch.
+	inner.failSet = nil
+	if err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if w, ok := a.Lookup(d); !ok || w != 90 {
+		t.Errorf("post-recovery Lookup = %d,%v; want 90,true", w, ok)
+	}
+}

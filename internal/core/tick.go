@@ -1,0 +1,284 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// This file implements the agent's poll round as a three-stage pipeline:
+//
+//	stage 1 — sample and plan, outside any lock: run the sampler (which may
+//	          block for seconds against a wedged `ss`), group observations,
+//	          and combine each group. All pure computation.
+//	stage 2 — commit, under a short critical section: fold combined values
+//	          into history, clamp, refresh TTLs, and decide which routes
+//	          need programming and which entries expired. No backend I/O.
+//	stage 3 — program, outside the lock again: issue SetInitCwnd /
+//	          ClearInitCwnd calls, re-taking the lock only to record each
+//	          result. An entry is recorded only after its route is actually
+//	          installed, so a failed first program leaves no phantom entry.
+//
+// tickMu serializes whole rounds (and Close) so the stages of two mutators
+// cannot interleave; a.mu is never held across a backend call, so Lookup,
+// Entries, and Stats return promptly even mid-round.
+
+// programOp is one planned route installation.
+type programOp struct {
+	dst    netip.Prefix
+	window int
+	obs    int // group size this round, recorded on success
+}
+
+// Tick executes one iteration of Algorithm 1: sample, group, combine,
+// smooth, clamp, program, expire. It returns the first route-programming
+// error encountered (after attempting all destinations) or a sampling
+// error. While the sampler circuit breaker is open, Tick degrades to an
+// expiry-only pass and returns nil; the degradation is visible in Stats.
+func (a *Agent) Tick() error {
+	start := time.Now()
+	a.tickMu.Lock()
+	defer a.tickMu.Unlock()
+	defer func() { a.mTick.Observe(time.Since(start)) }()
+
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return ErrClosed
+	}
+	a.stats.Ticks++
+	a.mu.Unlock()
+
+	now := a.cfg.Clock()
+
+	// Stage 1: sample outside any lock.
+	if a.breakerBlocks(now) {
+		a.countLocked(func(s *Stats) { s.DegradedTicks++ })
+		return a.expirePass(now)
+	}
+	sampleStart := time.Now()
+	obs, err := a.cfg.Sampler.SampleConnections()
+	a.mSample.Observe(time.Since(sampleStart))
+	if err != nil {
+		a.noteSampleFailure(now)
+		// Expire stale entries even when sampling fails, so a dead
+		// sampler cannot pin stale aggressive windows forever.
+		if expErr := a.expirePass(now); expErr != nil {
+			return fmt.Errorf("sample connections: %v (also: %w)", err, expErr)
+		}
+		return fmt.Errorf("sample connections: %w", err)
+	}
+	a.noteSampleSuccess()
+
+	// Group the observed table by destination prefix and combine each
+	// group — still pure computation, still lock-free.
+	groups := make(map[netip.Prefix][]Observation)
+	for _, o := range obs {
+		if o.Cwnd <= 0 || !o.Dst.IsValid() {
+			continue
+		}
+		key, err := a.destKey(o.Dst)
+		if err != nil {
+			continue
+		}
+		groups[key] = append(groups[key], o)
+	}
+	type combinedGroup struct {
+		value float64
+		n     int
+	}
+	combined := make(map[netip.Prefix]combinedGroup, len(groups))
+	for dst, group := range groups {
+		combined[dst] = combinedGroup{value: a.cfg.Combiner.Combine(group), n: len(group)}
+	}
+
+	// Stage 2: commit state under a short critical section.
+	a.mu.Lock()
+	a.stats.Observations += uint64(len(obs))
+	plan := make([]programOp, 0, len(combined))
+	for dst, g := range combined {
+		smoothed := a.cfg.History.Update(dst, g.value)
+		if a.cfg.Advisor != nil {
+			if m := a.cfg.Advisor.Advise(dst); isFinite(m) {
+				smoothed *= m
+			} else {
+				a.cfg.Metrics.Counter("riptide_advisor_rejects").Inc()
+			}
+		}
+		final := a.clamp(smoothed)
+
+		e, ok := a.entries[dst]
+		if ok {
+			// The route is installed; fresh observations extend its
+			// life even if programming the new value fails below.
+			e.expires = now + a.cfg.TTL
+			e.lastObs = g.n
+			if e.window != final {
+				plan = append(plan, programOp{dst: dst, window: final, obs: g.n})
+			}
+		} else {
+			// New destination: the entry is recorded in stage 3,
+			// only once the route is actually installed.
+			plan = append(plan, programOp{dst: dst, window: final, obs: g.n})
+		}
+	}
+	expired := a.collectExpiredLocked(now)
+	a.mu.Unlock()
+
+	// Sort the plan so programming order (and thus first-error identity)
+	// is deterministic rather than map-iteration dependent.
+	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
+	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+
+	// Stage 3: program routes outside the lock.
+	var firstErr error
+	for _, op := range plan {
+		progStart := time.Now()
+		err := a.cfg.Routes.SetInitCwnd(op.dst, op.window)
+		a.mProgram.Observe(time.Since(progStart))
+
+		a.mu.Lock()
+		if err != nil {
+			a.stats.RouteErrors++
+			if errors.Is(err, ErrFallbackCleared) {
+				// The retry decorator gave up and withdrew the
+				// route; drop our entry so Lookup reports the
+				// kernel default rather than a window that is
+				// no longer installed.
+				if _, ok := a.entries[op.dst]; ok {
+					delete(a.entries, op.dst)
+					a.cfg.History.Forget(op.dst)
+					a.stats.RoutesCleared++
+				}
+			}
+			a.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("set initcwnd %v=%d: %w", op.dst, op.window, err)
+			}
+			continue
+		}
+		e, ok := a.entries[op.dst]
+		if !ok {
+			e = &entry{}
+			a.entries[op.dst] = e
+		}
+		e.window = op.window
+		e.expires = now + a.cfg.TTL
+		e.lastObs = op.obs
+		e.programs++
+		a.stats.RoutesSet++
+		a.mu.Unlock()
+	}
+
+	if err := a.clearRoutes(expired, now); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// expirePass runs only the TTL-expiry portion of a round: collect lapsed
+// entries under the lock, withdraw their routes outside it.
+func (a *Agent) expirePass(now time.Duration) error {
+	a.mu.Lock()
+	expired := a.collectExpiredLocked(now)
+	a.mu.Unlock()
+	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+	return a.clearRoutes(expired, now)
+}
+
+// collectExpiredLocked returns the destinations whose TTL lapsed. Callers
+// hold a.mu. Entries observed this round were just refreshed, so they never
+// appear here.
+func (a *Agent) collectExpiredLocked(now time.Duration) []netip.Prefix {
+	var expired []netip.Prefix
+	for dst, e := range a.entries {
+		if e.expires <= now {
+			expired = append(expired, dst)
+		}
+	}
+	return expired
+}
+
+// clearRoutes withdraws the given routes and, for each success, removes the
+// entry and forgets its history. A failed withdrawal keeps the entry so the
+// next round retries it (unless it was re-observed meanwhile). A destination
+// that was re-observed and re-programmed between collection and withdrawal
+// is skipped via the expiry re-check.
+func (a *Agent) clearRoutes(expired []netip.Prefix, now time.Duration) error {
+	var firstErr error
+	for _, dst := range expired {
+		a.mu.Lock()
+		e, ok := a.entries[dst]
+		if !ok || e.expires > now {
+			a.mu.Unlock()
+			continue
+		}
+		a.mu.Unlock()
+
+		progStart := time.Now()
+		err := a.cfg.Routes.ClearInitCwnd(dst)
+		a.mProgram.Observe(time.Since(progStart))
+
+		a.mu.Lock()
+		if err != nil {
+			a.stats.RouteErrors++
+			a.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+			}
+			continue
+		}
+		delete(a.entries, dst)
+		a.cfg.History.Forget(dst)
+		a.stats.EntriesExpired++
+		a.stats.RoutesCleared++
+		a.mu.Unlock()
+	}
+	return firstErr
+}
+
+// breakerBlocks reports whether the sampler circuit breaker suppresses
+// sampling this round. Once the cooldown lapses the round is allowed
+// through as a probe; its outcome re-arms or closes the breaker. Called
+// under tickMu.
+func (a *Agent) breakerBlocks(now time.Duration) bool {
+	if a.cfg.BreakerThreshold < 0 || !a.breakerOpen {
+		return false
+	}
+	return now < a.breakerUntil
+}
+
+// noteSampleFailure records a sampler error and advances the breaker state.
+// Called under tickMu.
+func (a *Agent) noteSampleFailure(now time.Duration) {
+	a.countLocked(func(s *Stats) { s.SampleErrors++ })
+	if a.cfg.BreakerThreshold < 0 {
+		return
+	}
+	a.sampleFailures++
+	if a.sampleFailures < a.cfg.BreakerThreshold {
+		return
+	}
+	// Threshold crossed, or a half-open probe failed: (re)open.
+	if !a.breakerOpen {
+		a.countLocked(func(s *Stats) { s.BreakerOpens++ })
+		a.cfg.Metrics.Counter("riptide_breaker_opens").Inc()
+	}
+	a.breakerOpen = true
+	a.breakerUntil = now + a.cfg.BreakerCooldown
+}
+
+// noteSampleSuccess resets the breaker after a healthy sample. Called under
+// tickMu.
+func (a *Agent) noteSampleSuccess() {
+	a.sampleFailures = 0
+	a.breakerOpen = false
+}
+
+// isFinite reports whether f is neither NaN nor ±Inf.
+func isFinite(f float64) bool {
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}

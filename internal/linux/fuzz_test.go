@@ -11,6 +11,17 @@ func FuzzParseSS(f *testing.F) {
 	f.Add([]byte("ESTAB 0 0 1.2.3.4:1 5.6.7.8:2\n\t cwnd:"))
 	f.Add([]byte("\t cubic cwnd:10\n"))
 	f.Add([]byte("ESTAB 0 0 [::1]:1 [::2]:2\n\t rtt:-5/1 cwnd:-3 bytes_acked:x\n"))
+	// Wrapped multi-line TCP info: attributes spread over several
+	// indented continuation lines belonging to one socket.
+	f.Add([]byte(wrappedSSFixture))
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t cubic rto:204 rtt:1.5/0.75\n\t mss:1448\n\t cwnd:42\n\t bytes_acked:81091\n"))
+	// IPv6 zone-scoped peers.
+	f.Add([]byte("ESTAB 0 0 [fe80::1%eth0]:22 [fe80::1%eth0]:443\n\t cwnd:15 rtt:5/2\n"))
+	f.Add([]byte("ESTAB 0 0 [fe80::1%en0.123]:22 [fe80::2%br-lan]:443\n\t cwnd:7\n"))
+	// Non-ESTAB interleavings: info-bearing sockets in other states mixed
+	// between established ones must not contribute observations.
+	f.Add([]byte("ESTAB 0 0 1.2.3.4:1 5.6.7.8:2\n\t cwnd:10\nTIME-WAIT 0 0 1.2.3.4:2 9.9.9.9:443\nESTAB 0 0 1.2.3.4:3 8.8.8.8:443\n\t cwnd:11\nSYN-SENT 0 1 1.2.3.4:4 7.7.7.7:443\n\t cwnd:99\nFIN-WAIT-1 0 0 1.2.3.4:5 6.6.6.6:443\n\t cwnd:98\n"))
+	f.Add([]byte("LISTEN 0 128 0.0.0.0:22 0.0.0.0:*\nESTAB 0 0 10.0.0.5:1 10.0.0.6:443\nCLOSE-WAIT 1 0 10.0.0.5:2 10.0.0.7:443\n\t cwnd:5\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		obs, err := ParseSS(data)
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/metrics"
 )
 
 // Runner executes an external command and returns its combined stdout.
@@ -35,17 +36,29 @@ type Runner interface {
 type ExecRunner struct {
 	// Timeout bounds each command; defaults to 5s when zero.
 	Timeout time.Duration
+	// Metrics, when set, receives per-command latency histograms
+	// (exec_duration_<cmd>) and failure counters (exec_errors_<cmd>).
+	Metrics *metrics.Registry
 }
 
 // Run implements Runner.
-func (r ExecRunner) Run(name string, args ...string) ([]byte, error) {
+func (r ExecRunner) Run(name string, args ...string) (out []byte, err error) {
 	timeout := r.Timeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
+	if r.Metrics != nil {
+		start := time.Now()
+		defer func() {
+			r.Metrics.Histogram("exec_duration_" + name).Observe(time.Since(start))
+			if err != nil {
+				r.Metrics.Counter("exec_errors_" + name).Inc()
+			}
+		}()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	out, err := exec.CommandContext(ctx, name, args...).Output()
+	out, err = exec.CommandContext(ctx, name, args...).Output()
 	if err != nil {
 		var exitErr *exec.ExitError
 		if errors.As(err, &exitErr) {
@@ -233,9 +246,20 @@ func (r *Routes) SetCommand(prefix netip.Prefix, cwnd int) []string {
 }
 
 // DelCommand returns the argv (without the leading "ip") that ClearInitCwnd
-// will execute.
+// will execute. It mirrors SetCommand's dev/via selectors: without them, on
+// a multi-interface host `ip route del` can refuse to match the route
+// Riptide installed — or worse, delete a same-prefix route on another
+// interface.
 func (r *Routes) DelCommand(prefix netip.Prefix) []string {
-	return []string{"route", "del", prefix.String(), "proto", "static"}
+	args := []string{"route", "del", prefix.String()}
+	if r.cfg.Device != "" {
+		args = append(args, "dev", r.cfg.Device)
+	}
+	args = append(args, "proto", "static")
+	if r.cfg.Gateway != "" {
+		args = append(args, "via", r.cfg.Gateway)
+	}
+	return args
 }
 
 // SetInitCwnd implements core.RouteProgrammer.

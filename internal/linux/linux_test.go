@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"riptide/internal/metrics"
 )
 
 // fakeRunner records commands and returns canned output.
@@ -264,6 +266,32 @@ func TestClearInitCwnd(t *testing.T) {
 	}
 }
 
+func TestDelCommandMirrorsSetSelectors(t *testing.T) {
+	// On a multi-interface host the delete must carry the same dev/via
+	// selectors as the replace, or `ip route del` can miss Riptide's
+	// route — or remove a same-prefix route on another interface.
+	r := &fakeRunner{}
+	routes, err := NewRoutes(r, RoutesConfig{Device: "eth0", Gateway: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(routes.DelCommand(netip.MustParsePrefix("10.0.0.127/32")), " ")
+	want := "route del 10.0.0.127/32 dev eth0 proto static via 10.0.0.1"
+	if got != want {
+		t.Errorf("DelCommand = %q, want %q", got, want)
+	}
+}
+
+func TestDelCommandDeviceOnly(t *testing.T) {
+	r := &fakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{Device: "bond0"})
+	got := strings.Join(routes.DelCommand(netip.MustParsePrefix("10.1.0.0/16")), " ")
+	want := "route del 10.1.0.0/16 dev bond0 proto static"
+	if got != want {
+		t.Errorf("DelCommand = %q, want %q", got, want)
+	}
+}
+
 func TestClearPropagatesError(t *testing.T) {
 	r := &fakeRunner{err: errors.New("no such route")}
 	routes, _ := NewRoutes(r, RoutesConfig{})
@@ -288,5 +316,69 @@ func TestExecRunnerFailure(t *testing.T) {
 	}
 	if _, err := (ExecRunner{Timeout: time.Second}).Run("/nonexistent-binary-xyz"); err == nil {
 		t.Error("missing binary returned nil error")
+	}
+}
+
+func TestExecRunnerRecordsMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	runner := ExecRunner{Timeout: time.Second, Metrics: reg}
+	if _, err := runner.Run("echo", "hi"); err != nil {
+		t.Skipf("echo unavailable: %v", err)
+	}
+	_, _ = runner.Run("/nonexistent-binary-xyz")
+
+	snap := reg.Snapshot()
+	if got := snap.Histograms["exec_duration_echo"].Count; got != 1 {
+		t.Errorf("echo duration observations = %d, want 1", got)
+	}
+	if got := snap.Counters["exec_errors_echo"]; got != 0 {
+		t.Errorf("echo errors = %d, want 0", got)
+	}
+	if got := snap.Counters["exec_errors_/nonexistent-binary-xyz"]; got != 1 {
+		t.Errorf("missing-binary errors = %d, want 1", got)
+	}
+}
+
+// wrappedSSFixture exercises `ss -tin` output where one socket's TCP info is
+// wrapped across several indented continuation lines (common on narrow
+// terminals and some ss builds), interleaved with non-ESTAB sockets.
+const wrappedSSFixture = `State       Recv-Q Send-Q        Local Address:Port          Peer Address:Port
+ESTAB       0      0                10.0.0.5:44312            10.0.0.127:443
+	 cubic wscale:7,7 rto:204 rtt:1.5/0.75 ato:40 mss:1448
+	 cwnd:42 ssthresh:28 bytes_acked:81091
+	 segs_out:63 segs_in:34 rcv_space:14480
+SYN-SENT    0      1                10.0.0.5:39001             10.0.0.88:443
+ESTAB       0      0      [fe80::1%eth0]:4433        [fe80::2%eth0]:443
+	 cubic rto:204 rtt:10/5
+	 mss:1428 cwnd:20
+	 bytes_acked:555
+CLOSE-WAIT  1      0                10.0.0.5:39002             10.0.0.89:443
+	 cubic cwnd:99
+`
+
+func TestParseSSWrappedInfoLines(t *testing.T) {
+	obs, err := ParseSS([]byte(wrappedSSFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 2 {
+		t.Fatalf("parsed %d observations, want 2: %+v", len(obs), obs)
+	}
+	first := obs[0]
+	if first.Dst != netip.MustParseAddr("10.0.0.127") || first.Cwnd != 42 || first.BytesAcked != 81091 {
+		t.Errorf("wrapped IPv4 socket = %+v", first)
+	}
+	if first.RTT != 1500*time.Microsecond {
+		t.Errorf("rtt from first continuation line = %v", first.RTT)
+	}
+	second := obs[1]
+	if second.Dst != netip.MustParseAddr("fe80::2") || second.Cwnd != 20 || second.BytesAcked != 555 {
+		t.Errorf("zone-scoped IPv6 socket = %+v", second)
+	}
+	// The CLOSE-WAIT socket's info must not leak into an observation.
+	for _, o := range obs {
+		if o.Cwnd == 99 {
+			t.Error("non-ESTAB socket's info line produced an observation")
+		}
 	}
 }

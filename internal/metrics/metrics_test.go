@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketsObservations(t *testing.T) {
+	h := NewHistogram(time.Millisecond, 10*time.Millisecond, 100*time.Millisecond)
+	h.Observe(500 * time.Microsecond) // bucket 0 (<= 1ms)
+	h.Observe(time.Millisecond)       // bucket 0 (inclusive upper bound)
+	h.Observe(5 * time.Millisecond)   // bucket 1
+	h.Observe(time.Second)            // +Inf bucket
+	h.Observe(-time.Second)           // clamped to zero -> bucket 0
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5", s.Count)
+	}
+	if len(s.Buckets) != 4 {
+		t.Fatalf("buckets = %d, want 4 (3 bounds + inf)", len(s.Buckets))
+	}
+	wantCounts := []uint64{3, 1, 0, 1}
+	for i, want := range wantCounts {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket %d count = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if s.Buckets[3].UpperNanos != -1 {
+		t.Errorf("last bucket upper = %d, want -1 (+Inf)", s.Buckets[3].UpperNanos)
+	}
+	wantSum := int64(500*time.Microsecond + time.Millisecond + 5*time.Millisecond + time.Second)
+	if s.SumNanos != wantSum {
+		t.Errorf("SumNanos = %d, want %d", s.SumNanos, wantSum)
+	}
+}
+
+func TestHistogramDefaultBuckets(t *testing.T) {
+	h := NewHistogram()
+	if got, want := len(h.Snapshot().Buckets), len(DefaultBuckets)+1; got != want {
+		t.Errorf("default buckets = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramUnsortedBoundsDeduped(t *testing.T) {
+	h := NewHistogram(time.Second, time.Millisecond, time.Second)
+	s := h.Snapshot()
+	if len(s.Buckets) != 3 {
+		t.Fatalf("buckets = %+v, want 2 bounds + inf", s.Buckets)
+	}
+	if s.Buckets[0].UpperNanos != int64(time.Millisecond) {
+		t.Errorf("bounds not sorted: %+v", s.Buckets)
+	}
+}
+
+func TestRegistryLazyCreationAndIdentity(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	if c2 := r.Counter("x"); c1 != c2 || c2.Value() != 1 {
+		t.Error("Counter did not return the same instance")
+	}
+	h1 := r.Histogram("d", time.Millisecond)
+	h1.Observe(time.Microsecond)
+	if h2 := r.Histogram("d", time.Hour); h1 != h2 || h2.Count() != 1 {
+		t.Error("Histogram did not return the same instance")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ticks").Add(7)
+	r.Histogram("lat", time.Millisecond).Observe(2 * time.Millisecond)
+
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["ticks"] != 7 {
+		t.Errorf("counters = %+v", s.Counters)
+	}
+	lat, ok := s.Histograms["lat"]
+	if !ok || lat.Count != 1 {
+		t.Errorf("histograms = %+v", s.Histograms)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c").Inc()
+				r.Histogram("h").Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h").Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -64,6 +64,15 @@ type (
 	LoadBalanceAdvisor = core.LoadBalanceAdvisor
 	// TrendHistory snaps the learned window down on observed collapses.
 	TrendHistory = core.TrendHistory
+
+	// RetryingRouteProgrammer decorates a RouteProgrammer with bounded
+	// exponential backoff and a per-destination failure budget that falls
+	// back to clearing the route (the paper's conservative default).
+	RetryingRouteProgrammer = core.RetryingRouteProgrammer
+	// RetryPolicy configures a RetryingRouteProgrammer.
+	RetryPolicy = core.RetryPolicy
+	// RetryStats counts retry-decorator activity.
+	RetryStats = core.RetryStats
 )
 
 // Paper-default parameters (Sections III-B, IV-A).
@@ -82,6 +91,18 @@ const (
 
 // ErrClosed is returned by Tick after Close.
 var ErrClosed = core.ErrClosed
+
+// ErrFallbackCleared is returned (wrapped) by RetryingRouteProgrammer when a
+// destination exhausted its failure budget and the decorator successfully
+// fell back to clearing the route; the agent drops the entry in response.
+var ErrFallbackCleared = core.ErrFallbackCleared
+
+// NewRetryingRouteProgrammer wraps inner with retry/backoff/fallback
+// behaviour per policy. Zero-value policy fields take the DefaultRetry*
+// constants in internal/core.
+func NewRetryingRouteProgrammer(inner RouteProgrammer, policy RetryPolicy) (*RetryingRouteProgrammer, error) {
+	return core.NewRetryingRouteProgrammer(inner, policy)
+}
 
 // New constructs an Agent from an explicit Config. Most callers want
 // NewLinuxAgent (production) or the internal simulation harness (research).
