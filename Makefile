@@ -24,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/linux/...
+	$(GO) test -race ./internal/core/... ./internal/linux/... ./internal/fleet/...
 
 race:
 	$(GO) test -race ./internal/core ./internal/kernel .
@@ -43,6 +43,8 @@ report-full:
 fuzz:
 	$(GO) test -fuzz=FuzzParseSS -fuzztime=30s ./internal/linux
 	$(GO) test -fuzz=FuzzParseIPRouteShow -fuzztime=30s ./internal/linux
+	$(GO) test -fuzz=FuzzReadProbes -fuzztime=30s ./internal/trace
+	$(GO) test -fuzz=FuzzReadCwndSamples -fuzztime=30s ./internal/trace
 
 examples:
 	$(GO) run ./examples/quickstart

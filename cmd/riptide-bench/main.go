@@ -107,6 +107,7 @@ func report(w io.Writer, s experiments.Scale, seed int64, n int, seriesDir strin
 		{run: func() (experiments.Result, error) { return experiments.Headline(s) }},
 		{section: "Extensions (Section V)", run: func() (experiments.Result, error) { return experiments.ExtensionTrendReaction(seed) }},
 		{run: func() (experiments.Result, error) { return experiments.ExtensionAdvisorShift(seed) }},
+		{section: "Fleet sharing", run: func() (experiments.Result, error) { return experiments.FleetWarmStart(s) }},
 	}
 	for i, name := range experiments.ScenarioNames() {
 		name := name

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/fleet"
+)
+
+// fleetState carries the daemon's fleet-sharing wiring: the snapshot source
+// label, the optional peer puller (with its health state for /status), and
+// the optional on-disk persister.
+type fleetState struct {
+	Source    string
+	Puller    *fleet.Puller
+	Persister *fleet.Persister
+}
+
+// warmStart merges an on-disk snapshot into the agent, aged by the downtime
+// since it was written, so a restarted daemon programs its previously
+// learned routes before the first sampler tick. A missing snapshot file is
+// the normal first boot and merges nothing.
+func warmStart(agent *core.Agent, path string, maxAge time.Duration, now time.Time) (core.MergeStats, error) {
+	snap, elapsed, err := fleet.Load(path, now)
+	if errors.Is(err, fleet.ErrNoSnapshot) {
+		return core.MergeStats{}, nil
+	}
+	if err != nil {
+		return core.MergeStats{}, err
+	}
+	return agent.MergeSnapshot(snap.AgedBy(elapsed).CoreEntries(), core.MergePolicy{MaxAge: maxAge})
+}
+
+// tickLoop drives the agent's poll loop every UpdateInterval until ctx is
+// done. Unlike riptide.Run it does not close the agent — the daemon saves a
+// final fleet snapshot first, and Close would wipe the learned table.
+func tickLoop(ctx context.Context, agent *core.Agent, onError func(error)) {
+	ticker := time.NewTicker(agent.Config().UpdateInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			if err := agent.Tick(); err != nil {
+				if errors.Is(err, core.ErrClosed) {
+					return
+				}
+				onError(err)
+			}
+		}
+	}
+}

@@ -17,11 +17,13 @@ import (
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"riptide"
 	"riptide/internal/core"
+	"riptide/internal/fleet"
 	"riptide/internal/linux"
 	"riptide/internal/metrics"
 )
@@ -73,12 +75,30 @@ func run(args []string) error {
 
 		breakerThreshold = fs.Int("breaker-threshold", core.DefaultBreakerThreshold, "consecutive ss failures that open the sampler circuit breaker (negative disables)")
 		breakerCooldown  = fs.Duration("breaker-cooldown", core.DefaultBreakerCooldown, "how long the open breaker degrades ticks to expiry-only before probing ss again")
+
+		snapshotFile     = fs.String("snapshot-file", "", "persist the learned table to this file (periodic + on shutdown) and warm-start from it on boot")
+		snapshotInterval = fs.Duration("snapshot-interval", time.Minute, "how often to persist the snapshot file")
+		peerSpec         = fs.String("peers", "", "comma-separated fleet peers (host:port or URL) to pull snapshots from")
+		peerInterval     = fs.Duration("peer-interval", 30*time.Second, "how often to pull peer snapshots")
+		peerTimeout      = fs.Duration("peer-timeout", 5*time.Second, "timeout per peer snapshot request")
+		fleetMaxAge      = fs.Duration("fleet-max-age", 0, "reject snapshot entries older than this (0 = the TTL)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	logger := log.New(os.Stderr, "riptided: ", log.LstdFlags)
+
+	// The shutdown context is created before the route pipeline so the
+	// retry decorator can abandon in-flight backoff waits the moment a
+	// signal arrives, instead of sleeping through them.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if *runFor > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *runFor)
+		defer cancel()
+	}
 
 	var comb riptide.Combiner
 	switch *combiner {
@@ -136,6 +156,7 @@ func run(args []string) error {
 		BaseDelay:     *retryBase,
 		MaxDelay:      *retryMax,
 		FailureBudget: *failureBudget,
+		Context:       ctx,
 		Metrics:       reg,
 	})
 	if err != nil {
@@ -162,17 +183,61 @@ func run(args []string) error {
 		return err
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-	if *runFor > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *runFor)
-		defer cancel()
+	// Fleet sharing: warm-start from the on-disk snapshot before the first
+	// sampler tick, then keep persisting, and pull peer snapshots in the
+	// background. All of it is optional and advisory — fleet trouble never
+	// touches the local learn/program loop.
+	source, _ := os.Hostname()
+	fl := &fleetState{Source: source}
+	if *snapshotFile != "" {
+		stats, err := warmStart(agent, *snapshotFile, *fleetMaxAge, time.Now())
+		if err != nil {
+			logger.Printf("warm start: %v (starting cold)", err)
+		} else if stats.Merged > 0 || stats.SkippedStale > 0 {
+			logger.Printf("warm start: merged %d entries, skipped %d stale", stats.Merged, stats.SkippedStale)
+		}
+		fl.Persister = &fleet.Persister{
+			Path:     *snapshotFile,
+			Source:   source,
+			Agent:    agent,
+			Interval: *snapshotInterval,
+			Logf:     logger.Printf,
+		}
+	}
+	if *peerSpec != "" {
+		fl.Puller, err = fleet.NewPuller(fleet.PullerConfig{
+			Agent:    agent,
+			Peers:    strings.Split(*peerSpec, ","),
+			Interval: *peerInterval,
+			Timeout:  *peerTimeout,
+			Policy:   core.MergePolicy{MaxAge: *fleetMaxAge},
+			Logf:     logger.Printf,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	var persistDone chan struct{}
+	if fl.Persister != nil {
+		persistDone = make(chan struct{})
+		go func() {
+			fl.Persister.Run(ctx)
+			close(persistDone)
+		}()
+	}
+	if fl.Puller != nil {
+		go func() {
+			// One immediate pull jump-starts from peers at boot; then the
+			// periodic loop takes over.
+			fl.Puller.PullOnce(ctx)
+			fl.Puller.Run(ctx)
+		}()
 	}
 
 	if *statusAddr != "" {
 		go func() {
-			if err := serveStatus(ctx, *statusAddr, agent, retry); err != nil {
+			if err := serveStatus(ctx, *statusAddr, agent, retry, fl); err != nil {
 				logger.Printf("status server: %v", err)
 			}
 		}()
@@ -198,9 +263,15 @@ func run(args []string) error {
 		}()
 	}
 
-	err = riptide.Run(ctx, agent, func(tickErr error) {
+	tickLoop(ctx, agent, func(tickErr error) {
 		logger.Printf("tick: %v", tickErr)
 	})
+	if persistDone != nil {
+		// The persister writes its final snapshot on ctx cancellation;
+		// wait for it before Close wipes the learned table.
+		<-persistDone
+	}
+	err = agent.Close()
 	s := agent.Stats()
 	rs := retry.Stats()
 	logger.Printf("stopped: ticks=%d observations=%d routes-set=%d routes-cleared=%d retries=%d fallbacks=%d degraded-ticks=%d",

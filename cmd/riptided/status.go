@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/fleet"
 	"riptide/internal/metrics"
 )
 
@@ -20,6 +21,14 @@ type statusPayload struct {
 	Entries []core.Entry     `json:"entries"`
 	Stats   core.Stats       `json:"stats"`
 	Retry   *core.RetryStats `json:"retry,omitempty"`
+	Fleet   *fleetPayload    `json:"fleet,omitempty"`
+}
+
+// fleetPayload is the fleet-sharing section of /status: who we are and how
+// each configured peer is doing.
+type fleetPayload struct {
+	Source string             `json:"source,omitempty"`
+	Peers  []fleet.PeerHealth `json:"peers"`
 }
 
 // metricsPayload is the JSON document served at /metrics.json:
@@ -44,9 +53,11 @@ type metricsPayload struct {
 
 // newStatusHandler serves the agent's learned entries and counters for
 // operational visibility: /status (JSON), /metrics (Prometheus text),
-// /metrics.json (full JSON snapshot), and /healthz (200 once ticking).
-// retry may be nil when the daemon runs without the retry decorator.
-func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer) http.Handler {
+// /metrics.json (full JSON snapshot), /healthz (200 once ticking), and
+// /fleet/snapshot (the agent's learned table for fleet peers). retry may be
+// nil when the daemon runs without the retry decorator; fl may be nil when
+// fleet sharing is not configured.
+func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState) http.Handler {
 	retryStats := func() *core.RetryStats {
 		if retry == nil {
 			return nil
@@ -54,7 +65,18 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer) ht
 		s := retry.Stats()
 		return &s
 	}
+	source := ""
+	if fl != nil {
+		source = fl.Source
+	}
+	fleetStatus := func() *fleetPayload {
+		if fl == nil || fl.Puller == nil {
+			return nil
+		}
+		return &fleetPayload{Source: fl.Source, Peers: fl.Puller.Health()}
+	}
 	mux := http.NewServeMux()
+	mux.Handle(fleet.SnapshotPath, fleet.Handler(agent, source, nil))
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
@@ -65,6 +87,7 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer) ht
 			Entries: agent.Entries(),
 			Stats:   agent.Stats(),
 			Retry:   retryStats(),
+			Fleet:   fleetStatus(),
 		}
 		if payload.Entries == nil {
 			payload.Entries = []core.Entry{}
@@ -176,13 +199,13 @@ func writeRegistryMetrics(w io.Writer, snap metrics.Snapshot) {
 
 // serveStatus runs the status endpoint until ctx is done. Errors other than
 // a clean shutdown are returned.
-func serveStatus(ctx context.Context, addr string, agent *core.Agent, retry *core.RetryingRouteProgrammer) error {
+func serveStatus(ctx context.Context, addr string, agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           newStatusHandler(agent, retry),
+		Handler:           newStatusHandler(agent, retry, fl),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	done := make(chan error, 1)

@@ -39,7 +39,7 @@ func TestStatusEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, nil)
+	h := newStatusHandler(agent, nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
@@ -59,7 +59,7 @@ func TestStatusEndpoint(t *testing.T) {
 }
 
 func TestStatusMethodNotAllowed(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t), nil)
+	h := newStatusHandler(newTestAgent(t), nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("POST", "/status", nil))
 	if rec.Code != 405 {
@@ -69,7 +69,7 @@ func TestStatusMethodNotAllowed(t *testing.T) {
 
 func TestHealthzBeforeAndAfterTick(t *testing.T) {
 	agent := newTestAgent(t)
-	h := newStatusHandler(agent, nil)
+	h := newStatusHandler(agent, nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
@@ -88,7 +88,7 @@ func TestHealthzBeforeAndAfterTick(t *testing.T) {
 }
 
 func TestStatusEmptyEntriesIsArray(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t), nil)
+	h := newStatusHandler(newTestAgent(t), nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	body := rec.Body.String()
@@ -102,7 +102,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, nil)
+	h := newStatusHandler(agent, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 {
@@ -145,7 +145,7 @@ func TestMetricsJSONEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h := newStatusHandler(agent, retry)
+	h := newStatusHandler(agent, retry, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
 	if rec.Code != 200 {
@@ -205,7 +205,7 @@ func TestStatusIncludesRetryStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, retry)
+	h := newStatusHandler(agent, retry, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	var payload statusPayload
@@ -217,7 +217,7 @@ func TestStatusIncludesRetryStats(t *testing.T) {
 	}
 
 	// Without the decorator the field is omitted entirely.
-	h = newStatusHandler(agent, nil)
+	h = newStatusHandler(agent, nil, nil)
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	if strings.Contains(rec.Body.String(), `"retry"`) {

@@ -387,8 +387,18 @@ func (c *Config) applyDefaults() error {
 type entry struct {
 	window   int
 	expires  time.Duration
-	lastObs  int // observations in the most recent round that refreshed it
+	updated  time.Duration // when the entry was last refreshed or merged
+	lastObs  int           // observations in the most recent round that refreshed it
+	samples  uint64        // cumulative observations folded into the entry
 	programs uint64
+	// merged marks an entry seeded from a fleet snapshot that has not yet
+	// been confirmed by a local observation; local observations always
+	// override it.
+	merged bool
+	// mergedAge is the remote age the entry carried when it was merged.
+	// Re-exporting adds it to the local age so gossip cannot launder a
+	// stale window into a fresh-looking one by passing it between peers.
+	mergedAge time.Duration
 }
 
 // Entry is a read-only snapshot of one learned destination.
@@ -417,6 +427,13 @@ type Stats struct {
 	// BreakerOpens counts closed-to-open transitions of the sampler
 	// circuit breaker.
 	BreakerOpens uint64 `json:"breakerOpens"`
+	// FleetMerged counts remote snapshot entries accepted by MergeSnapshot.
+	FleetMerged uint64 `json:"fleetMerged"`
+	// FleetSkippedLocal counts remote entries rejected because a local
+	// entry already covered the prefix (local observations win).
+	FleetSkippedLocal uint64 `json:"fleetSkippedLocal"`
+	// FleetSkippedStale counts remote entries rejected as too old.
+	FleetSkippedStale uint64 `json:"fleetSkippedStale"`
 }
 
 // Agent runs Algorithm 1. Create with New, drive with Tick (one poll round

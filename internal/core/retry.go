@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/netip"
@@ -42,7 +43,15 @@ type RetryPolicy struct {
 	// clearing the route. 0 means DefaultRetryFailureBudget; a negative
 	// value disables the fallback.
 	FailureBudget int
-	// Sleep is the delay hook, for tests. Nil means time.Sleep.
+	// Context, when non-nil, bounds every route operation: cancellation
+	// aborts an in-flight backoff wait immediately, suppresses any
+	// remaining attempts, and surfaces as the context's error. A context
+	// error never counts against the failure budget — shutdown is not a
+	// substrate failure, so no route is withdrawn for it.
+	Context context.Context
+	// Sleep is the delay hook, for tests. Nil means time.Sleep. When
+	// Context is set, backoff waits instead select on a timer and
+	// Context.Done(), and Sleep is not used.
 	Sleep func(time.Duration)
 	// Metrics receives riptide_route_attempts / _retries /
 	// _retry_exhausted / _fallbacks counters. Nil means metrics are not
@@ -143,14 +152,44 @@ func (r *RetryingRouteProgrammer) backoff(retry int) time.Duration {
 	return d
 }
 
+// wait blocks for the backoff delay; with a policy context it selects on
+// a timer so cancellation interrupts the wait without leaking a goroutine.
+func (r *RetryingRouteProgrammer) wait(d time.Duration) error {
+	ctx := r.policy.Context
+	if ctx == nil {
+		r.policy.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
 // do runs op with retries; it returns the last error when every attempt
-// failed.
-func (r *RetryingRouteProgrammer) do(op func() error) error {
+// failed, or a context error when the policy context is cancelled first.
+// firstDespiteCancel lets the initial attempt run even under a cancelled
+// context — route withdrawal relies on it during shutdown — while retries
+// and backoff waits are always abandoned on cancellation.
+func (r *RetryingRouteProgrammer) do(op func() error, firstDespiteCancel bool) error {
+	ctx := r.policy.Context
 	var err error
 	for attempt := 1; attempt <= r.policy.MaxAttempts; attempt++ {
+		if ctx != nil && ctx.Err() != nil && !(attempt == 1 && firstDespiteCancel) {
+			if err != nil {
+				return fmt.Errorf("%w (last attempt: %v)", ctx.Err(), err)
+			}
+			return ctx.Err()
+		}
 		if attempt > 1 {
 			r.count(func(s *RetryStats) { s.Retries++ }, "riptide_route_retries")
-			r.policy.Sleep(r.backoff(attempt - 1))
+			if werr := r.wait(r.backoff(attempt - 1)); werr != nil {
+				return fmt.Errorf("%w (last attempt: %v)", werr, err)
+			}
 		}
 		r.count(func(s *RetryStats) { s.Attempts++ }, "riptide_route_attempts")
 		if err = op(); err == nil {
@@ -174,12 +213,17 @@ func (r *RetryingRouteProgrammer) count(f func(*RetryStats), metric string) {
 // SetInitCwnd implements RouteProgrammer with retries and the fallback
 // budget.
 func (r *RetryingRouteProgrammer) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
-	err := r.do(func() error { return r.inner.SetInitCwnd(prefix, cwnd) })
+	err := r.do(func() error { return r.inner.SetInitCwnd(prefix, cwnd) }, false)
 	if err == nil {
 		r.mu.Lock()
 		delete(r.failures, prefix)
 		r.mu.Unlock()
 		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The operation was abandoned, not refused: shutdown must neither
+		// charge the destination's failure budget nor withdraw its route.
+		return err
 	}
 
 	r.mu.Lock()
@@ -210,9 +254,12 @@ func (r *RetryingRouteProgrammer) SetInitCwnd(prefix netip.Prefix, cwnd int) err
 
 // ClearInitCwnd implements RouteProgrammer with retries (no fallback — the
 // clear is already the conservative action; a failure is reported so the
-// agent keeps the entry and retries next round).
+// agent keeps the entry and retries next round). Cancelling the policy
+// context does not abandon a clear outright: shutdown withdraws every
+// installed route through this path, so the first attempt always runs;
+// only the retries after it are dropped.
 func (r *RetryingRouteProgrammer) ClearInitCwnd(prefix netip.Prefix) error {
-	err := r.do(func() error { return r.inner.ClearInitCwnd(prefix) })
+	err := r.do(func() error { return r.inner.ClearInitCwnd(prefix) }, true)
 	if err == nil {
 		r.mu.Lock()
 		delete(r.failures, prefix)

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"net/netip"
+	"runtime"
 	"testing"
 	"time"
 
@@ -212,6 +214,127 @@ func TestClearRetriesAndSurfacesError(t *testing.T) {
 	}
 	if len(rec.delays) != 2 {
 		t.Errorf("clear retried %d times, want 2", len(rec.delays))
+	}
+}
+
+// --- Context cancellation --------------------------------------------------
+
+func TestRetryContextCancelledSkipsAttempts(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 3, FailureBudget: 1, Context: ctx})
+
+	err := r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if inner.setTry != 0 {
+		t.Errorf("inner called %d times after cancellation, want 0", inner.setTry)
+	}
+	// Abandonment must not charge the failure budget: no fallback clear,
+	// no exhaustion.
+	if errors.Is(err, ErrFallbackCleared) || inner.clrOps != 0 {
+		t.Errorf("cancelled call triggered fallback (err=%v, clears=%d)", err, inner.clrOps)
+	}
+	if s := r.Stats(); s.Attempts != 0 || s.Exhausted != 0 || s.Fallbacks != 0 {
+		t.Errorf("stats = %+v, want all zero", s)
+	}
+}
+
+func TestRetryContextCancelInterruptsBackoff(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// An hour-long backoff: only cancellation can end this call promptly.
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Hour,
+		MaxDelay:    time.Hour,
+		Context:     ctx,
+	})
+
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() { done <- r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40) }()
+	time.Sleep(20 * time.Millisecond) // let the call reach the backoff wait
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("SetInitCwnd did not return promptly after cancellation")
+	}
+	if inner.setTry != 1 {
+		t.Errorf("inner called %d times, want exactly 1 (no post-cancel attempts)", inner.setTry)
+	}
+
+	// No goroutine may outlive the call (the timer wait runs inline).
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines grew from %d to %d after cancelled retry", before, after)
+	}
+}
+
+func TestRetryContextDeadlineBypassesBudget(t *testing.T) {
+	inner := newFlakyRoutes(1 << 20)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(30*time.Millisecond))
+	defer cancel()
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts:   3,
+		BaseDelay:     10 * time.Second,
+		MaxDelay:      10 * time.Second,
+		FailureBudget: 1,
+		Context:       ctx,
+	})
+	err := r.SetInitCwnd(netip.MustParsePrefix("10.0.0.1/32"), 40)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if errors.Is(err, ErrFallbackCleared) || inner.clrOps != 0 {
+		t.Errorf("deadline expiry triggered fallback (err=%v, clears=%d)", err, inner.clrOps)
+	}
+}
+
+func TestClearRunsOnceAfterCancel(t *testing.T) {
+	inner := newFakeRoutes()
+	p := netip.MustParsePrefix("10.0.0.1/32")
+	if err := inner.SetInitCwnd(p, 40); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r := mustRetry(t, inner, RetryPolicy{MaxAttempts: 3, Context: ctx})
+
+	// Shutdown withdraws routes after the signal context is cancelled; the
+	// clear must still reach the backend once.
+	if err := r.ClearInitCwnd(p); err != nil {
+		t.Fatalf("post-cancel clear failed: %v", err)
+	}
+	if len(inner.set) != 0 {
+		t.Errorf("route survived a post-cancel clear: %v", inner.set)
+	}
+
+	// But a failing clear gets no retries once cancelled: one attempt, then
+	// the context error surfaces.
+	inner.failClr = errors.New("EBUSY")
+	before := r.Stats()
+	err := r.ClearInitCwnd(p)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	after := r.Stats()
+	if got := after.Attempts - before.Attempts; got != 1 {
+		t.Errorf("clear attempted %d times post-cancel, want exactly 1", got)
+	}
+	if after.Retries != before.Retries {
+		t.Errorf("clear retried post-cancel (retries %d -> %d)", before.Retries, after.Retries)
 	}
 }
 

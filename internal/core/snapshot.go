@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"net/netip"
+	"sort"
+	"time"
+)
+
+// This file implements the agent side of fleet sharing (internal/fleet):
+// exporting the learned table as a snapshot other agents can seed from, and
+// merging a remote snapshot into this agent's state.
+//
+// Merge follows the same lock discipline as Tick: the plan is computed under
+// a.mu with no backend I/O, routes are programmed outside any lock, and each
+// accepted entry commits under a.mu only after its route actually installed.
+// tickMu serializes the whole merge against Tick and Close, so a merge can
+// never interleave with a poll round's stages.
+//
+// The merge policy is deliberately conservative, per the paper's fallback
+// philosophy: remote entries only seed prefixes this agent has not observed
+// itself (fresh local observations always win), remote windows are
+// discounted toward CMin as they age, and entries older than MaxAge are
+// rejected outright. A merged entry keeps a shortened TTL — the remaining
+// life it had at its source — so an unconfirmed hint expires instead of
+// pinning a stale aggressive window.
+
+// SnapshotEntry is one learned destination in transit between agents: the
+// window, how much evidence backs it, and how stale it is. Ages are relative
+// durations rather than timestamps so snapshots survive machines with
+// different clocks (and the simulator's virtual time).
+type SnapshotEntry struct {
+	// Prefix is the destination the entry covers.
+	Prefix netip.Prefix
+	// Window is the initcwnd the source agent had programmed.
+	Window int
+	// Samples is the cumulative observation count behind the window.
+	Samples uint64
+	// Age is how long before export the entry was last refreshed (local
+	// refresh time plus any age it carried when the source itself merged
+	// it from a peer).
+	Age time.Duration
+}
+
+// MergePolicy tunes MergeSnapshot. The zero value gives TTL-derived
+// defaults.
+type MergePolicy struct {
+	// MaxAge rejects remote entries older than this. 0 means the agent's
+	// TTL: an entry that old would have expired locally anyway.
+	MaxAge time.Duration
+	// StalenessHalfLife controls the discount applied to remote windows:
+	// the excess over CMin halves every half-life of age, so a stale hint
+	// jump-starts conservatively rather than at its source's full
+	// confidence. 0 means MaxAge/2; negative disables discounting.
+	StalenessHalfLife time.Duration
+	// MinSamples rejects remote entries backed by fewer observations.
+	// 0 means 1.
+	MinSamples uint64
+}
+
+func (p MergePolicy) withDefaults(ttl time.Duration) (MergePolicy, error) {
+	if p.MaxAge == 0 {
+		p.MaxAge = ttl
+	}
+	if p.MaxAge < 0 {
+		return p, fmt.Errorf("riptide/core: MergePolicy.MaxAge %v must be positive", p.MaxAge)
+	}
+	if p.StalenessHalfLife == 0 {
+		p.StalenessHalfLife = p.MaxAge / 2
+	}
+	if p.MinSamples == 0 {
+		p.MinSamples = 1
+	}
+	return p, nil
+}
+
+// MergeStats reports what one MergeSnapshot call did.
+type MergeStats struct {
+	// Merged entries were accepted and their routes programmed.
+	Merged int `json:"merged"`
+	// SkippedLocal entries were rejected because this agent already has a
+	// local entry for the prefix.
+	SkippedLocal int `json:"skippedLocal"`
+	// SkippedStale entries were rejected by MaxAge, MinSamples, an
+	// invalid prefix/window, or no remaining TTL.
+	SkippedStale int `json:"skippedStale"`
+	// Errors counts accepted entries whose route programming failed; they
+	// were not committed.
+	Errors int `json:"errors"`
+}
+
+// ExportSnapshot returns the agent's learned table as fleet snapshot
+// entries, sorted by prefix. Ages are measured against the agent's clock; an
+// entry that was itself merged from a peer exports its local age plus the
+// age it carried when merged, so staleness accumulates across hops instead
+// of resetting.
+func (a *Agent) ExportSnapshot() []SnapshotEntry {
+	now := a.cfg.Clock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]SnapshotEntry, 0, len(a.entries))
+	for p, e := range a.entries {
+		age := now - e.updated
+		if age < 0 {
+			age = 0
+		}
+		out = append(out, SnapshotEntry{
+			Prefix:  p,
+			Window:  e.window,
+			Samples: e.samples,
+			Age:     age + e.mergedAge,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessPrefix(out[i].Prefix, out[j].Prefix) })
+	return out
+}
+
+// discountWindow ages a remote window toward the agent's CMin: the excess
+// over CMin halves every half-life. A non-positive half-life disables the
+// discount.
+func (a *Agent) discountWindow(window int, age, halfLife time.Duration) int {
+	if halfLife <= 0 || age <= 0 {
+		return a.clamp(float64(window))
+	}
+	excess := float64(window - a.cfg.CMin)
+	if excess <= 0 {
+		return a.clamp(float64(window))
+	}
+	decay := math.Exp2(-float64(age) / float64(halfLife))
+	return a.clamp(float64(a.cfg.CMin) + excess*decay)
+}
+
+// mergeOp is one planned snapshot seed.
+type mergeOp struct {
+	dst     netip.Prefix
+	window  int
+	samples uint64
+	age     time.Duration
+	expires time.Duration
+}
+
+// MergeSnapshot folds remote snapshot entries into the agent: entries for
+// unknown prefixes are staleness-discounted, programmed as routes, and
+// recorded with the remaining TTL they had at their source. Prefixes this
+// agent has local entries for are never touched — fresh local observations
+// always win, no matter how confident the remote entry looks. The first
+// route-programming error is returned after attempting all entries; entries
+// whose programming failed are not committed.
+func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (MergeStats, error) {
+	var stats MergeStats
+	policy, err := policy.withDefaults(a.cfg.TTL)
+	if err != nil {
+		return stats, err
+	}
+
+	a.tickMu.Lock()
+	defer a.tickMu.Unlock()
+
+	now := a.cfg.Clock()
+
+	// Stage 1: plan under the state lock; no backend I/O.
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return stats, ErrClosed
+	}
+	plan := make([]mergeOp, 0, len(entries))
+	planned := make(map[netip.Prefix]int, len(entries)) // index into plan
+	for _, se := range entries {
+		if !se.Prefix.IsValid() || se.Window < 1 || se.Age < 0 {
+			stats.SkippedStale++
+			continue
+		}
+		if se.Age > policy.MaxAge || se.Samples < policy.MinSamples {
+			stats.SkippedStale++
+			continue
+		}
+		remaining := a.cfg.TTL - se.Age
+		if remaining <= 0 {
+			stats.SkippedStale++
+			continue
+		}
+		key := se.Prefix.Masked()
+		if _, exists := a.entries[key]; exists {
+			stats.SkippedLocal++
+			continue
+		}
+		op := mergeOp{
+			dst:     key,
+			window:  a.discountWindow(se.Window, se.Age, policy.StalenessHalfLife),
+			samples: se.Samples,
+			age:     se.Age,
+			expires: now + remaining,
+		}
+		if i, dup := planned[key]; dup {
+			// Two remote entries for one prefix (e.g. a snapshot
+			// merged from several peers): keep the fresher one.
+			if op.age < plan[i].age {
+				plan[i] = op
+			}
+			continue
+		}
+		planned[key] = len(plan)
+		plan = append(plan, op)
+	}
+	a.mu.Unlock()
+
+	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
+
+	// Stage 2: program routes outside the lock.
+	var firstErr error
+	for _, op := range plan {
+		progStart := time.Now()
+		err := a.cfg.Routes.SetInitCwnd(op.dst, op.window)
+		a.mProgram.Observe(time.Since(progStart))
+		if err != nil {
+			stats.Errors++
+			a.countLocked(func(s *Stats) { s.RouteErrors++ })
+			if firstErr == nil {
+				firstErr = fmt.Errorf("merge initcwnd %v=%d: %w", op.dst, op.window, err)
+			}
+			continue
+		}
+
+		// Stage 3: commit under the state lock, only after the route
+		// actually installed. tickMu is held, so no Tick interleaved
+		// and the planned absence of a local entry still holds.
+		a.mu.Lock()
+		a.entries[op.dst] = &entry{
+			window:    op.window,
+			expires:   op.expires,
+			updated:   now,
+			samples:   op.samples,
+			programs:  1,
+			merged:    true,
+			mergedAge: op.age,
+		}
+		// Seed history so the first local observation blends with the
+		// fleet's estimate instead of starting from nothing.
+		a.cfg.History.Update(op.dst, float64(op.window))
+		a.stats.RoutesSet++
+		stats.Merged++
+		a.mu.Unlock()
+	}
+
+	a.countLocked(func(s *Stats) {
+		s.FleetMerged += uint64(stats.Merged)
+		s.FleetSkippedLocal += uint64(stats.SkippedLocal)
+		s.FleetSkippedStale += uint64(stats.SkippedStale)
+	})
+	a.cfg.Metrics.Counter("riptide_fleet_merged").Add(uint64(stats.Merged))
+	a.cfg.Metrics.Counter("riptide_fleet_skipped_local").Add(uint64(stats.SkippedLocal))
+	a.cfg.Metrics.Counter("riptide_fleet_skipped_stale").Add(uint64(stats.SkippedStale))
+	return stats, firstErr
+}

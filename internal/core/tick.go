@@ -115,7 +115,13 @@ func (a *Agent) Tick() error {
 			// The route is installed; fresh observations extend its
 			// life even if programming the new value fails below.
 			e.expires = now + a.cfg.TTL
+			e.updated = now
 			e.lastObs = g.n
+			e.samples += uint64(g.n)
+			// A local observation confirms (and from now on owns) an
+			// entry that was seeded from a fleet snapshot.
+			e.merged = false
+			e.mergedAge = 0
 			if e.window != final {
 				plan = append(plan, programOp{dst: dst, window: final, obs: g.n})
 			}
@@ -162,12 +168,17 @@ func (a *Agent) Tick() error {
 		}
 		e, ok := a.entries[op.dst]
 		if !ok {
-			e = &entry{}
+			// New destination: stage 2 could not count its samples
+			// because the entry did not exist yet.
+			e = &entry{samples: uint64(op.obs)}
 			a.entries[op.dst] = e
 		}
 		e.window = op.window
 		e.expires = now + a.cfg.TTL
+		e.updated = now
 		e.lastObs = op.obs
+		e.merged = false
+		e.mergedAge = 0
 		e.programs++
 		a.stats.RoutesSet++
 		a.mu.Unlock()

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"riptide/internal/cdn"
+	"riptide/internal/core"
+)
+
+// The fleet warm-start experiment quantifies the cold-start penalty fleet
+// sharing (internal/fleet) removes: a machine reboots inside a PoP whose
+// sibling machine has a fully learned table, and we count how many agent
+// ticks the rebooted agent needs to re-cover its steady-state route set —
+// once learning only from its own observations, once also merging its
+// sibling's snapshots, as riptided's -peers loop does in production.
+
+// fleetSharingInterval is the simulated peer-exchange cadence; comfortably
+// tighter than the probe cadence, as in a real deployment.
+const fleetSharingInterval = 5 * time.Second
+
+// fleetOutcome is one variant's convergence measurement.
+type fleetOutcome struct {
+	// steady is the rebooted machine's programmed-route count just before
+	// the reboot; target is the 90%-coverage goal derived from it.
+	steady, target int
+	// ticks is how many 1 s agent ticks the machine needed after the
+	// reboot to program target routes again.
+	ticks int
+}
+
+// fleetWarmStartRun measures one variant: build a 2-machine-per-PoP cluster
+// with probe-only traffic, reach steady state, reboot one machine of the
+// measurement PoP, and count ticks until it re-covers 90% of its
+// pre-reboot route set.
+func fleetWarmStartRun(s Scale, share bool) (fleetOutcome, error) {
+	c, err := cdn.NewCluster(cdn.Config{
+		PoPs:        s.PoPs,
+		HostsPerPoP: 2,
+		Seed:        s.Seed,
+		LossRate:    s.LossRate,
+		// A TTL well above the probe cadence: entries persist between
+		// rounds, so recovery speed is set by how fast observations (or
+		// peer snapshots) arrive, not by expiry churn.
+		Riptide: cdn.RiptideOptions{Enabled: true, TTL: 10 * time.Minute},
+		Traffic: cdn.TrafficOptions{
+			// Probe-only traffic at a slow cadence is the worst case for
+			// cold starts — the paper's hourly-probe regime, compressed.
+			ProbeInterval: 2 * time.Minute,
+			IdleTimeout:   time.Minute,
+		},
+	})
+	if err != nil {
+		return fleetOutcome{}, err
+	}
+	defer c.Stop()
+	if share {
+		if err := c.EnableFleetSharing(fleetSharingInterval, core.MergePolicy{}); err != nil {
+			return fleetOutcome{}, err
+		}
+	}
+
+	pop := fleetMeasurementPoP(s.PoPs)
+	warm := s.WarmUp
+	if warm < 10*time.Minute {
+		// At least a few probe rounds so the table is genuinely steady.
+		warm = 10 * time.Minute
+	}
+	c.Run(warm)
+
+	agent := c.AgentAt(pop, 0)
+	if agent == nil {
+		return fleetOutcome{}, fmt.Errorf("experiments: no agent at %s[0]", pop)
+	}
+	steady := len(agent.Entries())
+	if steady == 0 {
+		return fleetOutcome{}, fmt.Errorf("experiments: agent at %s[0] learned nothing during warm-up", pop)
+	}
+	target := (steady*9 + 9) / 10 // ceil(0.9 * steady)
+
+	if _, err := c.RebootHost(pop, 0); err != nil {
+		return fleetOutcome{}, err
+	}
+
+	// The agent ticks once per simulated second; advance second by second
+	// and count ticks until coverage recovers.
+	const maxTicks = 3600
+	ticks := 0
+	for ticks < maxTicks {
+		c.Run(time.Second)
+		ticks++
+		if len(c.AgentAt(pop, 0).Entries()) >= target {
+			return fleetOutcome{steady: steady, target: target, ticks: ticks}, nil
+		}
+	}
+	return fleetOutcome{}, fmt.Errorf("experiments: %s[0] did not re-cover %d/%d routes within %d ticks (share=%v)",
+		pop, target, steady, maxTicks, share)
+}
+
+// fleetMeasurementPoP picks the PoP whose machine is rebooted: lhr when
+// present (matching the other cluster experiments' vantage), else the first.
+func fleetMeasurementPoP(pops []cdn.PoP) string {
+	for _, p := range pops {
+		if p.Name == "lhr" {
+			return p.Name
+		}
+	}
+	return pops[0].Name
+}
+
+// FleetWarmStart measures restart convergence with and without fleet
+// sharing: how many ticks a rebooted machine needs to re-program 90% of its
+// steady-state route set when it must re-observe everything itself, versus
+// when it merges snapshots from its PoP sibling.
+func FleetWarmStart(s Scale) (Result, error) {
+	s = s.withDefaults()
+	cold, err := fleetWarmStartRun(s, false)
+	if err != nil {
+		return Result{}, err
+	}
+	shared, err := fleetWarmStartRun(s, true)
+	if err != nil {
+		return Result{}, err
+	}
+	ratio := float64(shared.ticks) / float64(cold.ticks)
+
+	tbl := Table{
+		Title:  "Ticks to re-cover 90% of steady-state routes after a machine reboot",
+		Header: []string{"variant", "steady routes", "90% target", "ticks to recover"},
+		Rows: [][]string{
+			{"cold restart", fmt.Sprintf("%d", cold.steady), fmt.Sprintf("%d", cold.target), fmt.Sprintf("%d", cold.ticks)},
+			{"fleet sharing", fmt.Sprintf("%d", shared.steady), fmt.Sprintf("%d", shared.target), fmt.Sprintf("%d", shared.ticks)},
+		},
+	}
+	return Result{
+		ID:     "fleet-warmstart",
+		Title:  "Fleet sharing: restart convergence vs cold start",
+		Tables: []Table{tbl},
+		Notes: []string{
+			fmt.Sprintf("cold restart re-covered %d/%d routes in %d ticks; fleet sharing in %d ticks (%.0f%% of cold)",
+				cold.target, cold.steady, cold.ticks, shared.ticks, 100*ratio),
+			fmt.Sprintf("fleet sharing reached 90%% coverage in %.1fx fewer ticks", float64(cold.ticks)/float64(shared.ticks)),
+		},
+	}, nil
+}

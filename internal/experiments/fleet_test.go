@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestFleetWarmStartConvergence is the subsystem's acceptance test: a
+// rebooted machine with fleet sharing must reach >=90% of its steady-state
+// route coverage in at most 25% of the ticks the cold-start machine needs.
+func TestFleetWarmStartConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation in -short mode")
+	}
+	s := QuickScale().withDefaults()
+	cold, err := fleetWarmStartRun(s, false)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	shared, err := fleetWarmStartRun(s, true)
+	if err != nil {
+		t.Fatalf("fleet run: %v", err)
+	}
+	t.Logf("cold: steady=%d target=%d ticks=%d; fleet: steady=%d target=%d ticks=%d",
+		cold.steady, cold.target, cold.ticks, shared.steady, shared.target, shared.ticks)
+	if cold.steady == 0 || shared.steady == 0 {
+		t.Fatal("a variant learned nothing at steady state")
+	}
+	// target is ceil(0.9*steady) by construction; the acceptance bound is
+	// on the tick ratio.
+	if 4*shared.ticks > cold.ticks {
+		t.Fatalf("fleet sharing took %d ticks vs cold %d — more than 25%%", shared.ticks, cold.ticks)
+	}
+}
+
+func TestFleetWarmStartResult(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation in -short mode")
+	}
+	r, err := FleetWarmStart(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "fleet-warmstart" {
+		t.Errorf("ID = %q", r.ID)
+	}
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 2 {
+		t.Errorf("tables = %+v", r.Tables)
+	}
+	if len(r.Notes) == 0 {
+		t.Error("no notes")
+	}
+}

@@ -1,0 +1,136 @@
+// Package fleet lets riptide agents share learned initcwnd state: a
+// versioned JSON snapshot format, atomic on-disk persistence for restart
+// warm-starts, and an HTTP peer-exchange layer (serve your snapshot, pull
+// your peers').
+//
+// Sharing is strictly advisory. A snapshot entry carries a relative age, not
+// a timestamp, so it survives machines with different wall clocks and the
+// simulator's virtual time; the receiving agent re-validates every entry
+// against its own merge policy (core.MergePolicy), and fresh local
+// observations always beat remote hints. A peer being down, slow, or
+// malformed degrades to local-only operation — the agent's own poll loop
+// never waits on fleet machinery.
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// Version is the current snapshot wire-format version. Decoders reject
+// snapshots from a different version rather than guessing at field
+// semantics.
+const Version = 1
+
+// Entry is one learned destination on the wire.
+type Entry struct {
+	// Prefix is the destination prefix in CIDR text form ("203.0.113.7/32").
+	Prefix string `json:"prefix"`
+	// Window is the initcwnd the source agent had programmed.
+	Window int `json:"window"`
+	// Samples is the cumulative observation count behind the window.
+	Samples uint64 `json:"samples"`
+	// AgeNanos is how long before the snapshot was created the entry was
+	// last refreshed, in nanoseconds. Ages are relative so snapshots are
+	// meaningful across machines with unsynchronized clocks.
+	AgeNanos int64 `json:"ageNanos"`
+}
+
+// Snapshot is the versioned wire format exchanged between agents and
+// persisted to disk.
+type Snapshot struct {
+	// Version is the wire-format version; see the package constant.
+	Version int `json:"version"`
+	// Source identifies the producing agent (hostname, sim node name);
+	// informational.
+	Source string `json:"source,omitempty"`
+	// CreatedUnixNano is the producer's wall-clock time at export. It is
+	// used only by the producer itself (load-and-age across a restart);
+	// consumers on other machines must rely on the per-entry ages.
+	CreatedUnixNano int64 `json:"createdUnixNano"`
+	// Entries is the learned table, sorted by prefix.
+	Entries []Entry `json:"entries"`
+}
+
+// FromAgent exports the agent's learned table as a wire snapshot.
+func FromAgent(a *core.Agent, source string, created time.Time) Snapshot {
+	exported := a.ExportSnapshot()
+	entries := make([]Entry, 0, len(exported))
+	for _, se := range exported {
+		entries = append(entries, Entry{
+			Prefix:   se.Prefix.String(),
+			Window:   se.Window,
+			Samples:  se.Samples,
+			AgeNanos: int64(se.Age),
+		})
+	}
+	return Snapshot{
+		Version:         Version,
+		Source:          source,
+		CreatedUnixNano: created.UnixNano(),
+		Entries:         entries,
+	}
+}
+
+// CoreEntries converts the snapshot to the form core.Agent.MergeSnapshot
+// consumes. Entries whose prefix does not parse are passed through as
+// invalid prefixes, which the merge counts as skipped-stale — one malformed
+// entry never poisons the rest of a snapshot.
+func (s Snapshot) CoreEntries() []core.SnapshotEntry {
+	out := make([]core.SnapshotEntry, 0, len(s.Entries))
+	for _, e := range s.Entries {
+		p, err := netip.ParsePrefix(e.Prefix)
+		if err != nil {
+			p = netip.Prefix{} // invalid; MergeSnapshot skips it
+		}
+		out = append(out, core.SnapshotEntry{
+			Prefix:  p,
+			Window:  e.Window,
+			Samples: e.Samples,
+			Age:     time.Duration(e.AgeNanos),
+		})
+	}
+	return out
+}
+
+// AgedBy returns a copy of the snapshot with d added to every entry's age.
+// It implements load-and-age: a snapshot written before a restart is aged by
+// the downtime, so the merge policy judges its entries by how stale they
+// really are, not how stale they were at save time. Non-positive d returns
+// the snapshot unchanged.
+func (s Snapshot) AgedBy(d time.Duration) Snapshot {
+	if d <= 0 {
+		return s
+	}
+	entries := make([]Entry, len(s.Entries))
+	copy(entries, s.Entries)
+	for i := range entries {
+		entries[i].AgeNanos += int64(d)
+	}
+	s.Entries = entries
+	return s
+}
+
+// Encode serializes the snapshot as JSON.
+func Encode(s Snapshot) ([]byte, error) {
+	if s.Version != Version {
+		return nil, fmt.Errorf("riptide/fleet: encode version %d, want %d", s.Version, Version)
+	}
+	return json.Marshal(s)
+}
+
+// Decode parses a wire snapshot, rejecting unknown versions.
+func Decode(data []byte) (Snapshot, error) {
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Snapshot{}, fmt.Errorf("riptide/fleet: decode snapshot: %w", err)
+	}
+	if s.Version != Version {
+		return Snapshot{}, fmt.Errorf("riptide/fleet: snapshot version %d, want %d", s.Version, Version)
+	}
+	return s, nil
+}

@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// SnapshotPath is the URL path riptided serves its fleet snapshot on.
+const SnapshotPath = "/fleet/snapshot"
+
+// maxSnapshotBytes bounds how much of a peer's response the puller will
+// read: a misbehaving peer cannot balloon this agent's memory. 10k entries
+// are well under 1 MiB; 16 MiB leaves generous headroom.
+const maxSnapshotBytes = 16 << 20
+
+// Handler serves the agent's current snapshot as JSON on GET. now supplies
+// the CreatedUnixNano stamp; nil means time.Now.
+func Handler(agent *core.Agent, source string, now func() time.Time) http.Handler {
+	if now == nil {
+		now = time.Now
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := Encode(FromAgent(agent, source, now()))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(append(data, '\n'))
+	})
+}
+
+// NormalizePeerURL turns a peer spec from the -peers flag into a snapshot
+// URL: a bare host:port gets the http scheme and the snapshot path; a URL
+// with an explicit path is used as given.
+func NormalizePeerURL(peer string) string {
+	p := strings.TrimSpace(peer)
+	if p == "" {
+		return ""
+	}
+	if !strings.Contains(p, "://") {
+		p = "http://" + p
+	}
+	// Split off scheme://host and check whether a path was given.
+	rest := p[strings.Index(p, "://")+3:]
+	if i := strings.IndexByte(rest, '/'); i < 0 {
+		p += SnapshotPath
+	} else if rest[i:] == "/" {
+		p = p[:len(p)-1] + SnapshotPath
+	}
+	return p
+}
+
+// PeerHealth is the observable state of one peer, exposed via /status.
+type PeerHealth struct {
+	// URL is the peer's snapshot URL.
+	URL string `json:"url"`
+	// Healthy is true when the most recent pull succeeded.
+	Healthy bool `json:"healthy"`
+	// Failures counts consecutive failed pulls; reset on success.
+	Failures int `json:"failures"`
+	// LastError describes the most recent failure, empty when healthy.
+	LastError string `json:"lastError,omitempty"`
+	// Pulls and Merged count successful pulls and entries merged from this
+	// peer over the puller's lifetime.
+	Pulls  uint64 `json:"pulls"`
+	Merged uint64 `json:"merged"`
+}
+
+// peerState is a peer plus its backoff bookkeeping.
+type peerState struct {
+	health      PeerHealth
+	nextAttempt time.Time // zero means eligible immediately
+}
+
+// PullerConfig configures a Puller.
+type PullerConfig struct {
+	// Agent receives merged snapshots; required.
+	Agent *core.Agent
+	// Peers are the snapshot URLs to pull (pass through NormalizePeerURL).
+	Peers []string
+	// Interval between pull rounds. 0 means 30 seconds.
+	Interval time.Duration
+	// MaxBackoff caps the per-peer retry backoff. 0 means 8× Interval.
+	MaxBackoff time.Duration
+	// Timeout bounds each HTTP request. 0 means 5 seconds.
+	Timeout time.Duration
+	// Policy is applied to every merge; the zero value uses the agent's
+	// TTL-derived defaults.
+	Policy core.MergePolicy
+	// Client is the HTTP client; nil means a default client (the per-pull
+	// timeout still applies via request contexts).
+	Client *http.Client
+	// Now supplies time for backoff scheduling; nil means time.Now.
+	Now func() time.Time
+	// Logf, if set, receives pull errors; pulling continues regardless.
+	Logf func(format string, args ...any)
+}
+
+// Puller periodically fetches snapshots from fleet peers and merges them
+// into the local agent. Each peer fails independently: a down peer backs
+// off exponentially (up to MaxBackoff) while the others keep being pulled,
+// and the agent's own tick loop is never involved — peer trouble degrades
+// to local-only learning, not to stalls.
+type Puller struct {
+	cfg PullerConfig
+
+	mu    sync.Mutex
+	peers []*peerState
+}
+
+// NewPuller validates the config and returns a Puller.
+func NewPuller(cfg PullerConfig) (*Puller, error) {
+	if cfg.Agent == nil {
+		return nil, fmt.Errorf("riptide/fleet: PullerConfig.Agent is required")
+	}
+	if cfg.Interval == 0 {
+		cfg.Interval = 30 * time.Second
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("riptide/fleet: Interval %v must be positive", cfg.Interval)
+	}
+	if cfg.MaxBackoff == 0 {
+		cfg.MaxBackoff = 8 * cfg.Interval
+	}
+	if cfg.Timeout == 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{}
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	p := &Puller{cfg: cfg}
+	for _, raw := range cfg.Peers {
+		u := NormalizePeerURL(raw)
+		if u == "" {
+			continue
+		}
+		p.peers = append(p.peers, &peerState{health: PeerHealth{URL: u}})
+	}
+	return p, nil
+}
+
+// Health returns a snapshot of every peer's state, sorted by URL.
+func (p *Puller) Health() []PeerHealth {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]PeerHealth, 0, len(p.peers))
+	for _, ps := range p.peers {
+		out = append(out, ps.health)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].URL < out[j].URL })
+	return out
+}
+
+// Run pulls every Interval until ctx is canceled.
+func (p *Puller) Run(ctx context.Context) {
+	t := time.NewTicker(p.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.PullOnce(ctx)
+		}
+	}
+}
+
+// PullOnce attempts one pull round: every peer whose backoff has lapsed is
+// fetched and merged. It returns the number of entries merged this round.
+func (p *Puller) PullOnce(ctx context.Context) int {
+	now := p.cfg.Now()
+
+	p.mu.Lock()
+	due := make([]*peerState, 0, len(p.peers))
+	for _, ps := range p.peers {
+		if !ps.nextAttempt.After(now) {
+			due = append(due, ps)
+		}
+	}
+	p.mu.Unlock()
+
+	merged := 0
+	for _, ps := range due {
+		if ctx.Err() != nil {
+			return merged
+		}
+		stats, err := p.pullPeer(ctx, ps.health.URL)
+		p.mu.Lock()
+		if err != nil {
+			ps.health.Healthy = false
+			ps.health.Failures++
+			ps.health.LastError = err.Error()
+			ps.nextAttempt = p.cfg.Now().Add(p.backoff(ps.health.Failures))
+			p.mu.Unlock()
+			p.cfg.Agent.Metrics().Counter("riptide_peer_pull_errors").Inc()
+			if p.cfg.Logf != nil {
+				p.cfg.Logf("fleet: pull %s: %v", ps.health.URL, err)
+			}
+			continue
+		}
+		ps.health.Healthy = true
+		ps.health.Failures = 0
+		ps.health.LastError = ""
+		ps.health.Pulls++
+		ps.health.Merged += uint64(stats.Merged)
+		ps.nextAttempt = time.Time{}
+		p.mu.Unlock()
+		p.cfg.Agent.Metrics().Counter("riptide_peer_pulls").Inc()
+		merged += stats.Merged
+	}
+	return merged
+}
+
+// backoff returns the wait after `failures` consecutive failures: the pull
+// interval doubled per extra failure, capped at MaxBackoff.
+func (p *Puller) backoff(failures int) time.Duration {
+	d := p.cfg.Interval
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= p.cfg.MaxBackoff {
+			return p.cfg.MaxBackoff
+		}
+	}
+	if d > p.cfg.MaxBackoff {
+		d = p.cfg.MaxBackoff
+	}
+	return d
+}
+
+// pullPeer fetches one peer's snapshot and merges it into the agent.
+func (p *Puller) pullPeer(ctx context.Context, url string) (core.MergeStats, error) {
+	reqCtx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
+	if err != nil {
+		return core.MergeStats{}, err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return core.MergeStats{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return core.MergeStats{}, fmt.Errorf("status %s", resp.Status)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return core.MergeStats{}, err
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return core.MergeStats{}, err
+	}
+	stats, err := p.cfg.Agent.MergeSnapshot(snap.CoreEntries(), p.cfg.Policy)
+	if err != nil {
+		// Route-programming failures are the agent's problem, not the
+		// peer's; the pull itself succeeded. Surface via log only.
+		if p.cfg.Logf != nil {
+			p.cfg.Logf("fleet: merge from %s: %v", url, err)
+		}
+	}
+	return stats, nil
+}

@@ -127,6 +127,96 @@ func TestRouteWithZeroInitCwndFallsBack(t *testing.T) {
 	}
 }
 
+func TestDefaultRouteZeroPrefix(t *testing.T) {
+	h := newHost(t)
+	def := prefix(t, "0.0.0.0/0")
+	if err := h.AddRoute(Route{Prefix: def, InitCwnd: 24}); err != nil {
+		t.Fatal(err)
+	}
+	// The /0 matches every destination, like `ip route replace default`.
+	for _, dst := range []string{"10.0.0.9", "192.0.2.1", "255.255.255.255"} {
+		if got := h.InitCwndFor(addr(t, dst)); got != 24 {
+			t.Errorf("InitCwndFor(%s) = %d, want 24 from the default route", dst, got)
+		}
+	}
+
+	// Any longer prefix beats the /0.
+	if err := h.AddRoute(Route{Prefix: prefix(t, "192.0.2.0/24"), InitCwnd: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "192.0.2.1")); got != 64 {
+		t.Errorf("InitCwndFor(192.0.2.1) = %d, want 64 (the /24, not the /0)", got)
+	}
+	if got := h.InitCwndFor(addr(t, "198.51.100.1")); got != 24 {
+		t.Errorf("InitCwndFor(198.51.100.1) = %d, want 24 (back to the /0)", got)
+	}
+
+	// Withdrawing the /0 restores the kernel default everywhere else.
+	if !h.DelRoute(def) {
+		t.Fatal("DelRoute(/0) found nothing")
+	}
+	if got := h.InitCwndFor(addr(t, "198.51.100.1")); got != DefaultInitCwnd {
+		t.Errorf("InitCwndFor after /0 removal = %d, want kernel default %d", got, DefaultInitCwnd)
+	}
+	if r, ok := h.Lookup(addr(t, "192.0.2.1")); !ok || r.Prefix != prefix(t, "192.0.2.0/24") {
+		t.Errorf("Lookup(192.0.2.1) = %v,%v, want the surviving /24", r, ok)
+	}
+}
+
+// TestZeroInitCwndShadowsBroaderOverride pins the Linux metric semantics:
+// only the longest-prefix-match route's metrics apply. A /32 without an
+// initcwnd shadows a /8 that sets one — the connection starts at the kernel
+// default, not at the broader route's window.
+func TestZeroInitCwndShadowsBroaderOverride(t *testing.T) {
+	h := newHost(t)
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.0.0.0/8"), InitCwnd: 50}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.1.2.3/32")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.3")); got != DefaultInitCwnd {
+		t.Errorf("InitCwndFor(10.1.2.3) = %d, want kernel default %d (the /32 shadows the /8)",
+			got, DefaultInitCwnd)
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.4")); got != 50 {
+		t.Errorf("InitCwndFor(10.1.2.4) = %d, want 50 from the /8", got)
+	}
+	if r, ok := h.Lookup(addr(t, "10.1.2.3")); !ok || r.Prefix.Bits() != 32 {
+		t.Errorf("Lookup(10.1.2.3) = %v,%v, want the /32", r, ok)
+	}
+}
+
+func TestOverlappingSiblingPrefixes(t *testing.T) {
+	h := newHost(t)
+	for _, r := range []Route{
+		{Prefix: prefix(t, "10.1.2.0/24"), InitCwnd: 30},
+		{Prefix: prefix(t, "10.1.2.0/25"), InitCwnd: 60},
+		{Prefix: prefix(t, "10.1.2.128/25"), InitCwnd: 90},
+	} {
+		if err := h.AddRoute(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.5")); got != 60 {
+		t.Errorf("lower /25 half: got %d, want 60", got)
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.200")); got != 90 {
+		t.Errorf("upper /25 half: got %d, want 90", got)
+	}
+	// Removing one /25 uncovers the /24 beneath it; the sibling half is
+	// untouched.
+	if !h.DelRoute(prefix(t, "10.1.2.0/25")) {
+		t.Fatal("DelRoute(/25) found nothing")
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.5")); got != 30 {
+		t.Errorf("after /25 removal: got %d, want 30 from the /24", got)
+	}
+	if got := h.InitCwndFor(addr(t, "10.1.2.200")); got != 90 {
+		t.Errorf("sibling /25 after removal: got %d, want 90", got)
+	}
+}
+
 func TestAddRouteReplaces(t *testing.T) {
 	h := newHost(t)
 	p := prefix(t, "10.2.0.0/16")

@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"bytes"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"riptide/internal/cdn"
+)
+
+// TestProbeRoundTripQuoting pins CSV escaping: PoP labels with commas,
+// quotes, and newlines must survive a write/read cycle byte-for-byte.
+func TestProbeRoundTripQuoting(t *testing.T) {
+	recs := []cdn.ProbeRecord{{
+		Src: `lhr, "west"`, Dst: "jfk\nannex",
+		RTT: 10 * time.Millisecond, Bucket: cdn.BucketFor(10 * time.Millisecond),
+		At: time.Second,
+	}}
+	var buf bytes.Buffer
+	if err := WriteProbes(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadProbes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != recs[0] {
+		t.Errorf("round trip = %+v, want %+v", got, recs)
+	}
+}
+
+func TestReadProbesShortRow(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProbes(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	// A truncated data row must be rejected, not silently zero-filled.
+	if _, err := ReadProbes(strings.NewReader(buf.String() + "lhr,jfk\n")); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+// FuzzReadProbes asserts two invariants on arbitrary input: the parser
+// never panics, and anything it accepts can be re-serialized and read
+// back (write-what-we-read closure).
+func FuzzReadProbes(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteProbes(&valid, []cdn.ProbeRecord{{
+		Src: "lhr", Dst: "jfk",
+		SrcHost: netip.MustParseAddr("10.1.0.1"),
+		RTT:     80 * time.Millisecond, Bucket: cdn.BucketMedium,
+		Elapsed: 320 * time.Millisecond, Rounds: 4, InitCwnd: 80,
+		FreshConn: true, At: 5 * time.Minute,
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	header := "src,dst,src_host,dst_host,size_bytes,rtt_ms,bucket,elapsed_ms,rounds,initcwnd,fresh_conn,at_ms\n"
+	f.Add("")
+	f.Add(header)
+	f.Add("a,b,c\n")
+	f.Add(header + "lhr,jfk\n")                                                    // short row
+	f.Add(header + "lhr,jfk,bogus-addr,,x,y,near,z,q,w,maybe,n\n")                 // junk fields
+	f.Add(header + "lhr,jfk,10.1.0.1,,1,2,near,3,4,5,true,99999999999999999999\n") // overflow
+	f.Add(header + `"unterminated`)                                                // broken quoting
+	f.Add(header + "lhr,jfk,10.1.0.1,10.2.0.1,1,-5,near,-1,0,0,false,-9\n")        // negative values
+
+	f.Fuzz(func(t *testing.T, s string) {
+		recs, err := ReadProbes(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteProbes(&out, recs); err != nil {
+			t.Fatalf("accepted records failed to serialize: %v", err)
+		}
+		again, err := ReadProbes(&out)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(again) != len(recs) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(recs), len(again))
+		}
+	})
+}
+
+// FuzzReadCwndSamples mirrors FuzzReadProbes for the window-sample schema.
+func FuzzReadCwndSamples(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteCwndSamples(&valid, []cdn.CwndSample{{
+		Src: "lhr", Host: netip.MustParseAddr("10.1.0.1"), Dst: "10.11.0.1",
+		Cwnd: 100, OpenedAfterStart: true, At: 3 * time.Minute,
+	}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.String())
+	header := "src,host,dst,cwnd,opened_after_start,at_ms\n"
+	f.Add("")
+	f.Add(header)
+	f.Add("x,y\n")
+	f.Add(header + "lhr,not-an-ip,d,1,true,1\n")
+	f.Add(header + "lhr,10.1.0.1,d,NaN,true,1\n")
+	f.Add(header + "lhr,10.1.0.1,d,1,perhaps,1\n")
+	f.Add(header + "lhr,10.1.0.1,d,1,true\n") // short row
+	f.Add(header + `",,`)
+
+	f.Fuzz(func(t *testing.T, s string) {
+		samples, err := ReadCwndSamples(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteCwndSamples(&out, samples); err != nil {
+			t.Fatalf("accepted samples failed to serialize: %v", err)
+		}
+		again, err := ReadCwndSamples(&out)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if len(again) != len(samples) {
+			t.Fatalf("round trip changed sample count: %d -> %d", len(samples), len(again))
+		}
+	})
+}
