@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race race bench report report-full fuzz examples clean
+.PHONY: all check build vet test test-short test-race race bench report report-full fuzz fuzz-guard examples clean
 
 all: check
 
@@ -24,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/linux/... ./internal/fleet/...
+	$(GO) test -race ./internal/core/... ./internal/guard/... ./internal/linux/... ./internal/fleet/...
 
 race:
 	$(GO) test -race ./internal/core ./internal/kernel .
@@ -45,6 +45,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzParseIPRouteShow -fuzztime=30s ./internal/linux
 	$(GO) test -fuzz=FuzzReadProbes -fuzztime=30s ./internal/trace
 	$(GO) test -fuzz=FuzzReadCwndSamples -fuzztime=30s ./internal/trace
+
+# Fuzz the governor's telemetry intake: arbitrary (including adversarial)
+# counter values must never panic it or corrupt its state invariants.
+fuzz-guard:
+	$(GO) test -fuzz=FuzzGovernorObserve -fuzztime=30s ./internal/guard
 
 examples:
 	$(GO) run ./examples/quickstart

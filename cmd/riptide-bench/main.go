@@ -108,6 +108,7 @@ func report(w io.Writer, s experiments.Scale, seed int64, n int, seriesDir strin
 		{section: "Extensions (Section V)", run: func() (experiments.Result, error) { return experiments.ExtensionTrendReaction(seed) }},
 		{run: func() (experiments.Result, error) { return experiments.ExtensionAdvisorShift(seed) }},
 		{section: "Fleet sharing", run: func() (experiments.Result, error) { return experiments.FleetWarmStart(s) }},
+		{section: "Safety governor", run: func() (experiments.Result, error) { return experiments.GuardCapacityCut(seed) }},
 	}
 	for i, name := range experiments.ScenarioNames() {
 		name := name

@@ -201,7 +201,7 @@ func TestStatusServesFleetSnapshot(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, nil, &fleetState{Source: "host-a"})
+	h := newStatusHandler(agent, nil, &fleetState{Source: "host-a"}, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/fleet/snapshot", nil))
 	if rec.Code != 200 {
@@ -228,7 +228,7 @@ func TestStatusIncludesPeerHealth(t *testing.T) {
 	}
 	puller.PullOnce(context.Background())
 
-	h := newStatusHandler(agent, nil, &fleetState{Source: "host-a", Puller: puller})
+	h := newStatusHandler(agent, nil, &fleetState{Source: "host-a", Puller: puller}, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	var payload statusPayload
@@ -243,7 +243,7 @@ func TestStatusIncludesPeerHealth(t *testing.T) {
 	}
 
 	// Without fleet wiring the section is omitted.
-	h = newStatusHandler(agent, nil, nil)
+	h = newStatusHandler(agent, nil, nil, nil)
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	var bare map[string]json.RawMessage

@@ -24,6 +24,7 @@ import (
 	"riptide"
 	"riptide/internal/core"
 	"riptide/internal/fleet"
+	"riptide/internal/guard"
 	"riptide/internal/linux"
 	"riptide/internal/metrics"
 )
@@ -75,6 +76,10 @@ func run(args []string) error {
 
 		breakerThreshold = fs.Int("breaker-threshold", core.DefaultBreakerThreshold, "consecutive ss failures that open the sampler circuit breaker (negative disables)")
 		breakerCooldown  = fs.Duration("breaker-cooldown", core.DefaultBreakerCooldown, "how long the open breaker degrades ticks to expiry-only before probing ss again")
+
+		guardOn       = fs.Bool("guard", false, "enable the loss-feedback safety governor (throttles, then quarantines, destinations whose loss regresses under the programmed window)")
+		guardHoldback = fs.Float64("guard-holdback", guard.DefaultHoldback, "fraction of destinations held back at the kernel default as the governor's canary baseline")
+		guardQuarTTL  = fs.Duration("guard-quarantine-ttl", guard.DefaultQuarantineTTL, "quarantine cool-down before the governor probes a destination again")
 
 		snapshotFile     = fs.String("snapshot-file", "", "persist the learned table to this file (periodic + on shutdown) and warm-start from it on boot")
 		snapshotInterval = fs.Duration("snapshot-interval", time.Minute, "how often to persist the snapshot file")
@@ -164,10 +169,28 @@ func run(args []string) error {
 	}
 
 	start := time.Now()
-	agent, err := core.New(core.Config{
+	clock := func() time.Duration { return time.Since(start) }
+
+	// The governor shares the agent's clock and metrics registry, so its
+	// quarantine cool-downs and transition counters line up with the
+	// agent's ticks in /metrics.
+	var gov *guard.Governor
+	if *guardOn {
+		gov, err = guard.New(guard.Config{
+			Holdback:      *guardHoldback,
+			QuarantineTTL: *guardQuarTTL,
+			Clock:         clock,
+			Metrics:       reg,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := core.Config{
 		Sampler:          sampler,
 		Routes:           retry,
-		Clock:            func() time.Duration { return time.Since(start) },
+		Clock:            clock,
 		UpdateInterval:   *interval,
 		TTL:              *ttl,
 		Alpha:            *alpha,
@@ -178,7 +201,13 @@ func run(args []string) error {
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
 		Metrics:          reg,
-	})
+	}
+	if gov != nil {
+		// Assigned only when non-nil: a typed-nil *guard.Governor in the
+		// interface field would read as "governor present" to the agent.
+		cfg.Guard = gov
+	}
+	agent, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
@@ -237,14 +266,14 @@ func run(args []string) error {
 
 	if *statusAddr != "" {
 		go func() {
-			if err := serveStatus(ctx, *statusAddr, agent, retry, fl); err != nil {
+			if err := serveStatus(ctx, *statusAddr, agent, retry, fl, gov); err != nil {
 				logger.Printf("status server: %v", err)
 			}
 		}()
 	}
 
-	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s dry-run=%v",
-		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, *dryRun)
+	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s dry-run=%v guard=%v",
+		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, *dryRun, *guardOn)
 
 	if *verbose {
 		go func() {

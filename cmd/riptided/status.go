@@ -13,6 +13,7 @@ import (
 
 	"riptide/internal/core"
 	"riptide/internal/fleet"
+	"riptide/internal/guard"
 	"riptide/internal/metrics"
 )
 
@@ -22,6 +23,19 @@ type statusPayload struct {
 	Stats   core.Stats       `json:"stats"`
 	Retry   *core.RetryStats `json:"retry,omitempty"`
 	Fleet   *fleetPayload    `json:"fleet,omitempty"`
+	Guard   *guardPayload    `json:"guard,omitempty"`
+}
+
+// guardPayload is the safety-governor section of /status: per-state
+// destination counts plus every active quarantine.
+type guardPayload struct {
+	guard.Status
+	Quarantines []quarantinePayload `json:"quarantines"`
+}
+
+type quarantinePayload struct {
+	Prefix string `json:"prefix"`
+	Age    string `json:"age"`
 }
 
 // fleetPayload is the fleet-sharing section of /status: who we are and how
@@ -56,8 +70,8 @@ type metricsPayload struct {
 // /metrics.json (full JSON snapshot), /healthz (200 once ticking), and
 // /fleet/snapshot (the agent's learned table for fleet peers). retry may be
 // nil when the daemon runs without the retry decorator; fl may be nil when
-// fleet sharing is not configured.
-func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState) http.Handler {
+// fleet sharing is not configured; gov may be nil when the governor is off.
+func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState, gov *guard.Governor) http.Handler {
 	retryStats := func() *core.RetryStats {
 		if retry == nil {
 			return nil
@@ -75,6 +89,19 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 		}
 		return &fleetPayload{Source: fl.Source, Peers: fl.Puller.Health()}
 	}
+	guardStatus := func() *guardPayload {
+		if gov == nil {
+			return nil
+		}
+		p := &guardPayload{Status: gov.Status(), Quarantines: []quarantinePayload{}}
+		for _, q := range gov.Quarantines() {
+			p.Quarantines = append(p.Quarantines, quarantinePayload{
+				Prefix: q.Prefix.String(),
+				Age:    q.Age.String(),
+			})
+		}
+		return p
+	}
 	mux := http.NewServeMux()
 	mux.Handle(fleet.SnapshotPath, fleet.Handler(agent, source, nil))
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
@@ -88,6 +115,7 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 			Stats:   agent.Stats(),
 			Retry:   retryStats(),
 			Fleet:   fleetStatus(),
+			Guard:   guardStatus(),
 		}
 		if payload.Entries == nil {
 			payload.Entries = []core.Entry{}
@@ -149,6 +177,10 @@ func writeMetrics(w io.Writer, agent *core.Agent) {
 		{"riptide_route_errors_total", "Failed ip route invocations", s.RouteErrors},
 		{"riptide_degraded_ticks_total", "Expiry-only ticks while the sampler breaker was open", s.DegradedTicks},
 		{"riptide_breaker_opens_total", "Sampler circuit-breaker open transitions", s.BreakerOpens},
+		{"riptide_guard_capped_total", "Route programs whose window the governor reduced", s.GuardCapped},
+		{"riptide_guard_vetoed_total", "Route programs skipped on the governor's verdict", s.GuardVetoed},
+		{"riptide_guard_quarantined_total", "Governor vetoes that were quarantine decisions", s.GuardQuarantined},
+		{"riptide_guard_cleared_total", "Installed routes withdrawn on a governor veto", s.GuardCleared},
 	}
 	for _, c := range counters {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.value)
@@ -199,13 +231,13 @@ func writeRegistryMetrics(w io.Writer, snap metrics.Snapshot) {
 
 // serveStatus runs the status endpoint until ctx is done. Errors other than
 // a clean shutdown are returned.
-func serveStatus(ctx context.Context, addr string, agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState) error {
+func serveStatus(ctx context.Context, addr string, agent *core.Agent, retry *core.RetryingRouteProgrammer, fl *fleetState, gov *guard.Governor) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           newStatusHandler(agent, retry, fl),
+		Handler:           newStatusHandler(agent, retry, fl, gov),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	done := make(chan error, 1)

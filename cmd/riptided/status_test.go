@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/guard"
 )
 
 type staticSampler []core.Observation
@@ -39,7 +40,7 @@ func TestStatusEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, nil, nil)
+	h := newStatusHandler(agent, nil, nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
@@ -59,7 +60,7 @@ func TestStatusEndpoint(t *testing.T) {
 }
 
 func TestStatusMethodNotAllowed(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t), nil, nil)
+	h := newStatusHandler(newTestAgent(t), nil, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("POST", "/status", nil))
 	if rec.Code != 405 {
@@ -69,7 +70,7 @@ func TestStatusMethodNotAllowed(t *testing.T) {
 
 func TestHealthzBeforeAndAfterTick(t *testing.T) {
 	agent := newTestAgent(t)
-	h := newStatusHandler(agent, nil, nil)
+	h := newStatusHandler(agent, nil, nil, nil)
 
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
@@ -88,7 +89,7 @@ func TestHealthzBeforeAndAfterTick(t *testing.T) {
 }
 
 func TestStatusEmptyEntriesIsArray(t *testing.T) {
-	h := newStatusHandler(newTestAgent(t), nil, nil)
+	h := newStatusHandler(newTestAgent(t), nil, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	body := rec.Body.String()
@@ -102,7 +103,7 @@ func TestMetricsEndpoint(t *testing.T) {
 	if err := agent.Tick(); err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, nil, nil)
+	h := newStatusHandler(agent, nil, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
 	if rec.Code != 200 {
@@ -145,7 +146,7 @@ func TestMetricsJSONEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	h := newStatusHandler(agent, retry, nil)
+	h := newStatusHandler(agent, retry, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics.json", nil))
 	if rec.Code != 200 {
@@ -199,13 +200,66 @@ func (r *retryOnceRoutes) SetInitCwnd(netip.Prefix, int) error {
 
 func (r *retryOnceRoutes) ClearInitCwnd(netip.Prefix) error { return nil }
 
+func TestStatusIncludesGuardSection(t *testing.T) {
+	agent := newTestAgent(t)
+	gov, err := guard.New(guard.Config{Clock: func() time.Duration { return 0 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov.ObserveSample(netip.MustParsePrefix("10.0.0.7/32"), core.Observation{SegsOut: 100})
+	gov.ObserveTick(time.Second)
+
+	h := newStatusHandler(agent, nil, nil, gov)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	var payload statusPayload
+	if err := json.Unmarshal(rec.Body.Bytes(), &payload); err != nil {
+		t.Fatal(err)
+	}
+	if payload.Guard == nil || payload.Guard.Healthy != 1 {
+		t.Errorf("guard section = %+v, want one healthy destination", payload.Guard)
+	}
+	if payload.Guard.Quarantines == nil {
+		t.Error("quarantines must encode as [], not null")
+	}
+
+	// Without the governor the section is omitted entirely.
+	h = newStatusHandler(agent, nil, nil, nil)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
+	if strings.Contains(rec.Body.String(), `"guard"`) {
+		t.Errorf("guard key present without governor: %s", rec.Body.String())
+	}
+}
+
+func TestMetricsIncludeGuardCounters(t *testing.T) {
+	agent := newTestAgent(t)
+	if err := agent.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	h := newStatusHandler(agent, nil, nil, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"riptide_guard_capped_total 0",
+		"riptide_guard_vetoed_total 0",
+		"riptide_guard_quarantined_total 0",
+		"riptide_guard_cleared_total 0",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
 func TestStatusIncludesRetryStats(t *testing.T) {
 	agent := newTestAgent(t)
 	retry, err := core.NewRetryingRouteProgrammer(nopRoutes{}, core.RetryPolicy{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	h := newStatusHandler(agent, retry, nil)
+	h := newStatusHandler(agent, retry, nil, nil)
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	var payload statusPayload
@@ -217,7 +271,7 @@ func TestStatusIncludesRetryStats(t *testing.T) {
 	}
 
 	// Without the decorator the field is omitted entirely.
-	h = newStatusHandler(agent, nil, nil)
+	h = newStatusHandler(agent, nil, nil, nil)
 	rec = httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/status", nil))
 	if strings.Contains(rec.Body.String(), `"retry"`) {

@@ -9,6 +9,7 @@ import (
 
 	"riptide/internal/core"
 	"riptide/internal/eventsim"
+	"riptide/internal/guard"
 	"riptide/internal/kernel"
 	"riptide/internal/netsim"
 	"riptide/internal/workload"
@@ -30,6 +31,10 @@ func (s hostSampler) SampleConnections() ([]core.Observation, error) {
 			Cwnd:       c.Cwnd,
 			RTT:        c.RTT,
 			BytesAcked: c.BytesAcked,
+			Retrans:    c.Retrans,
+			Lost:       c.Lost,
+			SegsOut:    c.SegsOut,
+			LossEvents: c.LossEvents,
 		})
 	}
 	return obs, nil
@@ -75,6 +80,11 @@ type RiptideOptions struct {
 	// Combiner / History override the paper defaults for ablations.
 	Combiner core.Combiner
 	History  core.HistoryPolicy
+	// Guard, when set, gives every host's agent a closed-loop safety
+	// governor built from this configuration (the Clock field is
+	// overridden with the simulation clock). A host reboot rebuilds the
+	// governor empty, like the rest of the agent's learned state.
+	Guard *guard.Config
 }
 
 // TrafficOptions shapes the synthetic workload.
@@ -309,7 +319,18 @@ func hostAddr(p PoP, i int) (netip.Addr, error) {
 // newAgentForHost builds a Riptide agent bound to one simulated machine.
 func (c *Cluster) newAgentForHost(h *kernel.Host) (*core.Agent, error) {
 	r := c.cfg.Riptide
+	var gov core.Governor
+	if r.Guard != nil {
+		gcfg := *r.Guard
+		gcfg.Clock = c.engine.Now
+		g, err := guard.New(gcfg)
+		if err != nil {
+			return nil, fmt.Errorf("cdn: guard for %v: %w", h.Addr(), err)
+		}
+		gov = g
+	}
 	return core.New(core.Config{
+		Guard:          gov,
 		Sampler:        hostSampler{host: h},
 		Routes:         hostRoutes{host: h},
 		Clock:          c.engine.Now,

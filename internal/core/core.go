@@ -77,6 +77,23 @@ type Observation struct {
 	// BytesAcked is cumulative payload acknowledged; the traffic-weighted
 	// combiner uses it as its weight.
 	BytesAcked int64
+
+	// Loss telemetry, consumed by the safety governor (internal/guard).
+	// Samplers that cannot observe a field leave it zero.
+
+	// Retrans is the cumulative count of retransmitted segments (ss's
+	// `retrans:<inflight>/<total>` total).
+	Retrans int64
+	// Lost is the number of segments currently marked lost (ss's `lost:N`).
+	Lost int64
+	// SegsOut is the cumulative count of segments sent, including
+	// retransmissions (ss's `segs_out:N`). Retrans/SegsOut is the
+	// connection's lifetime loss rate.
+	SegsOut int64
+	// LossEvents is the cumulative count of loss episodes (fast-retransmit
+	// events). Real ss output does not expose this; the simulated kernel
+	// does (tcpsim.Window.LossEvents).
+	LossEvents uint64
 }
 
 // ConnectionSampler supplies the current set of open connections.
@@ -297,6 +314,10 @@ type Config struct {
 	// means no adjustment. Non-finite multipliers are rejected (treated
 	// as 1) and counted in the riptide_advisor_rejects metric.
 	Advisor Advisor
+	// Guard is the closed-loop safety governor (internal/guard): it
+	// observes per-destination loss outcomes and caps or vetoes route
+	// programs. Nil disables governing.
+	Guard Governor
 
 	// BreakerThreshold is the number of consecutive sampler failures that
 	// open the sampler circuit breaker, degrading subsequent ticks to
@@ -434,6 +455,25 @@ type Stats struct {
 	FleetSkippedLocal uint64 `json:"fleetSkippedLocal"`
 	// FleetSkippedStale counts remote entries rejected as too old.
 	FleetSkippedStale uint64 `json:"fleetSkippedStale"`
+	// FleetSkippedQuarantined counts remote entries rejected because the
+	// source quarantined the prefix or the local governor vetoed seeding.
+	FleetSkippedQuarantined uint64 `json:"fleetSkippedQuarantined"`
+	// GuardCapped counts route programs whose window the governor reduced.
+	GuardCapped uint64 `json:"guardCapped"`
+	// GuardVetoed counts route programs the governor skipped (canary
+	// holdback plus quarantines).
+	GuardVetoed uint64 `json:"guardVetoed"`
+	// GuardQuarantined counts vetoes that were quarantine decisions
+	// specifically (a subset of GuardVetoed).
+	GuardQuarantined uint64 `json:"guardQuarantined"`
+	// GuardCleared counts installed routes withdrawn because the governor
+	// vetoed or quarantined their destination.
+	GuardCleared uint64 `json:"guardCleared"`
+	// CombinerRejects counts per-destination combined values dropped
+	// because they were NaN or ±Inf (a custom Combiner gone wrong); the
+	// destination is skipped for the round so the garbage never reaches
+	// history state or a route program.
+	CombinerRejects uint64 `json:"combinerRejects"`
 }
 
 // Agent runs Algorithm 1. Create with New, drive with Tick (one poll round

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+)
+
+// This file defines the agent side of the closed-loop safety governor
+// (internal/guard): a hook in the tick pipeline that watches the outcome of
+// jump-started connections and caps or vetoes route programs when a
+// destination's loss regresses.
+//
+// The agent feeds the governor every sampled connection (stage 1, lock-free),
+// closes the round with ObserveTick so the governor can advance its state
+// machines, and then consults Review for every destination it is about to
+// program (stage 2, under the state lock — implementations must not call
+// back into the agent). MergeSnapshot consults Review too, so a fleet
+// snapshot can never warm-start a route the governor is holding back.
+
+// GuardAction is the governor's verdict on one planned route program.
+type GuardAction int
+
+const (
+	// GuardAllow programs the route as planned.
+	GuardAllow GuardAction = iota
+	// GuardCap programs the route, but at no more than the returned window.
+	GuardCap
+	// GuardVeto skips the program and clears any installed route — the
+	// destination stays at the kernel default (canary holdback).
+	GuardVeto
+	// GuardQuarantine is GuardVeto for a destination the governor has
+	// quarantined after a loss regression; the agent additionally counts it
+	// separately and the quarantine is exported in fleet snapshots.
+	GuardQuarantine
+)
+
+// String returns the action name.
+func (a GuardAction) String() string {
+	switch a {
+	case GuardAllow:
+		return "allow"
+	case GuardCap:
+		return "cap"
+	case GuardVeto:
+		return "veto"
+	case GuardQuarantine:
+		return "quarantine"
+	default:
+		return "unknown"
+	}
+}
+
+// Quarantine is one destination the governor currently refuses to program.
+type Quarantine struct {
+	// Prefix is the quarantined destination.
+	Prefix netip.Prefix
+	// Age is how long ago the quarantine began, against the agent's clock.
+	Age time.Duration
+}
+
+// Governor is the safety-governor hook (implemented by internal/guard).
+// Implementations must be safe for concurrent use and must never call back
+// into the Agent: ObserveSample and ObserveTick run during stage 1 of a tick
+// (no agent lock held), Review runs under the agent's state lock.
+type Governor interface {
+	// ObserveSample feeds one sampled connection, keyed by its
+	// route-granularity destination prefix. This is the per-sample hot
+	// path; implementations must not allocate for already-known
+	// destinations.
+	ObserveSample(dst netip.Prefix, o Observation)
+	// ObserveTick closes one sampling round at the given (monotonic) time:
+	// the governor folds the round's samples into its per-destination loss
+	// estimates and advances quarantine/recovery state machines.
+	ObserveTick(now time.Duration)
+	// Review judges a planned route program and returns the allowed window
+	// (meaningful for GuardCap) and the action. The agent treats GuardVeto
+	// and GuardQuarantine identically in the pipeline — skip the program,
+	// clear any installed route — but counts them separately.
+	Review(dst netip.Prefix, window int) (int, GuardAction)
+	// Quarantines lists the currently quarantined destinations for
+	// snapshot export, so peers do not warm-start a route the origin just
+	// withdrew for safety.
+	Quarantines() []Quarantine
+}

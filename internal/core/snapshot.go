@@ -41,6 +41,10 @@ type SnapshotEntry struct {
 	// refresh time plus any age it carried when the source itself merged
 	// it from a peer).
 	Age time.Duration
+	// Quarantined marks a destination the source's safety governor has
+	// withdrawn after a loss regression. Quarantine markers carry no
+	// window (Window is 0); peers must not warm-start the prefix.
+	Quarantined bool
 }
 
 // MergePolicy tunes MergeSnapshot. The zero value gives TTL-derived
@@ -85,6 +89,10 @@ type MergeStats struct {
 	// SkippedStale entries were rejected by MaxAge, MinSamples, an
 	// invalid prefix/window, or no remaining TTL.
 	SkippedStale int `json:"skippedStale"`
+	// SkippedQuarantined entries were rejected because the remote source
+	// quarantined the prefix, or because this agent's own governor vetoed
+	// seeding it.
+	SkippedQuarantined int `json:"skippedQuarantined"`
 	// Errors counts accepted entries whose route programming failed; they
 	// were not committed.
 	Errors int `json:"errors"`
@@ -111,6 +119,28 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 			Samples: e.samples,
 			Age:     age + e.mergedAge,
 		})
+	}
+	if a.cfg.Guard != nil {
+		// Quarantine markers ride along so peers do not warm-start a
+		// route this agent just withdrew for safety. A prefix with a
+		// live entry is not marked — the governor only quarantines
+		// after its route was cleared, so overlap means the quarantine
+		// already recovered.
+		for _, q := range a.cfg.Guard.Quarantines() {
+			key := q.Prefix.Masked()
+			if _, exists := a.entries[key]; exists {
+				continue
+			}
+			age := q.Age
+			if age < 0 {
+				age = 0
+			}
+			out = append(out, SnapshotEntry{
+				Prefix:      key,
+				Age:         age,
+				Quarantined: true,
+			})
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return lessPrefix(out[i].Prefix, out[j].Prefix) })
 	return out
@@ -168,6 +198,12 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 	plan := make([]mergeOp, 0, len(entries))
 	planned := make(map[netip.Prefix]int, len(entries)) // index into plan
 	for _, se := range entries {
+		if se.Quarantined {
+			// The source withdrew this destination after a loss
+			// regression; never warm-start it from a snapshot.
+			stats.SkippedQuarantined++
+			continue
+		}
 		if !se.Prefix.IsValid() || se.Window < 1 || se.Age < 0 {
 			stats.SkippedStale++
 			continue
@@ -186,9 +222,28 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			stats.SkippedLocal++
 			continue
 		}
+		window := a.discountWindow(se.Window, se.Age, policy.StalenessHalfLife)
+		if a.cfg.Guard != nil {
+			// A quarantined destination has no local entry (its route
+			// was cleared), so the local-entry check above cannot
+			// protect it; ask the governor before seeding.
+			capped, action := a.cfg.Guard.Review(key, window)
+			switch action {
+			case GuardVeto, GuardQuarantine:
+				stats.SkippedQuarantined++
+				continue
+			case GuardCap:
+				if capped < window {
+					window = capped
+					if window < a.cfg.CMin {
+						window = a.cfg.CMin
+					}
+				}
+			}
+		}
 		op := mergeOp{
 			dst:     key,
-			window:  a.discountWindow(se.Window, se.Age, policy.StalenessHalfLife),
+			window:  window,
 			samples: se.Samples,
 			age:     se.Age,
 			expires: now + remaining,
@@ -248,9 +303,11 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 		s.FleetMerged += uint64(stats.Merged)
 		s.FleetSkippedLocal += uint64(stats.SkippedLocal)
 		s.FleetSkippedStale += uint64(stats.SkippedStale)
+		s.FleetSkippedQuarantined += uint64(stats.SkippedQuarantined)
 	})
 	a.cfg.Metrics.Counter("riptide_fleet_merged").Add(uint64(stats.Merged))
 	a.cfg.Metrics.Counter("riptide_fleet_skipped_local").Add(uint64(stats.SkippedLocal))
 	a.cfg.Metrics.Counter("riptide_fleet_skipped_stale").Add(uint64(stats.SkippedStale))
+	a.cfg.Metrics.Counter("riptide_fleet_skipped_quarantined").Add(uint64(stats.SkippedQuarantined))
 	return stats, firstErr
 }

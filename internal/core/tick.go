@@ -74,7 +74,8 @@ func (a *Agent) Tick() error {
 	a.noteSampleSuccess()
 
 	// Group the observed table by destination prefix and combine each
-	// group — still pure computation, still lock-free.
+	// group — still pure computation, still lock-free. The governor sees
+	// every valid sample here, then closes its round before planning.
 	groups := make(map[netip.Prefix][]Observation)
 	for _, o := range obs {
 		if o.Cwnd <= 0 || !o.Dst.IsValid() {
@@ -84,7 +85,13 @@ func (a *Agent) Tick() error {
 		if err != nil {
 			continue
 		}
+		if a.cfg.Guard != nil {
+			a.cfg.Guard.ObserveSample(key, o)
+		}
 		groups[key] = append(groups[key], o)
+	}
+	if a.cfg.Guard != nil {
+		a.cfg.Guard.ObserveTick(now)
 	}
 	type combinedGroup struct {
 		value float64
@@ -99,7 +106,16 @@ func (a *Agent) Tick() error {
 	a.mu.Lock()
 	a.stats.Observations += uint64(len(obs))
 	plan := make([]programOp, 0, len(combined))
+	var guardClears []netip.Prefix
 	for dst, g := range combined {
+		if !isFinite(g.value) {
+			// A custom Combiner produced NaN/±Inf: skip the round for
+			// this destination rather than folding garbage into history
+			// (an EWMA never recovers from a NaN).
+			a.stats.CombinerRejects++
+			a.cfg.Metrics.Counter("riptide_combiner_rejects").Inc()
+			continue
+		}
 		smoothed := a.cfg.History.Update(dst, g.value)
 		if a.cfg.Advisor != nil {
 			if m := a.cfg.Advisor.Advise(dst); isFinite(m) {
@@ -109,6 +125,35 @@ func (a *Agent) Tick() error {
 			}
 		}
 		final := a.clamp(smoothed)
+
+		if a.cfg.Guard != nil {
+			capped, action := a.cfg.Guard.Review(dst, final)
+			switch action {
+			case GuardVeto, GuardQuarantine:
+				a.stats.GuardVetoed++
+				if action == GuardQuarantine {
+					a.stats.GuardQuarantined++
+				}
+				// An installed route for a held-back destination is
+				// withdrawn (outside the lock, in stage 3). The entry
+				// is only dropped once the clear succeeds, so a failed
+				// withdrawal retries next round.
+				if _, installed := a.entries[dst]; installed {
+					guardClears = append(guardClears, dst)
+				}
+				continue
+			case GuardCap:
+				if capped < final {
+					if capped < a.cfg.CMin {
+						capped = a.cfg.CMin
+					}
+					if capped < final {
+						final = capped
+						a.stats.GuardCapped++
+					}
+				}
+			}
+		}
 
 		e, ok := a.entries[dst]
 		if ok {
@@ -138,6 +183,7 @@ func (a *Agent) Tick() error {
 	// is deterministic rather than map-iteration dependent.
 	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
 	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+	sort.Slice(guardClears, func(i, j int) bool { return lessPrefix(guardClears[i], guardClears[j]) })
 
 	// Stage 3: program routes outside the lock.
 	var firstErr error
@@ -184,8 +230,49 @@ func (a *Agent) Tick() error {
 		a.mu.Unlock()
 	}
 
+	if err := a.clearGuardVetoed(guardClears); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if err := a.clearRoutes(expired, now); err != nil && firstErr == nil {
 		firstErr = err
+	}
+	return firstErr
+}
+
+// clearGuardVetoed withdraws routes the governor vetoed or quarantined this
+// round. Each entry is dropped only once its route is actually cleared, so
+// the withdrawal happens exactly once per quarantine: after success the entry
+// is gone and later vetoes have nothing to clear; after a failure the entry
+// survives and the next round's veto retries.
+func (a *Agent) clearGuardVetoed(targets []netip.Prefix) error {
+	var firstErr error
+	for _, dst := range targets {
+		a.mu.Lock()
+		_, ok := a.entries[dst]
+		a.mu.Unlock()
+		if !ok {
+			continue
+		}
+
+		progStart := time.Now()
+		err := a.cfg.Routes.ClearInitCwnd(dst)
+		a.mProgram.Observe(time.Since(progStart))
+
+		a.mu.Lock()
+		if err != nil {
+			a.stats.RouteErrors++
+			a.mu.Unlock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("guard clear initcwnd %v: %w", dst, err)
+			}
+			continue
+		}
+		delete(a.entries, dst)
+		a.cfg.History.Forget(dst)
+		a.stats.RoutesCleared++
+		a.stats.GuardCleared++
+		a.mu.Unlock()
+		a.cfg.Metrics.Counter("riptide_guard_clears").Inc()
 	}
 	return firstErr
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"net/netip"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -174,11 +175,48 @@ func TestClampGuardsNonFiniteCombinerOutput(t *testing.T) {
 			if err := a.Tick(); err != nil {
 				t.Fatal(err)
 			}
-			if got := routes.set[pfx(t, "10.0.0.1/32")]; got != a.Config().CMin {
-				t.Errorf("window = %d, want CMin %d for %s combiner output", got, a.Config().CMin, name)
+			// A non-finite combined value is dropped before it can
+			// poison history state or reach a route program: the
+			// destination is skipped for the round, not clamped.
+			if got, ok := routes.set[pfx(t, "10.0.0.1/32")]; ok {
+				t.Errorf("route programmed with window %d for %s combiner output; want none", got, name)
+			}
+			if got := a.Stats().CombinerRejects; got != 1 {
+				t.Errorf("CombinerRejects = %d, want 1", got)
 			}
 		})
 	}
+}
+
+// nanPoisonHistory proves rejection happens before History.Update: a single
+// bad round must not contaminate the EWMA that good rounds built.
+func TestNonFiniteCombinerDoesNotPoisonHistory(t *testing.T) {
+	d := dst(t, "10.0.0.1")
+	sampler := &fakeSampler{rounds: [][]Observation{
+		{{Dst: d, Cwnd: 50}},
+		{{Dst: d, Cwnd: 50}},
+	}}
+	var comb atomicCombiner
+	comb.v.Store(math.Float64bits(50))
+	a, routes, _ := newAgent(t, Config{Sampler: sampler, Combiner: &comb})
+	if err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	comb.v.Store(math.Float64bits(math.NaN()))
+	if err := a.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if got := routes.set[pfx(t, "10.0.0.1/32")]; got != 50 {
+		t.Errorf("window after NaN round = %d, want 50 (history preserved)", got)
+	}
+}
+
+// atomicCombiner returns a runtime-adjustable fixed value.
+type atomicCombiner struct{ v atomic.Uint64 }
+
+func (c *atomicCombiner) Name() string { return "atomic-const" }
+func (c *atomicCombiner) Combine([]Observation) float64 {
+	return math.Float64frombits(c.v.Load())
 }
 
 // badAdvisor returns a fixed multiplier for every destination.

@@ -33,7 +33,10 @@ func (s rigSampler) SampleConnections() ([]core.Observation, error) {
 	snaps := s.host.Connections()
 	obs := make([]core.Observation, 0, len(snaps))
 	for _, c := range snaps {
-		obs = append(obs, core.Observation{Dst: c.Dst, Cwnd: c.Cwnd, RTT: c.RTT, BytesAcked: c.BytesAcked})
+		obs = append(obs, core.Observation{
+			Dst: c.Dst, Cwnd: c.Cwnd, RTT: c.RTT, BytesAcked: c.BytesAcked,
+			Retrans: c.Retrans, Lost: c.Lost, SegsOut: c.SegsOut, LossEvents: c.LossEvents,
+		})
 	}
 	return obs, nil
 }

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestGuardCapacityCut asserts the PR's acceptance bounds: the governed
+// agent quarantines the degraded destination within 10 ticks of the
+// regression, keeps >= 90% of healthy destinations programmed, and beats
+// the ungoverned control on post-cut retransmits.
+func TestGuardCapacityCut(t *testing.T) {
+	o, err := RunGuardCapacityCut(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PreCutWindow <= 10 {
+		t.Errorf("pre-cut learned window = %d, want > kernel default 10 (no jump-start, no scenario)", o.PreCutWindow)
+	}
+	if o.TicksToQuarantine == 0 {
+		t.Fatal("governor never quarantined the degraded destination")
+	}
+	if o.TicksToQuarantine > 10 {
+		t.Errorf("quarantine took %d ticks, want <= 10", o.TicksToQuarantine)
+	}
+	if o.HealthyTotal == 0 || float64(o.HealthyProgrammed) < 0.9*float64(o.HealthyTotal) {
+		t.Errorf("healthy destinations programmed = %d/%d, want >= 90%%", o.HealthyProgrammed, o.HealthyTotal)
+	}
+	if o.GovernedRetrans >= o.UngovernedRetrans {
+		t.Errorf("governed retransmits %d not below ungoverned %d", o.GovernedRetrans, o.UngovernedRetrans)
+	}
+}
+
+func TestGuardCapacityCutResult(t *testing.T) {
+	res, err := GuardCapacityCut(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "guard" || len(res.Tables) != 1 || len(res.Tables[0].Rows) != 3 {
+		t.Errorf("result shape = %+v", res)
+	}
+	if len(res.Notes) != 3 {
+		t.Errorf("notes = %v", res.Notes)
+	}
+}

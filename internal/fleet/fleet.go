@@ -21,10 +21,15 @@ import (
 	"riptide/internal/core"
 )
 
-// Version is the current snapshot wire-format version. Decoders reject
-// snapshots from a different version rather than guessing at field
-// semantics.
-const Version = 1
+// Version is the current snapshot wire-format version. Version 2 added
+// quarantine markers (Entry.Quarantined); decoders accept v1 snapshots —
+// every v1 field keeps its meaning and absent markers simply mean the source
+// predates the governor — and reject anything newer rather than guessing at
+// field semantics.
+const Version = 2
+
+// minVersion is the oldest wire format Decode still accepts.
+const minVersion = 1
 
 // Entry is one learned destination on the wire.
 type Entry struct {
@@ -38,6 +43,10 @@ type Entry struct {
 	// last refreshed, in nanoseconds. Ages are relative so snapshots are
 	// meaningful across machines with unsynchronized clocks.
 	AgeNanos int64 `json:"ageNanos"`
+	// Quarantined marks a destination the source's safety governor
+	// withdrew after a loss regression (wire v2); the receiving agent
+	// must not warm-start it. Quarantine markers carry Window 0.
+	Quarantined bool `json:"quarantined,omitempty"`
 }
 
 // Snapshot is the versioned wire format exchanged between agents and
@@ -62,10 +71,11 @@ func FromAgent(a *core.Agent, source string, created time.Time) Snapshot {
 	entries := make([]Entry, 0, len(exported))
 	for _, se := range exported {
 		entries = append(entries, Entry{
-			Prefix:   se.Prefix.String(),
-			Window:   se.Window,
-			Samples:  se.Samples,
-			AgeNanos: int64(se.Age),
+			Prefix:      se.Prefix.String(),
+			Window:      se.Window,
+			Samples:     se.Samples,
+			AgeNanos:    int64(se.Age),
+			Quarantined: se.Quarantined,
 		})
 	}
 	return Snapshot{
@@ -88,10 +98,11 @@ func (s Snapshot) CoreEntries() []core.SnapshotEntry {
 			p = netip.Prefix{} // invalid; MergeSnapshot skips it
 		}
 		out = append(out, core.SnapshotEntry{
-			Prefix:  p,
-			Window:  e.Window,
-			Samples: e.Samples,
-			Age:     time.Duration(e.AgeNanos),
+			Prefix:      p,
+			Window:      e.Window,
+			Samples:     e.Samples,
+			Age:         time.Duration(e.AgeNanos),
+			Quarantined: e.Quarantined,
 		})
 	}
 	return out
@@ -129,8 +140,8 @@ func Decode(data []byte) (Snapshot, error) {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return Snapshot{}, fmt.Errorf("riptide/fleet: decode snapshot: %w", err)
 	}
-	if s.Version != Version {
-		return Snapshot{}, fmt.Errorf("riptide/fleet: snapshot version %d, want %d", s.Version, Version)
+	if s.Version < minVersion || s.Version > Version {
+		return Snapshot{}, fmt.Errorf("riptide/fleet: snapshot version %d, want %d..%d", s.Version, minVersion, Version)
 	}
 	return s, nil
 }

@@ -176,7 +176,7 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"garbage":         `{"version": 1,`,
 		"zero version":    `{"entries": []}`,
-		"future version":  `{"version": 2, "entries": []}`,
+		"future version":  `{"version": 3, "entries": []}`,
 		"wrong json type": `[1, 2, 3]`,
 	}
 	for name, data := range cases {
@@ -189,6 +189,83 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 func TestEncodeRejectsWrongVersion(t *testing.T) {
 	if _, err := Encode(Snapshot{Version: 0}); err == nil {
 		t.Fatal("Encode accepted version 0")
+	}
+}
+
+// TestDecodeAcceptsV1Snapshots: the v2 bump (quarantine markers) must not
+// orphan fleets mid-upgrade — a v1 snapshot from an older agent decodes and
+// merges exactly as before, with no entry treated as quarantined.
+func TestDecodeAcceptsV1Snapshots(t *testing.T) {
+	v1 := `{
+		"version": 1,
+		"source": "old-agent",
+		"createdUnixNano": 1700000000000000000,
+		"entries": [
+			{"prefix": "192.0.2.1/32", "window": 40, "samples": 9, "ageNanos": 1000000000}
+		]
+	}`
+	snap, err := Decode([]byte(v1))
+	if err != nil {
+		t.Fatalf("Decode(v1): %v", err)
+	}
+	if snap.Version != 1 || snap.Source != "old-agent" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	entries := snap.CoreEntries()
+	if len(entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(entries))
+	}
+	e := entries[0]
+	if e.Quarantined {
+		t.Error("v1 entry decoded as quarantined")
+	}
+	if e.Window != 40 || e.Samples != 9 || e.Age != time.Second {
+		t.Errorf("entry = %+v", e)
+	}
+}
+
+// TestQuarantineMarkerRoundTrip: a v2 snapshot carries quarantine markers
+// through encode/decode, and the receiving agent refuses to warm-start them.
+func TestQuarantineMarkerRoundTrip(t *testing.T) {
+	src := Snapshot{
+		Version: Version,
+		Source:  "guarded-agent",
+		Entries: []Entry{
+			{Prefix: "192.0.2.1/32", Window: 40, Samples: 9, AgeNanos: int64(time.Second)},
+			{Prefix: "198.51.100.7/32", Quarantined: true, AgeNanos: int64(30 * time.Second)},
+		},
+	}
+	data, err := Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	routes := newMemRoutes()
+	agent, err := core.New(core.Config{
+		Sampler: &stubSampler{},
+		Routes:  routes,
+		Clock:   func() time.Duration { return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	stats, err := agent.MergeSnapshot(got.CoreEntries(), core.MergePolicy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Merged != 1 || stats.SkippedQuarantined != 1 {
+		t.Fatalf("stats = %+v, want 1 merged + 1 skipped-quarantined", stats)
+	}
+	if _, ok := routes.get(pfx(t, "198.51.100.7/32")); ok {
+		t.Error("quarantined destination warm-started from snapshot")
+	}
+	if w, ok := routes.get(pfx(t, "192.0.2.1/32")); !ok || w != 40 {
+		t.Errorf("healthy entry = %d,%v; want 40,true", w, ok)
 	}
 }
 

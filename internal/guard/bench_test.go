@@ -1,0 +1,61 @@
+package guard
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// BenchmarkGovernorObserve measures the per-sample hot path for a
+// destination the governor already tracks — the case every sample after the
+// first hits. It must not allocate.
+func BenchmarkGovernorObserve(b *testing.B) {
+	clk := &testClock{}
+	g := newGovernor(b, Config{}, clk)
+	d := pfx(b, "10.0.0.1/32")
+	o := core.Observation{Dst: netip.AddrFrom4([4]byte{10, 0, 0, 1}), Cwnd: 40, Retrans: 3, SegsOut: 1000}
+	g.ObserveSample(d, o)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ObserveSample(d, o)
+	}
+}
+
+// TestObserveSampleAllocationFree asserts the benchmark's claim in the
+// regular test suite, so an accidental allocation fails CI rather than just
+// moving a benchmark number.
+func TestObserveSampleAllocationFree(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	d := pfx(t, "10.0.0.1/32")
+	o := core.Observation{Retrans: 3, SegsOut: 1000}
+	g.ObserveSample(d, o) // first sample may allocate the destination record
+	if allocs := testing.AllocsPerRun(100, func() {
+		g.ObserveSample(d, o)
+	}); allocs > 1 {
+		t.Errorf("ObserveSample allocates %v objects per call for a known destination, want <= 1", allocs)
+	}
+}
+
+// TestObserveTickSteadyStateAllocationFree: closing a round over known
+// destinations is also allocation-free (Quarantines and Status may allocate;
+// the per-tick loop must not).
+func TestObserveTickSteadyStateAllocationFree(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	for i := 0; i < 16; i++ {
+		d := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 1}), 32)
+		g.ObserveSample(d, core.Observation{Retrans: 1, SegsOut: 500})
+	}
+	clk.now += time.Second
+	g.ObserveTick(clk.now)
+	if allocs := testing.AllocsPerRun(100, func() {
+		clk.now += time.Second
+		g.ObserveTick(clk.now)
+	}); allocs > 1 {
+		t.Errorf("ObserveTick allocates %v objects per call in steady state, want <= 1", allocs)
+	}
+}

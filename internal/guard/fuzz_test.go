@@ -1,0 +1,73 @@
+package guard
+
+import (
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// FuzzGovernorObserve throws arbitrary (including adversarial) telemetry at
+// the governor: cumulative counters that jump, go negative, or overflow must
+// never panic, never produce a NaN loss estimate, and never push Review
+// outside its contract.
+func FuzzGovernorObserve(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(10), uint8(1), uint8(3))
+	f.Add(int64(50), int64(100), int64(1), uint8(2), uint8(10))
+	f.Add(int64(-5), int64(-100), int64(7), uint8(0), uint8(1))
+	f.Add(int64(math.MaxInt64), int64(math.MaxInt64), int64(math.MinInt64), uint8(4), uint8(20))
+	f.Add(int64(1)<<62, int64(3), int64(0), uint8(8), uint8(5))
+
+	f.Fuzz(func(t *testing.T, retrans, segs, step int64, nDests, ticks uint8) {
+		clk := &testClock{}
+		g, err := New(Config{Clock: clk.Now, MinSegments: 1, Holdback: 0.25})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dests := make([]netip.Prefix, int(nDests%8)+1)
+		for i := range dests {
+			dests[i] = netip.PrefixFrom(netip.AddrFrom4([4]byte{10, 0, byte(i), 1}), 32)
+		}
+		r, s := retrans, segs
+		for tick := 0; tick < int(ticks%32)+1; tick++ {
+			for _, d := range dests {
+				g.ObserveSample(d, core.Observation{Retrans: r, SegsOut: s})
+			}
+			clk.now += time.Second
+			g.ObserveTick(clk.now)
+			r += step
+			s += step / 2
+		}
+		for _, d := range dests {
+			w, action := g.Review(d, 64)
+			switch action {
+			case core.GuardAllow:
+				if w != 64 {
+					t.Errorf("allow returned window %d, want 64", w)
+				}
+			case core.GuardCap:
+				if w < 1 || w > 64 {
+					t.Errorf("cap returned window %d outside [1,64]", w)
+				}
+			case core.GuardVeto, core.GuardQuarantine:
+				if w != 0 {
+					t.Errorf("%v returned window %d, want 0", action, w)
+				}
+			default:
+				t.Errorf("unknown action %v", action)
+			}
+		}
+		st := g.Status()
+		if math.IsNaN(st.BaselineLoss) || math.IsInf(st.BaselineLoss, 0) ||
+			st.BaselineLoss < 0 || st.BaselineLoss > 1 {
+			t.Errorf("BaselineLoss = %v, want finite in [0,1]", st.BaselineLoss)
+		}
+		for _, q := range g.Quarantines() {
+			if q.Age < 0 {
+				t.Errorf("quarantine age %v negative", q.Age)
+			}
+		}
+	})
+}

@@ -1,0 +1,600 @@
+// Package guard is Riptide's closed-loop safety governor.
+//
+// The paper's agent is open-loop: it learns per-destination congestion
+// windows and programs them as route initcwnds, but never looks at what the
+// jump-started connections experience. If a path's capacity shrinks after the
+// window was learned, every new connection bursts a large first flight into
+// loss — exactly the behaviour slow start exists to avoid — and the agent
+// keeps re-programming the aggressive window as long as surviving
+// connections still report large cwnds.
+//
+// The governor closes the loop. It watches the retransmit telemetry of
+// sampled connections (ss's retrans:/segs_out: counters, or their simulated
+// equivalents), maintains a per-destination EWMA of the observed loss rate on
+// programmed routes, and compares it against a baseline measured on a
+// holdback fraction of destinations deliberately left at the kernel-default
+// initcwnd (the canary control group). When a destination's loss regresses
+// past hysteresis-guarded thresholds, the governor steps in:
+//
+//	healthy ──(loss ≥ throttle threshold)──▶ throttled   (window halved)
+//	throttled ──(loss ≥ quarantine threshold)──▶ quarantined (route cleared)
+//	quarantined ──(cool-down TTL elapses)──▶ probing     (window halved)
+//	probing ──(loss stays low)──▶ healthy   /  ──(loss again)──▶ quarantined
+//
+// Every transition requires HysteresisTicks consecutive ticks of evidence,
+// so a single lossy round never flaps a route.
+//
+// The governor plugs into the agent through core.Governor: ObserveSample and
+// ObserveTick run during stage 1 of the agent's tick (lock-free), Review is
+// consulted under the agent's state lock for every planned route program,
+// and Quarantines feeds fleet snapshot export so peers never warm-start a
+// quarantined destination.
+package guard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/netip"
+	"sync"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/metrics"
+)
+
+// Defaults for Config fields left zero.
+const (
+	// DefaultHoldback leaves 5% of destinations at the kernel default as
+	// the canary control group.
+	DefaultHoldback = 0.05
+	// DefaultAlpha is the EWMA weight on the historical loss estimate.
+	DefaultAlpha = 0.5
+	// DefaultThrottleRatio throttles a destination whose loss exceeds
+	// this multiple of the canary baseline.
+	DefaultThrottleRatio = 3.0
+	// DefaultQuarantineRatio quarantines a throttled destination whose
+	// loss exceeds this multiple of the canary baseline.
+	DefaultQuarantineRatio = 6.0
+	// DefaultRecoverRatio is the multiple of the baseline a throttled or
+	// probing destination must stay under to recover to healthy.
+	DefaultRecoverRatio = 1.5
+	// DefaultLossFloor is the absolute loss rate below which the governor
+	// never escalates, however clean the baseline: ~2% loss is within
+	// normal WAN noise and not worth withdrawing a route over.
+	DefaultLossFloor = 0.02
+	// DefaultBaselineFallback stands in for the canary baseline until the
+	// holdback group has produced enough evidence (or when Holdback is 0).
+	DefaultBaselineFallback = 0.005
+	// DefaultMinSegments is the minimum segments-sent evidence required
+	// before one loss-rate judgment; smaller windows accumulate across
+	// ticks instead of producing noisy rates.
+	DefaultMinSegments = 32
+	// DefaultHysteresisTicks is how many consecutive ticks of evidence a
+	// state transition requires.
+	DefaultHysteresisTicks = 2
+	// DefaultQuarantineTTL is the cool-down before a quarantined
+	// destination is probed again.
+	DefaultQuarantineTTL = 2 * time.Minute
+)
+
+// Config configures a Governor. The zero value of every field except Clock
+// gets a sensible default.
+type Config struct {
+	// Holdback is the fraction of destinations (chosen by a deterministic
+	// hash of the prefix) held back as canaries: never programmed, their
+	// loss pooled into the baseline. Must be in [0, 1). 0 disables the
+	// control group and the baseline stays at BaselineFallback.
+	Holdback float64
+	// Alpha is the EWMA weight on the historical loss estimate, in (0, 1].
+	Alpha float64
+	// ThrottleRatio, QuarantineRatio, RecoverRatio are the baseline
+	// multiples for the three thresholds; each must be >= 1 and
+	// RecoverRatio < ThrottleRatio <= QuarantineRatio.
+	ThrottleRatio   float64
+	QuarantineRatio float64
+	RecoverRatio    float64
+	// LossFloor is the absolute loss rate below which the governor never
+	// escalates. Must be in (0, 1).
+	LossFloor float64
+	// BaselineFallback is the assumed baseline loss until canaries have
+	// produced evidence. Must be in (0, 1).
+	BaselineFallback float64
+	// MinSegments is the per-judgment evidence requirement in segments.
+	MinSegments int64
+	// HysteresisTicks is the consecutive-tick requirement for
+	// transitions. Must be >= 1.
+	HysteresisTicks int
+	// QuarantineTTL is the quarantine cool-down. Must be positive.
+	QuarantineTTL time.Duration
+	// Clock supplies monotonic time, matching the owning agent's clock.
+	// Required.
+	Clock func() time.Duration
+	// Metrics, when set, receives transition counters
+	// (riptide_guard_throttles, riptide_guard_quarantines,
+	// riptide_guard_recoveries, riptide_guard_probes).
+	Metrics *metrics.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Clock == nil {
+		return c, fmt.Errorf("guard: Config.Clock is required")
+	}
+	def := func(v *float64, d float64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Alpha, DefaultAlpha)
+	def(&c.ThrottleRatio, DefaultThrottleRatio)
+	def(&c.QuarantineRatio, DefaultQuarantineRatio)
+	def(&c.RecoverRatio, DefaultRecoverRatio)
+	def(&c.LossFloor, DefaultLossFloor)
+	def(&c.BaselineFallback, DefaultBaselineFallback)
+	if c.MinSegments == 0 {
+		c.MinSegments = DefaultMinSegments
+	}
+	if c.HysteresisTicks == 0 {
+		c.HysteresisTicks = DefaultHysteresisTicks
+	}
+	if c.QuarantineTTL == 0 {
+		c.QuarantineTTL = DefaultQuarantineTTL
+	}
+	for name, v := range map[string]float64{
+		"Holdback": c.Holdback, "Alpha": c.Alpha,
+		"ThrottleRatio": c.ThrottleRatio, "QuarantineRatio": c.QuarantineRatio,
+		"RecoverRatio": c.RecoverRatio, "LossFloor": c.LossFloor,
+		"BaselineFallback": c.BaselineFallback,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return c, fmt.Errorf("guard: Config.%s %v must be finite", name, v)
+		}
+	}
+	if c.Holdback < 0 || c.Holdback >= 1 {
+		return c, fmt.Errorf("guard: Config.Holdback %v must be in [0,1)", c.Holdback)
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return c, fmt.Errorf("guard: Config.Alpha %v must be in (0,1]", c.Alpha)
+	}
+	if c.RecoverRatio < 1 || c.ThrottleRatio <= c.RecoverRatio || c.QuarantineRatio < c.ThrottleRatio {
+		return c, fmt.Errorf("guard: ratios must satisfy 1 <= RecoverRatio < ThrottleRatio <= QuarantineRatio (got %v, %v, %v)",
+			c.RecoverRatio, c.ThrottleRatio, c.QuarantineRatio)
+	}
+	if c.LossFloor <= 0 || c.LossFloor >= 1 {
+		return c, fmt.Errorf("guard: Config.LossFloor %v must be in (0,1)", c.LossFloor)
+	}
+	if c.BaselineFallback <= 0 || c.BaselineFallback >= 1 {
+		return c, fmt.Errorf("guard: Config.BaselineFallback %v must be in (0,1)", c.BaselineFallback)
+	}
+	if c.MinSegments < 1 {
+		return c, fmt.Errorf("guard: Config.MinSegments %d must be >= 1", c.MinSegments)
+	}
+	if c.HysteresisTicks < 1 {
+		return c, fmt.Errorf("guard: Config.HysteresisTicks %d must be >= 1", c.HysteresisTicks)
+	}
+	if c.QuarantineTTL <= 0 {
+		return c, fmt.Errorf("guard: Config.QuarantineTTL %v must be positive", c.QuarantineTTL)
+	}
+	return c, nil
+}
+
+// State is a destination's position in the governor's state machine.
+type State int
+
+// Governor states.
+const (
+	// Healthy destinations are programmed as planned.
+	Healthy State = iota
+	// Throttled destinations are programmed at half the planned window.
+	Throttled
+	// Quarantined destinations are vetoed and their routes cleared until
+	// the cool-down TTL elapses.
+	Quarantined
+	// Probing destinations finished their cool-down and run at half
+	// window while the governor watches for the regression to return.
+	Probing
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Throttled:
+		return "throttled"
+	case Quarantined:
+		return "quarantined"
+	case Probing:
+		return "probing"
+	default:
+		return "unknown"
+	}
+}
+
+// destState is the governor's per-destination record.
+type destState struct {
+	state  State
+	canary bool
+
+	// Current-tick accumulation: sums of the cumulative counters of the
+	// connections sampled this tick.
+	tickRetrans int64
+	tickSegs    int64
+	sampled     bool
+
+	// Previous tick's sums, for delta computation. Connection churn makes
+	// the sums non-monotonic; negative deltas reset the anchor.
+	prevRetrans int64
+	prevSegs    int64
+	havePrev    bool
+
+	// Deltas accumulated until MinSegments of evidence supports a
+	// judgment.
+	pendRetrans int64
+	pendSegs    int64
+
+	// EWMA of judged loss rates.
+	loss     float64
+	haveLoss bool
+
+	// Hysteresis counters: consecutive ticks of escalation / recovery
+	// evidence.
+	hotTicks  int
+	coolTicks int
+
+	quarantinedAt time.Duration
+}
+
+// Governor implements core.Governor: a per-destination loss-regression
+// state machine fed by the agent's sampling loop.
+type Governor struct {
+	cfg Config
+
+	mu    sync.Mutex
+	dests map[netip.Prefix]*destState
+
+	// Canary baseline: pooled deltas and their EWMA loss rate.
+	basePendRetrans int64
+	basePendSegs    int64
+	baseLoss        float64
+	haveBase        bool
+}
+
+var _ core.Governor = (*Governor)(nil)
+
+// New constructs a Governor.
+func New(cfg Config) (*Governor, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	return &Governor{
+		cfg:   cfg,
+		dests: make(map[netip.Prefix]*destState),
+	}, nil
+}
+
+// Config returns the effective configuration (defaults applied).
+func (g *Governor) Config() Config { return g.cfg }
+
+// isCanary deterministically assigns a destination to the holdback group:
+// an FNV-1a hash of the prefix mapped to [0,1) and compared to Holdback.
+// Deterministic assignment keeps the control group stable across restarts
+// and identical on every agent in a fleet.
+func (g *Governor) isCanary(dst netip.Prefix) bool {
+	if g.cfg.Holdback <= 0 {
+		return false
+	}
+	h := fnv.New64a()
+	b := dst.Addr().As16()
+	h.Write(b[:])
+	h.Write([]byte{byte(dst.Bits())})
+	u := h.Sum64() >> 11 // 53 significant bits
+	return float64(u)/float64(1<<53) < g.cfg.Holdback
+}
+
+// ObserveSample implements core.Governor: it folds one sampled connection's
+// cumulative telemetry into the destination's current-tick sums. The path is
+// allocation-free for destinations the governor already tracks.
+func (g *Governor) ObserveSample(dst netip.Prefix, o core.Observation) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ds, ok := g.dests[dst]
+	if !ok {
+		ds = &destState{canary: g.isCanary(dst)}
+		g.dests[dst] = ds
+	}
+	ds.tickRetrans += o.Retrans
+	ds.tickSegs += o.SegsOut
+	ds.sampled = true
+}
+
+// ObserveTick implements core.Governor: it closes one sampling round,
+// converting each destination's per-tick telemetry deltas into loss-rate
+// judgments and advancing the state machines.
+func (g *Governor) ObserveTick(now time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	// Fold canary evidence into the baseline first, so this tick's
+	// judgments compare against this tick's baseline.
+	for _, ds := range g.dests {
+		if !ds.canary || !ds.sampled {
+			continue
+		}
+		if dR, dS, ok := ds.takeDelta(); ok {
+			g.basePendRetrans += dR
+			g.basePendSegs += dS
+		}
+	}
+	if g.basePendSegs >= g.cfg.MinSegments {
+		rate := clampRate(float64(g.basePendRetrans) / float64(g.basePendSegs))
+		g.baseLoss = g.ewma(g.baseLoss, rate, g.haveBase)
+		g.haveBase = true
+		g.basePendRetrans, g.basePendSegs = 0, 0
+	}
+
+	base := g.cfg.BaselineFallback
+	if g.haveBase {
+		base = g.baseLoss
+	}
+	throttleAt := math.Max(g.cfg.LossFloor, g.cfg.ThrottleRatio*base)
+	quarantineAt := math.Max(g.cfg.LossFloor, g.cfg.QuarantineRatio*base)
+	recoverAt := math.Min(math.Max(g.cfg.LossFloor/2, g.cfg.RecoverRatio*base), throttleAt)
+
+	for _, ds := range g.dests {
+		if ds.canary {
+			ds.sampled = false
+			continue
+		}
+
+		judged := false
+		if ds.sampled {
+			if dR, dS, ok := ds.takeDelta(); ok {
+				ds.pendRetrans += dR
+				ds.pendSegs += dS
+			}
+			if ds.pendSegs >= g.cfg.MinSegments {
+				rate := clampRate(float64(ds.pendRetrans) / float64(ds.pendSegs))
+				ds.loss = g.ewma(ds.loss, rate, ds.haveLoss)
+				ds.haveLoss = true
+				ds.pendRetrans, ds.pendSegs = 0, 0
+				judged = true
+			}
+			ds.sampled = false
+		}
+
+		switch ds.state {
+		case Healthy:
+			if !judged {
+				continue
+			}
+			if ds.loss >= throttleAt {
+				ds.hotTicks++
+			} else {
+				ds.hotTicks = 0
+			}
+			if ds.hotTicks >= g.cfg.HysteresisTicks {
+				ds.transition(Throttled)
+				g.count("riptide_guard_throttles")
+			}
+		case Throttled:
+			if !judged {
+				continue
+			}
+			switch {
+			case ds.loss >= quarantineAt:
+				ds.hotTicks++
+				ds.coolTicks = 0
+			case ds.loss < recoverAt:
+				ds.coolTicks++
+				ds.hotTicks = 0
+			default:
+				ds.hotTicks, ds.coolTicks = 0, 0
+			}
+			if ds.hotTicks >= g.cfg.HysteresisTicks {
+				ds.transition(Quarantined)
+				ds.quarantinedAt = now
+				g.count("riptide_guard_quarantines")
+			} else if ds.coolTicks >= g.cfg.HysteresisTicks {
+				ds.transition(Healthy)
+				g.count("riptide_guard_recoveries")
+			}
+		case Quarantined:
+			// Loss seen during quarantine is kernel-default traffic;
+			// it neither extends nor shortens the cool-down. The EWMA
+			// restarts fresh when probing begins so stale
+			// pre-quarantine loss cannot trigger instant
+			// re-quarantine.
+			if now-ds.quarantinedAt >= g.cfg.QuarantineTTL {
+				ds.transition(Probing)
+				ds.haveLoss = false
+				ds.loss = 0
+				ds.pendRetrans, ds.pendSegs = 0, 0
+				g.count("riptide_guard_probes")
+			}
+		case Probing:
+			if !judged {
+				continue
+			}
+			switch {
+			case ds.loss >= throttleAt:
+				ds.hotTicks++
+				ds.coolTicks = 0
+			case ds.loss < recoverAt:
+				ds.coolTicks++
+				ds.hotTicks = 0
+			default:
+				ds.hotTicks, ds.coolTicks = 0, 0
+			}
+			if ds.hotTicks >= g.cfg.HysteresisTicks {
+				ds.transition(Quarantined)
+				ds.quarantinedAt = now
+				g.count("riptide_guard_quarantines")
+			} else if ds.coolTicks >= g.cfg.HysteresisTicks {
+				ds.transition(Healthy)
+				g.count("riptide_guard_recoveries")
+			}
+		}
+	}
+}
+
+// takeDelta converts the destination's current-tick sums into deltas against
+// the previous tick and re-anchors. It returns ok=false when there is no
+// previous anchor yet or when connection churn made the sums go backwards
+// (the anchor resets and judgment resumes next tick).
+func (ds *destState) takeDelta() (dR, dS int64, ok bool) {
+	tR, tS := ds.tickRetrans, ds.tickSegs
+	ds.tickRetrans, ds.tickSegs = 0, 0
+	if !ds.havePrev {
+		ds.prevRetrans, ds.prevSegs = tR, tS
+		ds.havePrev = true
+		return 0, 0, false
+	}
+	dR, dS = tR-ds.prevRetrans, tS-ds.prevSegs
+	ds.prevRetrans, ds.prevSegs = tR, tS
+	if dR < 0 || dS < 0 {
+		return 0, 0, false
+	}
+	return dR, dS, true
+}
+
+// transition moves to a new state and clears the hysteresis counters.
+func (ds *destState) transition(to State) {
+	ds.state = to
+	ds.hotTicks, ds.coolTicks = 0, 0
+}
+
+// ewma folds one judged rate into the estimate.
+func (g *Governor) ewma(prev, rate float64, havePrev bool) float64 {
+	if !havePrev {
+		return rate
+	}
+	return g.cfg.Alpha*prev + (1-g.cfg.Alpha)*rate
+}
+
+// clampRate bounds a judged loss rate to [0, 1] and rejects non-finite
+// values (impossible with the integer pipeline above, but the governor's
+// thresholds must never see NaN).
+func clampRate(r float64) float64 {
+	if math.IsNaN(r) || r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// count bumps a metrics counter when a registry is configured.
+func (g *Governor) count(name string) {
+	if g.cfg.Metrics != nil {
+		g.cfg.Metrics.Counter(name).Inc()
+	}
+}
+
+// Review implements core.Governor: the planner's pre-program check.
+func (g *Governor) Review(dst netip.Prefix, window int) (int, core.GuardAction) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ds, ok := g.dests[dst]
+	if !ok {
+		// Never-sampled destination (e.g. a fleet merge): only the
+		// canary decision applies — it is deterministic and needs no
+		// state.
+		if g.isCanary(dst) {
+			return 0, core.GuardVeto
+		}
+		return window, core.GuardAllow
+	}
+	if ds.canary {
+		return 0, core.GuardVeto
+	}
+	switch ds.state {
+	case Throttled, Probing:
+		capped := window / 2
+		if capped < 1 {
+			capped = 1
+		}
+		return capped, core.GuardCap
+	case Quarantined:
+		return 0, core.GuardQuarantine
+	default:
+		return window, core.GuardAllow
+	}
+}
+
+// Quarantines implements core.Governor: the currently quarantined
+// destinations with their ages, for snapshot export.
+func (g *Governor) Quarantines() []core.Quarantine {
+	now := g.cfg.Clock()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []core.Quarantine
+	for p, ds := range g.dests {
+		if ds.state != Quarantined {
+			continue
+		}
+		age := now - ds.quarantinedAt
+		if age < 0 {
+			age = 0
+		}
+		out = append(out, core.Quarantine{Prefix: p, Age: age})
+	}
+	return out
+}
+
+// Status is a point-in-time summary for the /status endpoint.
+type Status struct {
+	// Healthy, Throttled, Quarantined, Probing count tracked (non-canary)
+	// destinations per state.
+	Healthy     int `json:"healthy"`
+	Throttled   int `json:"throttled"`
+	Quarantined int `json:"quarantined"`
+	Probing     int `json:"probing"`
+	// Canaries counts destinations held back as the control group.
+	Canaries int `json:"canaries"`
+	// BaselineLoss is the canary pool's EWMA loss rate (the configured
+	// fallback until canaries have produced evidence).
+	BaselineLoss float64 `json:"baselineLoss"`
+}
+
+// Status returns a summary of the governor's current state.
+func (g *Governor) Status() Status {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := Status{BaselineLoss: g.cfg.BaselineFallback}
+	if g.haveBase {
+		st.BaselineLoss = g.baseLoss
+	}
+	for _, ds := range g.dests {
+		if ds.canary {
+			st.Canaries++
+			continue
+		}
+		switch ds.state {
+		case Healthy:
+			st.Healthy++
+		case Throttled:
+			st.Throttled++
+		case Quarantined:
+			st.Quarantined++
+		case Probing:
+			st.Probing++
+		}
+	}
+	return st
+}
+
+// StateOf reports the tracked state of one destination; ok is false for
+// destinations the governor has never sampled. Canary destinations report
+// Healthy with canary=true.
+func (g *Governor) StateOf(dst netip.Prefix) (state State, canary, ok bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ds, present := g.dests[dst]
+	if !present {
+		return Healthy, false, false
+	}
+	return ds.state, ds.canary, true
+}

@@ -1,0 +1,396 @@
+package guard
+
+import (
+	"math"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/metrics"
+)
+
+func pfx(t testing.TB, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// testClock is a manually advanced monotonic clock.
+type testClock struct{ now time.Duration }
+
+func (c *testClock) Now() time.Duration { return c.now }
+
+func newGovernor(t testing.TB, cfg Config, clk *testClock) *Governor {
+	t.Helper()
+	cfg.Clock = clk.Now
+	if cfg.MinSegments == 0 {
+		cfg.MinSegments = 1
+	}
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// feed simulates one tick of sampling: cumulative counters for one
+// destination, then the tick close.
+func feed(g *Governor, clk *testClock, dst netip.Prefix, retrans, segs int64) {
+	g.ObserveSample(dst, core.Observation{Retrans: retrans, SegsOut: segs})
+	clk.now += time.Second
+	g.ObserveTick(clk.now)
+}
+
+// driveToState feeds constant-rate traffic until the destination reaches
+// want, or fails after maxTicks.
+func driveToState(t *testing.T, g *Governor, clk *testClock, dst netip.Prefix, perTickRetrans, perTickSegs int64, want State, maxTicks int) int {
+	t.Helper()
+	var cumR, cumS int64
+	for i := 1; i <= maxTicks; i++ {
+		cumR += perTickRetrans
+		cumS += perTickSegs
+		feed(g, clk, dst, cumR, cumS)
+		if st, _, ok := g.StateOf(dst); ok && st == want {
+			return i
+		}
+	}
+	st, _, _ := g.StateOf(dst)
+	t.Fatalf("destination never reached %v in %d ticks (state %v)", want, maxTicks, st)
+	return 0
+}
+
+func TestEscalationHealthyToQuarantined(t *testing.T) {
+	clk := &testClock{}
+	reg := metrics.NewRegistry()
+	g := newGovernor(t, Config{Metrics: reg}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	// 50% first-flight loss: the canonical capacity-cut regression.
+	ticks := driveToState(t, g, clk, d, 50, 100, Quarantined, 10)
+	if ticks > 10 {
+		t.Errorf("quarantine took %d ticks, want <= 10", ticks)
+	}
+
+	// Throttled was a mandatory waypoint (hysteresis on each hop).
+	if got := reg.Counter("riptide_guard_throttles").Value(); got != 1 {
+		t.Errorf("throttles = %d, want 1", got)
+	}
+	if got := reg.Counter("riptide_guard_quarantines").Value(); got != 1 {
+		t.Errorf("quarantines = %d, want 1", got)
+	}
+
+	// Review vetoes with the quarantine action.
+	if w, action := g.Review(d, 80); action != core.GuardQuarantine || w != 0 {
+		t.Errorf("Review = (%d, %v), want (0, quarantine)", w, action)
+	}
+	qs := g.Quarantines()
+	if len(qs) != 1 || qs[0].Prefix != d {
+		t.Fatalf("Quarantines = %v, want [%v]", qs, d)
+	}
+	if qs[0].Age < 0 {
+		t.Errorf("quarantine age %v negative", qs[0].Age)
+	}
+}
+
+func TestThrottledCapsWindow(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	// Loss above the throttle threshold but below quarantine: 2.5% with
+	// the default floor of 2% throttling and 3% quarantining.
+	driveToState(t, g, clk, d, 25, 1000, Throttled, 10)
+
+	if w, action := g.Review(d, 80); action != core.GuardCap || w != 40 {
+		t.Errorf("Review = (%d, %v), want (40, cap)", w, action)
+	}
+	// The cap never returns less than one segment.
+	if w, _ := g.Review(d, 1); w != 1 {
+		t.Errorf("Review cap of window 1 = %d, want 1", w)
+	}
+	// A throttled destination holding mid-band loss stays throttled.
+	if st, _, _ := g.StateOf(d); st != Throttled {
+		t.Errorf("state = %v, want throttled", st)
+	}
+}
+
+func TestQuarantineExpiresIntoProbingThenRecovers(t *testing.T) {
+	clk := &testClock{}
+	reg := metrics.NewRegistry()
+	g := newGovernor(t, Config{QuarantineTTL: 30 * time.Second, Metrics: reg}, clk)
+	d := pfx(t, "10.0.0.1/32")
+	driveToState(t, g, clk, d, 50, 100, Quarantined, 10)
+
+	// Cool-down: ticks inside the TTL stay quarantined.
+	clk.now += 20 * time.Second
+	g.ObserveTick(clk.now)
+	if st, _, _ := g.StateOf(d); st != Quarantined {
+		t.Fatalf("state before TTL = %v, want quarantined", st)
+	}
+
+	// TTL elapses: probing, programmed again at half window.
+	clk.now += 15 * time.Second
+	g.ObserveTick(clk.now)
+	if st, _, _ := g.StateOf(d); st != Probing {
+		t.Fatalf("state after TTL = %v, want probing", st)
+	}
+	if w, action := g.Review(d, 80); action != core.GuardCap || w != 40 {
+		t.Errorf("probing Review = (%d, %v), want (40, cap)", w, action)
+	}
+	if got := reg.Counter("riptide_guard_probes").Value(); got != 1 {
+		t.Errorf("probes = %d, want 1", got)
+	}
+
+	// Clean traffic through the probe window recovers to healthy.
+	driveToState(t, g, clk, d, 0, 100, Healthy, 10)
+	if w, action := g.Review(d, 80); action != core.GuardAllow || w != 80 {
+		t.Errorf("recovered Review = (%d, %v), want (80, allow)", w, action)
+	}
+	if got := reg.Counter("riptide_guard_recoveries").Value(); got != 1 {
+		t.Errorf("recoveries = %d, want 1", got)
+	}
+	if len(g.Quarantines()) != 0 {
+		t.Error("recovered destination still listed in Quarantines")
+	}
+}
+
+func TestProbeRegressionRequarantines(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{QuarantineTTL: 10 * time.Second}, clk)
+	d := pfx(t, "10.0.0.1/32")
+	driveToState(t, g, clk, d, 50, 100, Quarantined, 10)
+	clk.now += 11 * time.Second
+	g.ObserveTick(clk.now)
+	if st, _, _ := g.StateOf(d); st != Probing {
+		t.Fatalf("state = %v, want probing", st)
+	}
+
+	// The regression is still there: the probe re-quarantines without
+	// passing through throttled.
+	driveToState(t, g, clk, d, 50, 100, Quarantined, 10)
+}
+
+func TestHysteresisAbsorbsOneLossyTick(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	// One moderately lossy tick (6%, above the 2% throttle threshold)
+	// between clean ones: the EWMA dips back under threshold before the
+	// HysteresisTicks=2 requirement is met, so the destination must stay
+	// healthy. (A catastrophic spike is different: its EWMA stays above
+	// threshold across ticks and legitimately escalates.)
+	var cumR, cumS int64
+	rates := []int64{0, 0, 6, 0, 0, 0}
+	for _, r := range rates {
+		cumR += r
+		cumS += 100
+		feed(g, clk, d, cumR, cumS)
+	}
+	if st, _, _ := g.StateOf(d); st != Healthy {
+		t.Errorf("state after one lossy tick = %v, want healthy", st)
+	}
+}
+
+func TestCanaryVetoedAndPooledIntoBaseline(t *testing.T) {
+	clk := &testClock{}
+	// Holdback ~1: every destination is a canary.
+	g := newGovernor(t, Config{Holdback: 0.999}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	var cumR, cumS int64
+	for i := 0; i < 4; i++ {
+		cumR += 10
+		cumS += 100
+		feed(g, clk, d, cumR, cumS)
+	}
+	if w, action := g.Review(d, 80); action != core.GuardVeto || w != 0 {
+		t.Errorf("canary Review = (%d, %v), want (0, veto)", w, action)
+	}
+	st := g.Status()
+	if st.Canaries != 1 {
+		t.Errorf("Canaries = %d, want 1", st.Canaries)
+	}
+	// The canary's 10% loss becomes the baseline estimate.
+	if st.BaselineLoss < 0.05 || st.BaselineLoss > 0.15 {
+		t.Errorf("BaselineLoss = %v, want ~0.1", st.BaselineLoss)
+	}
+	// An unknown destination is still judged by the deterministic hash.
+	if _, action := g.Review(pfx(t, "10.9.9.9/32"), 80); action != core.GuardVeto {
+		t.Errorf("unseen destination Review = %v, want veto (Holdback ~1)", action)
+	}
+}
+
+func TestUnknownDestinationAllowed(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	if w, action := g.Review(pfx(t, "10.0.0.1/32"), 64); action != core.GuardAllow || w != 64 {
+		t.Errorf("Review = (%d, %v), want (64, allow)", w, action)
+	}
+	if _, _, ok := g.StateOf(pfx(t, "10.0.0.1/32")); ok {
+		t.Error("Review must not create destination state")
+	}
+}
+
+func TestCanaryAssignmentDeterministicAndProportional(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{Holdback: 0.2}, clk)
+	g2 := newGovernor(t, Config{Holdback: 0.2}, clk)
+	canaries := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 1}), 32)
+		c1, c2 := g.isCanary(p), g2.isCanary(p)
+		if c1 != c2 {
+			t.Fatalf("canary assignment for %v differs between instances", p)
+		}
+		if c1 {
+			canaries++
+		}
+	}
+	frac := float64(canaries) / n
+	if frac < 0.15 || frac > 0.25 {
+		t.Errorf("canary fraction = %v, want ~0.2", frac)
+	}
+}
+
+func TestConnectionChurnResetsDeltaAnchor(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	// Build up a large cumulative total, then "churn": the lossy
+	// connections close and the sums collapse. The negative delta must
+	// not be judged (a naive implementation would see loss rate > 1 or
+	// corrupt the EWMA).
+	feed(g, clk, d, 500, 1000)
+	feed(g, clk, d, 900, 2000)
+	feed(g, clk, d, 5, 100) // churn: totals went backwards
+	feed(g, clk, d, 5, 200) // clean traffic resumes
+	feed(g, clk, d, 5, 300)
+	if st, _, _ := g.StateOf(d); st == Quarantined {
+		t.Error("churned counters quarantined a clean destination")
+	}
+}
+
+func TestEvidenceAccumulatesAcrossSmallTicks(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{MinSegments: 100}, clk)
+	d := pfx(t, "10.0.0.1/32")
+
+	// 10 segments per tick: no single tick meets MinSegments, but the
+	// pending deltas accumulate and eventually judge the 50% loss.
+	driveToState(t, g, clk, d, 5, 10, Quarantined, 60)
+}
+
+func TestMissingTelemetryIsNoEvidence(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	d := pfx(t, "10.0.0.1/32")
+	// A sampler with no loss telemetry reports zeros: segs never reach
+	// MinSegments, so no judgment ever happens and the destination stays
+	// healthy (never spuriously throttled by rate 0/0).
+	for i := 0; i < 10; i++ {
+		feed(g, clk, d, 0, 0)
+	}
+	if st, _, _ := g.StateOf(d); st != Healthy {
+		t.Errorf("state = %v, want healthy with zero telemetry", st)
+	}
+	if w, action := g.Review(d, 64); action != core.GuardAllow || w != 64 {
+		t.Errorf("Review = (%d, %v), want (64, allow)", w, action)
+	}
+}
+
+func TestStatusCounts(t *testing.T) {
+	clk := &testClock{}
+	g := newGovernor(t, Config{}, clk)
+	healthy := pfx(t, "10.0.0.1/32")
+	lossy := pfx(t, "10.0.0.2/32")
+	var cumR, cumS int64
+	for i := 0; i < 8; i++ {
+		cumR += 50
+		cumS += 100
+		g.ObserveSample(healthy, core.Observation{Retrans: 0, SegsOut: cumS})
+		g.ObserveSample(lossy, core.Observation{Retrans: cumR, SegsOut: cumS})
+		clk.now += time.Second
+		g.ObserveTick(clk.now)
+	}
+	st := g.Status()
+	if st.Healthy != 1 || st.Quarantined != 1 {
+		t.Errorf("Status = %+v, want 1 healthy + 1 quarantined", st)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	clk := &testClock{}
+	cases := map[string]Config{
+		"no clock":             {},
+		"holdback negative":    {Clock: clk.Now, Holdback: -0.1},
+		"holdback 1":           {Clock: clk.Now, Holdback: 1},
+		"holdback NaN":         {Clock: clk.Now, Holdback: math.NaN()},
+		"alpha > 1":            {Clock: clk.Now, Alpha: 1.5},
+		"alpha negative":       {Clock: clk.Now, Alpha: -0.5},
+		"loss floor inf":       {Clock: clk.Now, LossFloor: math.Inf(1)},
+		"loss floor 1":         {Clock: clk.Now, LossFloor: 1},
+		"fallback negative":    {Clock: clk.Now, BaselineFallback: -0.1},
+		"ratio order":          {Clock: clk.Now, ThrottleRatio: 5, QuarantineRatio: 3},
+		"recover >= throttle":  {Clock: clk.Now, RecoverRatio: 3, ThrottleRatio: 3},
+		"min segments < 1":     {Clock: clk.Now, MinSegments: -1},
+		"hysteresis < 1":       {Clock: clk.Now, HysteresisTicks: -1},
+		"quarantine TTL < 0":   {Clock: clk.Now, QuarantineTTL: -time.Second},
+		"throttle ratio NaN":   {Clock: clk.Now, ThrottleRatio: math.NaN()},
+		"quarantine ratio inf": {Clock: clk.Now, QuarantineRatio: math.Inf(1)},
+	}
+	for name, cfg := range cases {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: New accepted invalid config", name)
+		}
+	}
+
+	g, err := New(Config{Clock: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eff := g.Config()
+	if eff.Alpha != DefaultAlpha || eff.QuarantineTTL != DefaultQuarantineTTL ||
+		eff.MinSegments != DefaultMinSegments || eff.HysteresisTicks != DefaultHysteresisTicks {
+		t.Errorf("defaults not applied: %+v", eff)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for st, want := range map[State]string{
+		Healthy: "healthy", Throttled: "throttled",
+		Quarantined: "quarantined", Probing: "probing", State(99): "unknown",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", st, got, want)
+		}
+	}
+	for _, a := range []core.GuardAction{core.GuardAllow, core.GuardCap, core.GuardVeto, core.GuardQuarantine, core.GuardAction(99)} {
+		if a.String() == "" || strings.ContainsRune(a.String(), ' ') {
+			t.Errorf("GuardAction(%d).String() = %q", a, a.String())
+		}
+	}
+}
+
+func TestClampRate(t *testing.T) {
+	for in, want := range map[float64]float64{
+		-1: 0, 0: 0, 0.5: 0.5, 1: 1, 2: 1,
+	} {
+		if got := clampRate(in); got != want {
+			t.Errorf("clampRate(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if got := clampRate(math.NaN()); got != 0 {
+		t.Errorf("clampRate(NaN) = %v, want 0", got)
+	}
+	if got := clampRate(math.Inf(1)); got != 1 {
+		t.Errorf("clampRate(+Inf) = %v, want 1", got)
+	}
+}

@@ -22,6 +22,17 @@ func FuzzParseSS(f *testing.F) {
 	// between established ones must not contribute observations.
 	f.Add([]byte("ESTAB 0 0 1.2.3.4:1 5.6.7.8:2\n\t cwnd:10\nTIME-WAIT 0 0 1.2.3.4:2 9.9.9.9:443\nESTAB 0 0 1.2.3.4:3 8.8.8.8:443\n\t cwnd:11\nSYN-SENT 0 1 1.2.3.4:4 7.7.7.7:443\n\t cwnd:99\nFIN-WAIT-1 0 0 1.2.3.4:5 6.6.6.6:443\n\t cwnd:98\n"))
 	f.Add([]byte("LISTEN 0 128 0.0.0.0:22 0.0.0.0:*\nESTAB 0 0 10.0.0.5:1 10.0.0.6:443\nCLOSE-WAIT 1 0 10.0.0.5:2 10.0.0.7:443\n\t cwnd:5\n"))
+	// Loss telemetry: retrans:<inflight>/<total>, lost:N, segs_out:N as
+	// modern ss renders them.
+	f.Add([]byte(lossySSFixture))
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t cubic cwnd:42 retrans:0/12 lost:3 segs_out:4096\n"))
+	// Older ss renders a bare retransmit count without the slash.
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t cwnd:42 retrans:12\n"))
+	// Reordered fields: loss tokens before cwnd, split across lines.
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t segs_out:900 retrans:2/7\n\t lost:1 cwnd:42 rtt:1.5/0.75\n"))
+	// Malformed loss values must zero-fill, never panic.
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t cwnd:42 retrans:/ lost:-4 segs_out:1e9 retrans:x/y\n"))
+	f.Add([]byte("ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n\t cwnd:42 retrans:9999999999999999999999/9999999999999999999999 lost:99999999999999999999\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		obs, err := ParseSS(data)
 		if err != nil {
@@ -36,6 +47,9 @@ func FuzzParseSS(f *testing.F) {
 			}
 			if o.RTT < 0 || o.BytesAcked < 0 {
 				t.Fatalf("observation with negative metric: %+v", o)
+			}
+			if o.Retrans < 0 || o.Lost < 0 || o.SegsOut < 0 {
+				t.Fatalf("observation with negative loss telemetry: %+v", o)
 			}
 		}
 	})

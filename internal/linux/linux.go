@@ -166,10 +166,13 @@ func splitHostPort(s string) (netip.Addr, error) {
 	return addr, nil
 }
 
-// parseInfoLine extracts cwnd, rtt, and bytes_acked tokens from an ss TCP
-// info line like:
+// parseInfoLine extracts cwnd, rtt, bytes_acked, and the loss-telemetry
+// tokens (retrans, lost, segs_out) from an ss TCP info line like:
 //
-//	cubic wscale:7,7 rto:204 rtt:1.5/0.75 mss:1448 cwnd:42 bytes_acked:123
+//	cubic wscale:7,7 rto:204 rtt:1.5/0.75 mss:1448 cwnd:42 bytes_acked:123 segs_out:90 retrans:0/3 lost:1
+//
+// Missing fields stay zero — the governor treats absent loss telemetry as
+// "no evidence", never as data.
 func parseInfoLine(line string, o *core.Observation) {
 	for _, tok := range strings.Fields(line) {
 		key, val, ok := strings.Cut(tok, ":")
@@ -190,6 +193,24 @@ func parseInfoLine(line string, o *core.Observation) {
 		case "bytes_acked":
 			if v, err := strconv.ParseInt(val, 10, 64); err == nil && v >= 0 {
 				o.BytesAcked = v
+			}
+		case "retrans":
+			// retrans:<inflight>/<total>; the cumulative total is the
+			// loss signal. Older ss renders a bare count — accept both.
+			_, total, slash := strings.Cut(val, "/")
+			if !slash {
+				total = val
+			}
+			if v, err := strconv.ParseInt(total, 10, 64); err == nil && v >= 0 {
+				o.Retrans = v
+			}
+		case "lost":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil && v >= 0 {
+				o.Lost = v
+			}
+		case "segs_out":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil && v >= 0 {
+				o.SegsOut = v
 			}
 		}
 	}

@@ -38,6 +38,77 @@ ESTAB       0      0                10.0.0.5:50000             10.0.0.99:443
 LISTEN      0      128               0.0.0.0:22                  0.0.0.0:*
 `
 
+// lossySSFixture covers the loss-telemetry tokens a regressing path
+// produces: retrans:<inflight>/<total>, lost:N, segs_out:N — including a
+// reordered variant (loss tokens before cwnd, wrapped across lines), an
+// older-ss bare retrans count, and a socket with no loss fields at all.
+const lossySSFixture = `State       Recv-Q Send-Q        Local Address:Port          Peer Address:Port
+ESTAB       0      0                10.0.0.5:44312            10.0.0.127:443
+	 cubic wscale:7,7 rto:204 rtt:1.5/0.75 mss:1448 cwnd:42 bytes_acked:81091 segs_out:4096 segs_in:34 retrans:2/12 lost:3 rcv_space:14480
+ESTAB       0      0                10.0.0.5:44313            10.0.0.128:443
+	 cubic segs_out:900 retrans:0/7
+	 lost:1 cwnd:30 rtt:2/1 bytes_acked:555
+ESTAB       0      0                10.0.0.5:44314            10.0.0.129:443
+	 cubic cwnd:20 retrans:5 rtt:3/1
+ESTAB       0      0                10.0.0.5:44315            10.0.0.130:443
+	 cubic cwnd:11 rtt:4/2 bytes_acked:77
+`
+
+func TestParseSSLossTelemetry(t *testing.T) {
+	obs, err := ParseSS([]byte(lossySSFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 4 {
+		t.Fatalf("parsed %d observations, want 4: %+v", len(obs), obs)
+	}
+
+	// retrans:<inflight>/<total> — the cumulative total is the signal.
+	first := obs[0]
+	if first.Retrans != 12 || first.Lost != 3 || first.SegsOut != 4096 {
+		t.Errorf("first = retrans %d lost %d segs_out %d, want 12/3/4096",
+			first.Retrans, first.Lost, first.SegsOut)
+	}
+
+	// Reordered and line-wrapped tokens parse the same.
+	second := obs[1]
+	if second.Cwnd != 30 || second.Retrans != 7 || second.Lost != 1 || second.SegsOut != 900 {
+		t.Errorf("reordered = %+v, want cwnd 30 retrans 7 lost 1 segs_out 900", second)
+	}
+
+	// Older ss: bare retrans count without the slash.
+	third := obs[2]
+	if third.Retrans != 5 {
+		t.Errorf("bare retrans = %d, want 5", third.Retrans)
+	}
+
+	// Missing loss fields zero-fill.
+	fourth := obs[3]
+	if fourth.Retrans != 0 || fourth.Lost != 0 || fourth.SegsOut != 0 {
+		t.Errorf("missing telemetry = %+v, want zero-filled", fourth)
+	}
+	if fourth.Cwnd != 11 {
+		t.Errorf("cwnd = %d, want 11", fourth.Cwnd)
+	}
+}
+
+func TestParseSSMalformedLossTokens(t *testing.T) {
+	// Broken values must zero-fill, never panic or go negative.
+	out := "ESTAB 0 0 10.0.0.5:1 10.0.0.6:443\n" +
+		"\t cwnd:42 retrans:/ lost:-4 segs_out:1e9 retrans:x/y retrans:3/-8 lost:abc\n"
+	obs, err := ParseSS([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(obs) != 1 {
+		t.Fatalf("parsed %d observations, want 1", len(obs))
+	}
+	o := obs[0]
+	if o.Retrans != 0 || o.Lost != 0 || o.SegsOut != 0 {
+		t.Errorf("malformed tokens produced %+v, want zero-filled telemetry", o)
+	}
+}
+
 func TestParseSS(t *testing.T) {
 	obs, err := ParseSS([]byte(ssFixture))
 	if err != nil {

@@ -239,6 +239,22 @@ func (n *Network) SetPathLoss(src, dst netip.Addr, lossRate float64) error {
 	return nil
 }
 
+// SetPathCapacity changes the bottleneck capacity (segments per RTT) of the
+// live path src -> dst, affecting existing connections as well as future
+// ones — a mid-run capacity cut such as a failed link in a LAG or a rerouted
+// backbone. Zero means effectively unconstrained.
+func (n *Network) SetPathCapacity(src, dst netip.Addr, segments int) error {
+	if segments < 0 {
+		return fmt.Errorf("netsim: path capacity %d must be >= 0", segments)
+	}
+	p, ok := n.paths[pathKey{src, dst}]
+	if !ok {
+		return fmt.Errorf("%w: %v -> %v", ErrNoPath, src, dst)
+	}
+	p.cfg.CapacitySegments = segments
+	return nil
+}
+
 // PathRTT reports the configured RTT from src to dst.
 func (n *Network) PathRTT(src, dst netip.Addr) (time.Duration, error) {
 	p, ok := n.paths[pathKey{src, dst}]
@@ -292,6 +308,12 @@ type Conn struct {
 	sending    bool
 	closed     bool
 	bytesAcked int64
+	// Cumulative loss telemetry surfaced through Snapshot, mirroring what
+	// `ss -tin` exposes on Linux (retrans totals, segs_out) so the Riptide
+	// governor sees the same signal in simulation as in production.
+	segsOut  int64 // segments sent, incl. retransmissions
+	retrans  int64 // segments retransmitted (lost and resent)
+	lastLost int64 // segments lost in the most recent round (ss lost:)
 	// lastActive is the last simulated time the connection sent or
 	// received; it drives RFC 2861 idle-restart.
 	lastActive time.Duration
@@ -370,6 +392,10 @@ func (c *Conn) Snapshot() kernel.ConnSnapshot {
 		Cwnd:       c.win.Cwnd(),
 		RTT:        c.path.cfg.RTT,
 		BytesAcked: c.bytesAcked,
+		Retrans:    c.retrans,
+		Lost:       c.lastLost,
+		SegsOut:    c.segsOut,
+		LossEvents: c.win.LossEvents() + c.win.TimeoutEvents(),
 		Opened:     c.opened,
 	}
 }
@@ -479,6 +505,7 @@ func (c *Conn) round(t *transfer) {
 	// Account the burst against the path's per-RTT load window.
 	p := c.path
 	p.load += int(send)
+	c.segsOut += send
 	lossProb := p.cfg.LossRate + p.extraCongestionLoss()
 	lost := int64(0)
 	if lossProb > 0 {
@@ -501,6 +528,8 @@ func (c *Conn) round(t *transfer) {
 		t.remaining -= delivered
 		t.rounds++
 		t.retrans += lost
+		c.retrans += lost
+		c.lastLost = lost
 		c.bytesAcked += delivered * int64(c.network.mss)
 		if lost > 0 {
 			c.win.Loss(now)

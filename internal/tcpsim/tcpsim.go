@@ -81,6 +81,7 @@ type Window struct {
 	lossEvents    uint64
 	timeoutEvents uint64
 	roundsAcked   uint64
+	segsAcked     uint64
 }
 
 // NewWindow constructs a Window from cfg.
@@ -146,6 +147,11 @@ func (w *Window) TimeoutEvents() uint64 { return w.timeoutEvents }
 // Rounds returns the number of loss-free acked rounds processed.
 func (w *Window) Rounds() uint64 { return w.roundsAcked }
 
+// SegsAcked returns the cumulative count of segments acknowledged across all
+// acked rounds — the denominator a loss-rate telemetry consumer pairs with
+// LossEvents.
+func (w *Window) SegsAcked() uint64 { return w.segsAcked }
+
 // Ack processes one loss-free round that cumulatively acknowledged acked
 // segments at simulated time now.
 func (w *Window) Ack(acked int, now time.Duration) {
@@ -153,6 +159,7 @@ func (w *Window) Ack(acked int, now time.Duration) {
 		return
 	}
 	w.roundsAcked++
+	w.segsAcked += uint64(acked)
 	if w.InSlowStart() {
 		// Slow start: cwnd += number of ACKs received. With delayed
 		// ACKs the receiver acknowledges every other segment, halving

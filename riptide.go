@@ -73,6 +73,15 @@ type (
 	RetryPolicy = core.RetryPolicy
 	// RetryStats counts retry-decorator activity.
 	RetryStats = core.RetryStats
+
+	// Governor is the closed-loop safety hook consulted per planned route
+	// program; internal/guard provides the loss-feedback implementation
+	// (Config.Guard accepts any Governor).
+	Governor = core.Governor
+	// GuardAction is a Governor verdict: allow, cap, veto, or quarantine.
+	GuardAction = core.GuardAction
+	// Quarantine is one destination a Governor is holding out of service.
+	Quarantine = core.Quarantine
 )
 
 // Paper-default parameters (Sections III-B, IV-A).
