@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race race bench report report-full fuzz fuzz-guard examples clean
+.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard examples clean
 
 all: check
 
@@ -31,6 +31,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable perf-trajectory snapshot (agent-tick scaling series plus
+# batched-vs-individual route programming) for PR-over-PR comparison.
+bench-json:
+	$(GO) run ./cmd/riptide-bench -perf-only -perf-json BENCH_5.json
 
 # Quick-scale markdown report to stdout.
 report:

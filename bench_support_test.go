@@ -1,30 +1,18 @@
 package riptide
 
 import (
-	"net/netip"
 	"time"
+
+	"riptide/internal/perf"
 )
 
 // newSyntheticBackend builds an n-connection sampler, a no-op route sink,
-// and a fixed clock for agent micro-benchmarks.
-func newSyntheticBackend(n int) (ConnectionSampler, RouteProgrammer, func() time.Duration) {
-	obs := make([]Observation, 0, n)
-	for i := 0; i < n; i++ {
-		obs = append(obs, Observation{
-			Dst:        netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 1}),
-			Cwnd:       10 + i%90,
-			RTT:        time.Duration(20+i%200) * time.Millisecond,
-			BytesAcked: int64(i) * 1500,
-		})
+// and a fixed clock for agent micro-benchmarks. The batched variant
+// exercises the agent's BatchRouteProgrammer fast path.
+func newSyntheticBackend(n int, batch bool) (ConnectionSampler, RouteProgrammer, func() time.Duration) {
+	var routes RouteProgrammer = perf.NopRoutes{}
+	if batch {
+		routes = perf.NopBatchRoutes{}
 	}
-	return staticSampler(obs), nopRoutes{}, func() time.Duration { return 0 }
+	return perf.StaticSampler(perf.SyntheticObservations(n)), routes, func() time.Duration { return 0 }
 }
-
-type staticSampler []Observation
-
-func (s staticSampler) SampleConnections() ([]Observation, error) { return s, nil }
-
-type nopRoutes struct{}
-
-func (nopRoutes) SetInitCwnd(netip.Prefix, int) error { return nil }
-func (nopRoutes) ClearInitCwnd(netip.Prefix) error    { return nil }

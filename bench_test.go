@@ -11,12 +11,14 @@ package riptide
 
 import (
 	"fmt"
+	"net/netip"
 	"os"
 	"strconv"
 	"strings"
 	"testing"
 
 	"riptide/internal/experiments"
+	"riptide/internal/kernel"
 )
 
 func benchScale() experiments.Scale {
@@ -254,14 +256,18 @@ func BenchmarkAblationUpdateInterval(b *testing.B) {
 
 // BenchmarkAgentTick measures the cost of one Riptide poll round over a
 // synthetic 1000-connection observed table — the agent's steady-state
-// overhead on a busy production host.
+// overhead on a busy production host. Kept at its historical shape
+// (default shard count, per-op route programming) so the series stays
+// comparable across PRs.
 func BenchmarkAgentTick(b *testing.B) {
 	const conns = 1000
-	sampler, routes, clock := newSyntheticBackend(conns)
+	sampler, routes, clock := newSyntheticBackend(conns, false)
 	agent, err := New(Config{Sampler: sampler, Routes: routes, Clock: clock})
 	if err != nil {
 		b.Fatal(err)
 	}
+	defer func() { _ = agent.Close() }()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := agent.Tick(); err != nil {
@@ -269,6 +275,83 @@ func BenchmarkAgentTick(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(conns), "conns/tick")
+}
+
+// benchmarkAgentTickSeries is the hot-path scaling series: serial (one
+// shard) versus sharded planning, both over the batched route-programming
+// surface, at a fixed observed-table size.
+func benchmarkAgentTickSeries(b *testing.B, conns int) {
+	for _, v := range []struct {
+		name   string
+		shards int
+	}{
+		{"serial", 1},
+		{"sharded", 8},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			sampler, routes, clock := newSyntheticBackend(conns, true)
+			agent, err := New(Config{Sampler: sampler, Routes: routes, Clock: clock, Shards: v.shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer func() { _ = agent.Close() }()
+			// One warmup tick so pools and learned entries reach
+			// steady state before timing.
+			if err := agent.Tick(); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := agent.Tick(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAgentTick1k(b *testing.B)   { benchmarkAgentTickSeries(b, 1_000) }
+func BenchmarkAgentTick10k(b *testing.B)  { benchmarkAgentTickSeries(b, 10_000) }
+func BenchmarkAgentTick100k(b *testing.B) { benchmarkAgentTickSeries(b, 100_000) }
+
+// BenchmarkBatchProgram compares per-op route installation against the
+// batched ApplyRoutes path on the simulated kernel — the cost model behind
+// the agent's BatchRouteProgrammer fast path.
+func BenchmarkBatchProgram(b *testing.B) {
+	const ops = 1024
+	host, err := kernel.NewHost(netip.MustParseAddr("10.0.0.1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	routes := make([]kernel.Route, ops)
+	updates := make([]kernel.RouteUpdate, ops)
+	for i := range routes {
+		routes[i] = kernel.Route{
+			Prefix:   netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 0}), 24),
+			InitCwnd: 10 + i%90,
+			Proto:    "static",
+		}
+		updates[i] = kernel.RouteUpdate{Route: routes[i]}
+	}
+	b.Run("individual", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range routes {
+				if err := host.AddRoute(r); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if errs := host.ApplyRoutes(updates); errs != nil {
+				b.Fatal(errs)
+			}
+		}
+	})
 }
 
 func BenchmarkExtensionTrendReaction(b *testing.B) {

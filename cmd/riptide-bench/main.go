@@ -9,9 +9,15 @@
 //
 //	riptide-bench -scale quick -o report.md
 //	riptide-bench -scale full -series-dir series/   # also dump plottable CSVs
+//
+// With -perf-json the tool also (or, with -perf-only, exclusively) runs the
+// agent hot-path perf harness and writes a machine-readable snapshot:
+//
+//	riptide-bench -perf-only -perf-json BENCH_5.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"riptide/internal/experiments"
+	"riptide/internal/perf"
 )
 
 func main() {
@@ -42,6 +49,10 @@ func run(args []string) error {
 		n         = fs.Int("n", 200000, "model sample count")
 		seriesDir = fs.String("series-dir", "", "also write each figure's curve data as CSV into this directory")
 		workers   = fs.Int("workers", 0, "concurrent experiments (default: CPU count)")
+		perfJSON  = fs.String("perf-json", "", "write the agent hot-path perf snapshot (BENCH_<n>.json) to this file")
+		perfOnly  = fs.Bool("perf-only", false, "run only the perf harness (requires -perf-json)")
+		perfSizes = fs.String("perf-sizes", "1000,10000,100000", "comma-separated observed-table sizes for the perf series")
+		perfTime  = fs.Duration("perf-time", 300*time.Millisecond, "minimum measured time per perf series point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +69,18 @@ func run(args []string) error {
 	}
 	s.Seed = *seed
 
+	if *perfOnly && *perfJSON == "" {
+		return fmt.Errorf("-perf-only requires -perf-json")
+	}
+	if *perfJSON != "" {
+		if err := writePerfSnapshot(*perfJSON, *perfSizes, *perfTime); err != nil {
+			return err
+		}
+		if *perfOnly {
+			return nil
+		}
+	}
+
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -68,6 +91,46 @@ func run(args []string) error {
 		w = f
 	}
 	return report(w, s, *seed, *n, *seriesDir, *workers)
+}
+
+// prePRBaselines are the BenchmarkAgentTick figures measured at commit
+// 72995e6, before the sharded single-map hot path landed, on the same
+// single-CPU machine class that produced BENCH_5.json. Embedding them makes
+// each snapshot carry its own point of comparison for the trajectory.
+var prePRBaselines = []perf.Baseline{
+	{Name: "AgentTick/dest=1000/pre-shard", NsPerOp: 515779, AllocsPerOp: 1027},
+	{Name: "AgentTick/dest=10000/pre-shard", NsPerOp: 6980329, AllocsPerOp: 10142, BytesPerOp: 4309375},
+}
+
+// writePerfSnapshot runs the perf harness over the requested observed-table
+// sizes and writes the JSON snapshot to path.
+func writePerfSnapshot(path, sizesCSV string, minTime time.Duration) error {
+	var sizes []int
+	for _, field := range strings.Split(sizesCSV, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		n, err := strconv.Atoi(field)
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -perf-sizes entry %q", field)
+		}
+		sizes = append(sizes, n)
+	}
+	if len(sizes) == 0 {
+		return fmt.Errorf("-perf-sizes is empty")
+	}
+	snap, err := perf.Collect(sizes, minTime)
+	if err != nil {
+		return err
+	}
+	snap.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	snap.Baselines = prePRBaselines
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // job is one experiment with its position in the report.

@@ -1,12 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"riptide/internal/experiments"
+	"riptide/internal/perf"
 )
 
 func TestRunUnknownScale(t *testing.T) {
@@ -46,5 +48,49 @@ func TestReportQuick(t *testing.T) {
 	}
 	if err := os.WriteFile(out, []byte(text), 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestPerfOnlyRequiresJSONPath(t *testing.T) {
+	if err := run([]string{"-perf-only"}); err == nil {
+		t.Error("-perf-only without -perf-json accepted")
+	}
+}
+
+func TestPerfSnapshotBadSizes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	for _, sizes := range []string{"", "abc", "0", "10,-1"} {
+		if err := run([]string{"-perf-only", "-perf-json", path, "-perf-sizes", sizes}); err == nil {
+			t.Errorf("sizes %q accepted", sizes)
+		}
+	}
+}
+
+func TestPerfSnapshotWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-perf-only", "-perf-json", path,
+		"-perf-sizes", "8, 16", "-perf-time", "1ms"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap perf.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != perf.SnapshotSchema {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	// 2 sizes x 2 shard variants + 2 route-programming modes.
+	if len(snap.Benchmarks) != 6 {
+		t.Fatalf("benchmarks = %d, want 6", len(snap.Benchmarks))
+	}
+	for _, b := range snap.Benchmarks {
+		if b.NsPerOp <= 0 || b.Iterations < 1 {
+			t.Errorf("%s: nsPerOp=%v iterations=%d", b.Name, b.NsPerOp, b.Iterations)
+		}
 	}
 }

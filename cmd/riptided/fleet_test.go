@@ -22,11 +22,11 @@ type countingSampler struct {
 	obs   []core.Observation
 }
 
-func (s *countingSampler) SampleConnections() ([]core.Observation, error) {
+func (s *countingSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.calls++
-	return s.obs, nil
+	return append(buf, s.obs...), nil
 }
 
 func (s *countingSampler) count() int {

@@ -61,6 +61,7 @@ func run(args []string) error {
 		cmax       = fs.Int("cmax", riptide.DefaultCMax, "maximum programmed initcwnd")
 		cmin       = fs.Int("cmin", riptide.DefaultCMin, "minimum programmed initcwnd")
 		prefixBits = fs.Int("prefix-bits", 32, "destination granularity (32=per host, 24=per /24)")
+		shards     = fs.Int("shards", 0, "lock-striped state shards for the agent hot path (0 = GOMAXPROCS, capped at 16)")
 		initRwnd   = fs.Bool("initrwnd", false, "also set initrwnd on programmed routes")
 		dryRun     = fs.Bool("dry-run", false, "print ip commands instead of executing them")
 		combiner   = fs.String("combiner", "average", "combiner: average|max|traffic-weighted")
@@ -197,6 +198,7 @@ func run(args []string) error {
 		CMax:             *cmax,
 		CMin:             *cmin,
 		PrefixBits:       *prefixBits,
+		Shards:           *shards,
 		Combiner:         comb,
 		BreakerThreshold: *breakerThreshold,
 		BreakerCooldown:  *breakerCooldown,
@@ -272,8 +274,8 @@ func run(args []string) error {
 		}()
 	}
 
-	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s dry-run=%v guard=%v",
-		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, *dryRun, *guardOn)
+	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s shards=%d dry-run=%v guard=%v",
+		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, agent.Shards(), *dryRun, *guardOn)
 
 	if *verbose {
 		go func() {

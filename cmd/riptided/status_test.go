@@ -15,7 +15,9 @@ import (
 
 type staticSampler []core.Observation
 
-func (s staticSampler) SampleConnections() ([]core.Observation, error) { return s, nil }
+func (s staticSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
+	return append(buf, s...), nil
+}
 
 type nopRoutes struct{}
 

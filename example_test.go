@@ -11,11 +11,11 @@ import (
 // exampleSampler stands in for `ss -tin` output.
 type exampleSampler struct{}
 
-func (exampleSampler) SampleConnections() ([]riptide.Observation, error) {
-	return []riptide.Observation{
-		{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 60},
-		{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 100},
-	}, nil
+func (exampleSampler) SampleConnections(buf []riptide.Observation) ([]riptide.Observation, error) {
+	return append(buf,
+		riptide.Observation{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 60},
+		riptide.Observation{Dst: netip.MustParseAddr("10.0.0.127"), Cwnd: 100},
+	), nil
 }
 
 // exampleRoutes stands in for `ip route` programming.

@@ -20,11 +20,11 @@ import (
 // host with stable long-haul connections.
 type steadySampler struct{ dst netip.Addr }
 
-func (s steadySampler) SampleConnections() ([]riptide.Observation, error) {
-	return []riptide.Observation{
-		{Dst: s.dst, Cwnd: 96, RTT: 120 * time.Millisecond, BytesAcked: 4 << 20},
-		{Dst: s.dst, Cwnd: 104, RTT: 120 * time.Millisecond, BytesAcked: 9 << 20},
-	}, nil
+func (s steadySampler) SampleConnections(buf []riptide.Observation) ([]riptide.Observation, error) {
+	return append(buf,
+		riptide.Observation{Dst: s.dst, Cwnd: 96, RTT: 120 * time.Millisecond, BytesAcked: 4 << 20},
+		riptide.Observation{Dst: s.dst, Cwnd: 104, RTT: 120 * time.Millisecond, BytesAcked: 9 << 20},
+	), nil
 }
 
 // printRoutes logs the window each tick would program.

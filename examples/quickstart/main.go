@@ -21,13 +21,13 @@ type tableSampler struct {
 	i      int
 }
 
-func (t *tableSampler) SampleConnections() ([]riptide.Observation, error) {
+func (t *tableSampler) SampleConnections(buf []riptide.Observation) ([]riptide.Observation, error) {
 	idx := t.i
 	if idx >= len(t.rounds) {
 		idx = len(t.rounds) - 1
 	}
 	t.i++
-	return t.rounds[idx], nil
+	return append(buf, t.rounds[idx]...), nil
 }
 
 // printRoutes logs what would be `ip route replace/del` on a real machine.

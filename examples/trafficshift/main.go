@@ -32,13 +32,11 @@ var (
 // harness does.
 type kernelSampler struct{ host *kernel.Host }
 
-func (s kernelSampler) SampleConnections() ([]core.Observation, error) {
-	snaps := s.host.Connections()
-	obs := make([]core.Observation, 0, len(snaps))
-	for _, c := range snaps {
-		obs = append(obs, core.Observation{Dst: c.Dst, Cwnd: c.Cwnd, RTT: c.RTT, BytesAcked: c.BytesAcked})
+func (s kernelSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
+	for _, c := range s.host.Connections() {
+		buf = append(buf, core.Observation{Dst: c.Dst, Cwnd: c.Cwnd, RTT: c.RTT, BytesAcked: c.BytesAcked})
 	}
-	return obs, nil
+	return buf, nil
 }
 
 type kernelRoutes struct{ host *kernel.Host }

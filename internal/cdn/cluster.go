@@ -16,17 +16,19 @@ import (
 )
 
 // hostSampler adapts a simulated kernel's connection table to the agent's
-// ConnectionSampler — the `ss` of the simulated world.
+// ConnectionSampler — the `ss` of the simulated world. The snapshot buffer
+// is reused across ticks, so a steady connection set samples without
+// allocating.
 type hostSampler struct {
-	host *kernel.Host
+	host  *kernel.Host
+	snaps []kernel.ConnSnapshot
 }
 
 // SampleConnections implements core.ConnectionSampler.
-func (s hostSampler) SampleConnections() ([]core.Observation, error) {
-	snaps := s.host.Connections()
-	obs := make([]core.Observation, 0, len(snaps))
-	for _, c := range snaps {
-		obs = append(obs, core.Observation{
+func (s *hostSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
+	s.snaps = s.host.AppendConnections(s.snaps[:0])
+	for _, c := range s.snaps {
+		buf = append(buf, core.Observation{
 			Dst:        c.Dst,
 			Cwnd:       c.Cwnd,
 			RTT:        c.RTT,
@@ -37,29 +39,44 @@ func (s hostSampler) SampleConnections() ([]core.Observation, error) {
 			LossEvents: c.LossEvents,
 		})
 	}
-	return obs, nil
+	return buf, nil
 }
 
 // hostRoutes adapts a simulated kernel's route table to the agent's
-// RouteProgrammer — the `ip route` of the simulated world.
+// RouteProgrammer — the `ip route` of the simulated world. The update
+// buffer backs the batched path and is reused across ticks.
 type hostRoutes struct {
-	host *kernel.Host
+	host    *kernel.Host
+	updates []kernel.RouteUpdate
 }
 
 // SetInitCwnd implements core.RouteProgrammer.
-func (r hostRoutes) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
+func (r *hostRoutes) SetInitCwnd(prefix netip.Prefix, cwnd int) error {
 	return r.host.AddRoute(kernel.Route{Prefix: prefix, InitCwnd: cwnd, Proto: "static"})
 }
 
 // ClearInitCwnd implements core.RouteProgrammer.
-func (r hostRoutes) ClearInitCwnd(prefix netip.Prefix) error {
+func (r *hostRoutes) ClearInitCwnd(prefix netip.Prefix) error {
 	r.host.DelRoute(prefix)
 	return nil
 }
 
+// ProgramRoutes implements core.BatchRouteProgrammer: the whole route set
+// lands in the simulated kernel under one lock acquisition.
+func (r *hostRoutes) ProgramRoutes(ops []core.RouteOp) []error {
+	r.updates = r.updates[:0]
+	for _, op := range ops {
+		r.updates = append(r.updates, kernel.RouteUpdate{
+			Route:  kernel.Route{Prefix: op.Prefix, InitCwnd: op.Window, Proto: "static"},
+			Delete: op.Clear,
+		})
+	}
+	return r.host.ApplyRoutes(r.updates)
+}
+
 var (
-	_ core.ConnectionSampler = hostSampler{}
-	_ core.RouteProgrammer   = hostRoutes{}
+	_ core.ConnectionSampler    = (*hostSampler)(nil)
+	_ core.BatchRouteProgrammer = (*hostRoutes)(nil)
 )
 
 // RiptideOptions tunes the per-host agents.
@@ -331,8 +348,8 @@ func (c *Cluster) newAgentForHost(h *kernel.Host) (*core.Agent, error) {
 	}
 	return core.New(core.Config{
 		Guard:          gov,
-		Sampler:        hostSampler{host: h},
-		Routes:         hostRoutes{host: h},
+		Sampler:        &hostSampler{host: h},
+		Routes:         &hostRoutes{host: h},
 		Clock:          c.engine.Now,
 		UpdateInterval: r.UpdateInterval,
 		TTL:            r.TTL,

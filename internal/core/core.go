@@ -99,8 +99,16 @@ type Observation struct {
 // ConnectionSampler supplies the current set of open connections.
 // Implementations: the simulated kernel's connection table, or the parsed
 // output of `ss -tin`.
+//
+// SampleConnections appends the current observations to buf — which may be
+// nil — and returns the resulting slice. The agent passes a pooled buffer it
+// reuses across ticks, so a steady-state sampler performs no per-tick slice
+// allocation once the buffer has grown to the working-set size. The caller
+// owns the returned slice until its next SampleConnections call; samplers
+// with a fixed observation set may ignore buf and return their own slice,
+// but must then never mutate it between calls.
 type ConnectionSampler interface {
-	SampleConnections() ([]Observation, error)
+	SampleConnections(buf []Observation) ([]Observation, error)
 }
 
 // RouteProgrammer installs and removes per-destination initcwnd overrides.
@@ -111,6 +119,32 @@ type RouteProgrammer interface {
 	SetInitCwnd(prefix netip.Prefix, cwnd int) error
 	// ClearInitCwnd removes the override, restoring the default.
 	ClearInitCwnd(prefix netip.Prefix) error
+}
+
+// RouteOp is one element of a batched route-programming request: install a
+// window override (Clear false) or withdraw one (Clear true, Window
+// ignored).
+type RouteOp struct {
+	Prefix netip.Prefix
+	Window int
+	Clear  bool
+}
+
+// BatchRouteProgrammer is an optional extension of RouteProgrammer for
+// backends that can apply a whole route set in one operation — the simulated
+// kernel under a single lock acquisition, or `ip -batch` with one exec for
+// the entire tick. The agent prefers this path whenever the configured
+// programmer implements it.
+//
+// ProgramRoutes applies every op, continuing past individual failures. It
+// returns nil when the whole batch succeeded, otherwise a slice of exactly
+// len(ops) per-op errors (nil entries mark successes). A backend that cannot
+// attribute a batch failure to specific members may mark every member
+// failed; decorators such as RetryingRouteProgrammer then re-drive the
+// members individually to recover attribution.
+type BatchRouteProgrammer interface {
+	RouteProgrammer
+	ProgramRoutes(ops []RouteOp) []error
 }
 
 // Combiner reduces one destination's observations to a single window value.
@@ -303,11 +337,22 @@ type Config struct {
 	// routes, smaller values aggregate whole prefixes (the paper's
 	// "Destinations as Routes" discussion).
 	PrefixBits int
+	// Shards is the number of lock-striped shards the per-destination
+	// state (entries + history) is split across, and the width of the
+	// worker pool that fans out the ingest and plan stages of Tick. 0
+	// means min(GOMAXPROCS, 16); 1 disables intra-tick parallelism. The
+	// route plan is merged and sorted before programming, so the agent's
+	// output is identical for every shard count.
+	Shards int
 
 	// Combiner reduces a destination's observations; defaults to
-	// AverageCombiner.
+	// AverageCombiner. It may be called from several plan workers at
+	// once (on disjoint groups) and must not call back into the Agent.
 	Combiner Combiner
-	// History smooths across rounds; defaults to EWMAHistory(Alpha).
+	// History smooths across rounds. Nil means one private
+	// EWMAHistory(Alpha) per state shard; a caller-supplied policy is
+	// shared by every shard behind an internal lock, and must not call
+	// back into the Agent.
 	History HistoryPolicy
 	// Advisor optionally damps programmed windows with system-level
 	// knowledge, e.g. an imminent load-balancing shift (Section V). Nil
@@ -379,15 +424,14 @@ func (c *Config) applyDefaults() error {
 	if c.PrefixBits < 1 || c.PrefixBits > 128 {
 		return fmt.Errorf("riptide/core: PrefixBits %d out of range [1,128]", c.PrefixBits)
 	}
+	if c.Shards == 0 {
+		c.Shards = defaultShards()
+	}
+	if c.Shards < 1 || c.Shards > maxShards {
+		return fmt.Errorf("riptide/core: Shards %d out of range [1,%d]", c.Shards, maxShards)
+	}
 	if c.Combiner == nil {
 		c.Combiner = AverageCombiner{}
-	}
-	if c.History == nil {
-		h, err := NewEWMAHistory(c.Alpha)
-		if err != nil {
-			return err
-		}
-		c.History = h
 	}
 	if c.BreakerThreshold == 0 {
 		c.BreakerThreshold = DefaultBreakerThreshold
@@ -483,43 +527,96 @@ type Stats struct {
 // other (including their backend I/O), but readers — Entries, Lookup,
 // Stats — only synchronize on the in-memory state, so they return promptly
 // even while a Tick is blocked inside a slow sampler or route programmer.
+//
+// Per-destination state is lock-striped across Config.Shards shards keyed by
+// prefix hash; readers lock one shard at a time, so Entries and
+// ExportSnapshot taken during a concurrent Tick are consistent per shard but
+// not across shards (the same guarantee the TTL machinery already tolerates
+// for fleet snapshots).
 type Agent struct {
 	cfg Config
 
-	// tickMu serializes the mutating paths (Tick, Close) end to end,
-	// including backend I/O, so their plan/commit stages cannot
-	// interleave. mu guards only the in-memory maps and counters and is
-	// never held across a Sampler or RouteProgrammer call.
+	// tickMu serializes the mutating paths (Tick, Close, MergeSnapshot)
+	// end to end, including backend I/O, so their plan/commit stages
+	// cannot interleave. Each shard's mu guards that shard's entry map
+	// and history; a.mu guards only the counters and the closed flag.
+	// No shard or state lock is ever held across a Sampler or
+	// RouteProgrammer call.
 	tickMu sync.Mutex
 	mu     sync.Mutex
 
-	entries map[netip.Prefix]*entry
-	closed  bool
-	stats   Stats
+	shards []*shard
+	closed bool
+	stats  Stats
 
 	// Sampler circuit-breaker state; touched only under tickMu.
 	sampleFailures int
 	breakerOpen    bool
 	breakerUntil   time.Duration
 
+	// Per-tick scratch, reused across rounds to keep the steady-state
+	// hot path allocation-free. Touched only under tickMu.
+	obsBuf        []Observation
+	buckets       [][]keyedObs // worker-major: buckets[w*len(shards)+s]
+	ingestWorkers int
+	tickSeq       uint64 // plan-stage first-touch stamp, bumped per tick (tickMu)
+	planBuf       []programOp
+	clearBuf      []netip.Prefix
+	opsBuf        []RouteOp
+
 	mTick    *metrics.Histogram
 	mSample  *metrics.Histogram
+	mPlan    *metrics.Histogram
+	mCommit  *metrics.Histogram
 	mProgram *metrics.Histogram
 }
 
 // New constructs an Agent.
 func New(cfg Config) (*Agent, error) {
+	sharedHistory := cfg.History != nil
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	return &Agent{
+	a := &Agent{
 		cfg:      cfg,
-		entries:  make(map[netip.Prefix]*entry),
+		shards:   make([]*shard, cfg.Shards),
+		buckets:  make([][]keyedObs, cfg.Shards*cfg.Shards),
 		mTick:    cfg.Metrics.Histogram("riptide_tick_duration"),
 		mSample:  cfg.Metrics.Histogram("riptide_sample_duration"),
+		mPlan:    cfg.Metrics.Histogram("riptide_plan_duration"),
+		mCommit:  cfg.Metrics.Histogram("riptide_commit_duration"),
 		mProgram: cfg.Metrics.Histogram("riptide_program_duration"),
-	}, nil
+	}
+	var shared *lockedHistory
+	if sharedHistory {
+		// A caller-supplied policy is one instance shared by every shard;
+		// the wrapper serializes the shards' plan-stage updates. Updates
+		// are keyed per prefix, so their cross-shard order cannot change
+		// any smoothed value.
+		shared = &lockedHistory{inner: cfg.History}
+	}
+	for i := range a.shards {
+		sh := &shard{states: make(map[netip.Prefix]*destState)}
+		if sharedHistory {
+			sh.history = shared
+		}
+		a.shards[i] = sh
+	}
+	if !sharedHistory {
+		// The default smoothing is the inline per-destination EWMA
+		// (bit-identical to EWMAHistory); expose a detached instance
+		// through Config() for introspection.
+		h, err := NewEWMAHistory(cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		a.cfg.History = h
+	}
+	return a, nil
 }
+
+// Shards returns the number of lock-striped state shards the agent runs.
+func (a *Agent) Shards() int { return len(a.shards) }
 
 // Config returns the agent's effective (defaulted) configuration.
 func (a *Agent) Config() Config { return a.cfg }
@@ -562,21 +659,38 @@ func (a *Agent) clamp(w float64) int {
 // Entries returns a snapshot of all learned destinations, sorted by prefix
 // for determinism.
 func (a *Agent) Entries() []Entry {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]Entry, 0, len(a.entries))
-	for p, e := range a.entries {
-		out = append(out, Entry{
-			Prefix:       p,
-			Window:       e.window,
-			ExpiresAt:    e.expires,
-			Observations: e.lastObs,
-		})
+	out := make([]Entry, 0, a.entryCount())
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for p, st := range sh.states {
+			if !st.installed {
+				continue
+			}
+			out = append(out, Entry{
+				Prefix:       p,
+				Window:       st.window,
+				ExpiresAt:    st.expires,
+				Observations: st.lastObs,
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(out, func(i, j int) bool {
 		return lessPrefix(out[i].Prefix, out[j].Prefix)
 	})
 	return out
+}
+
+// entryCount sums the shards' entry counts (a sizing hint, not a consistent
+// cross-shard snapshot).
+func (a *Agent) entryCount() int {
+	n := 0
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		n += sh.installed
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // lessPrefix orders prefixes by address then mask length, for deterministic
@@ -595,13 +709,14 @@ func (a *Agent) Lookup(dst netip.Addr) (int, bool) {
 	if err != nil {
 		return 0, false
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	e, ok := a.entries[key]
-	if !ok {
+	sh := a.shardFor(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	st, ok := sh.states[key]
+	if !ok || !st.installed {
 		return 0, false
 	}
-	return e.window, true
+	return st.window, true
 }
 
 // Stats returns a copy of the agent's counters.
@@ -625,14 +740,45 @@ func (a *Agent) Close() error {
 		return nil
 	}
 	a.closed = true
-	targets := make([]netip.Prefix, 0, len(a.entries))
-	for dst := range a.entries {
-		targets = append(targets, dst)
-	}
-	a.entries = make(map[netip.Prefix]*entry)
 	a.mu.Unlock()
 
+	var targets []netip.Prefix
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for dst, st := range sh.states {
+			if st.installed {
+				targets = append(targets, dst)
+			}
+		}
+		clear(sh.states)
+		sh.installed = 0
+		sh.mu.Unlock()
+	}
+	sort.Slice(targets, func(i, j int) bool { return lessPrefix(targets[i], targets[j]) })
+
 	var firstErr error
+	if bp, ok := a.cfg.Routes.(BatchRouteProgrammer); ok && len(targets) > 0 {
+		ops := make([]RouteOp, len(targets))
+		for i, dst := range targets {
+			ops[i] = RouteOp{Prefix: dst, Clear: true}
+		}
+		errs := bp.ProgramRoutes(ops)
+		for i, dst := range targets {
+			var err error
+			if errs != nil {
+				err = errs[i]
+			}
+			if err != nil {
+				a.countLocked(func(s *Stats) { s.RouteErrors++ })
+				if firstErr == nil {
+					firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+				}
+				continue
+			}
+			a.countLocked(func(s *Stats) { s.RoutesCleared++ })
+		}
+		return firstErr
+	}
 	for _, dst := range targets {
 		if err := a.cfg.Routes.ClearInitCwnd(dst); err != nil {
 			a.countLocked(func(s *Stats) { s.RouteErrors++ })

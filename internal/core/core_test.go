@@ -15,7 +15,7 @@ type fakeSampler struct {
 	err    error
 }
 
-func (f *fakeSampler) SampleConnections() ([]Observation, error) {
+func (f *fakeSampler) SampleConnections(buf []Observation) ([]Observation, error) {
 	if f.err != nil {
 		return nil, f.err
 	}

@@ -71,6 +71,12 @@ type RetryStats struct {
 	Fallbacks uint64 `json:"fallbacks"`
 	// FallbackErrors counts fallback clears that themselves failed.
 	FallbackErrors uint64 `json:"fallbackErrors"`
+	// Batches counts ProgramRoutes calls.
+	Batches uint64 `json:"batches"`
+	// BatchFallbacks counts batch members re-driven individually after
+	// the batch reported them failed (or the inner programmer had no
+	// batch path).
+	BatchFallbacks uint64 `json:"batchFallbacks"`
 }
 
 // RetryingRouteProgrammer decorates a RouteProgrammer with bounded
@@ -128,7 +134,10 @@ func NewRetryingRouteProgrammer(inner RouteProgrammer, policy RetryPolicy) (*Ret
 	}, nil
 }
 
-var _ RouteProgrammer = (*RetryingRouteProgrammer)(nil)
+var (
+	_ RouteProgrammer      = (*RetryingRouteProgrammer)(nil)
+	_ BatchRouteProgrammer = (*RetryingRouteProgrammer)(nil)
+)
 
 // Stats returns a copy of the decorator's counters.
 func (r *RetryingRouteProgrammer) Stats() RetryStats {
@@ -250,6 +259,55 @@ func (r *RetryingRouteProgrammer) SetInitCwnd(prefix netip.Prefix, cwnd int) err
 	r.count(func(s *RetryStats) { s.Fallbacks++ }, "riptide_route_fallbacks")
 	return fmt.Errorf("%w (dst %v, %d consecutive failures, last: %v)",
 		ErrFallbackCleared, prefix, consecutive, err)
+}
+
+// ProgramRoutes implements BatchRouteProgrammer. When the wrapped programmer
+// has a batch path, the whole set goes through it first — one `ip -batch`
+// exec or one kernel lock acquisition for the common all-success round —
+// and only the members it reports failed (which, for a backend that cannot
+// attribute batch failures, may be all of them) are re-driven individually
+// through the full retry/budget/fallback machinery. Without an inner batch
+// path every member takes the individual path directly. The result follows
+// the BatchRouteProgrammer contract: nil when everything (eventually)
+// succeeded, else one error slot per op.
+func (r *RetryingRouteProgrammer) ProgramRoutes(ops []RouteOp) []error {
+	if len(ops) == 0 {
+		return nil
+	}
+	r.count(func(s *RetryStats) { s.Batches++ }, "riptide_route_batches")
+	bp, hasBatch := r.inner.(BatchRouteProgrammer)
+	var batchErrs []error
+	if hasBatch {
+		r.count(func(s *RetryStats) { s.Attempts++ }, "riptide_route_attempts")
+		batchErrs = bp.ProgramRoutes(ops)
+	}
+	var errs []error
+	for i, op := range ops {
+		if hasBatch && (batchErrs == nil || batchErrs[i] == nil) {
+			// The batch installed this member; clear its failure budget
+			// like an individual success would.
+			r.mu.Lock()
+			delete(r.failures, op.Prefix)
+			r.mu.Unlock()
+			continue
+		}
+		if hasBatch {
+			r.count(func(s *RetryStats) { s.BatchFallbacks++ }, "riptide_route_batch_fallbacks")
+		}
+		var err error
+		if op.Clear {
+			err = r.ClearInitCwnd(op.Prefix)
+		} else {
+			err = r.SetInitCwnd(op.Prefix, op.Window)
+		}
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, len(ops))
+			}
+			errs[i] = err
+		}
+	}
+	return errs
 }
 
 // ClearInitCwnd implements RouteProgrammer with retries (no fallback — the

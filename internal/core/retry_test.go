@@ -391,3 +391,160 @@ func TestAgentDropsEntryOnFallbackCleared(t *testing.T) {
 		t.Errorf("post-recovery Lookup = %d,%v; want 90,true", w, ok)
 	}
 }
+
+// batchInner wraps fakeRoutes with a scripted batch surface: members listed
+// in batchFail are reported failed by the batch (like an unattributable
+// `ip -batch` exit), members in setFail also fail the individual re-drive.
+type batchInner struct {
+	*fakeRoutes
+	batchCalls int
+	batchFail  map[netip.Prefix]bool
+	setFail    map[netip.Prefix]bool
+}
+
+func newBatchInner() *batchInner {
+	return &batchInner{
+		fakeRoutes: newFakeRoutes(),
+		batchFail:  make(map[netip.Prefix]bool),
+		setFail:    make(map[netip.Prefix]bool),
+	}
+}
+
+func (b *batchInner) SetInitCwnd(p netip.Prefix, c int) error {
+	if b.setFail[p] {
+		return errors.New("persistent ENETUNREACH")
+	}
+	return b.fakeRoutes.SetInitCwnd(p, c)
+}
+
+func (b *batchInner) ProgramRoutes(ops []RouteOp) []error {
+	b.batchCalls++
+	var errs []error
+	for i, op := range ops {
+		var err error
+		switch {
+		case b.batchFail[op.Prefix]:
+			err = errors.New("batch member failed")
+		case op.Clear:
+			err = b.fakeRoutes.ClearInitCwnd(op.Prefix)
+		default:
+			err = b.fakeRoutes.SetInitCwnd(op.Prefix, op.Window)
+		}
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, len(ops))
+			}
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
+func TestProgramRoutesBatchAllSuccess(t *testing.T) {
+	inner := newBatchInner()
+	r := mustRetry(t, inner, RetryPolicy{Sleep: func(time.Duration) {}})
+	ops := []RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Window: 20},
+		{Prefix: netip.MustParsePrefix("10.0.2.0/24"), Clear: true},
+	}
+	if errs := r.ProgramRoutes(ops); errs != nil {
+		t.Fatalf("ProgramRoutes = %v, want nil", errs)
+	}
+	if inner.batchCalls != 1 {
+		t.Errorf("batchCalls = %d, want 1 (whole set through one batch)", inner.batchCalls)
+	}
+	if inner.set[ops[0].Prefix] != 40 || inner.set[ops[1].Prefix] != 20 {
+		t.Errorf("installed windows = %v", inner.set)
+	}
+	st := r.Stats()
+	if st.Batches != 1 || st.Attempts != 1 || st.BatchFallbacks != 0 || st.Retries != 0 {
+		t.Errorf("stats = %+v, want Batches=1 Attempts=1 no fallbacks", st)
+	}
+}
+
+func TestProgramRoutesRedrivesFailedMembersIndividually(t *testing.T) {
+	inner := newBatchInner()
+	bad := netip.MustParsePrefix("10.0.1.0/24")
+	inner.batchFail[bad] = true // batch rejects it; individual path recovers
+	r := mustRetry(t, inner, RetryPolicy{Sleep: func(time.Duration) {}})
+	ops := []RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: bad, Window: 28},
+	}
+	if errs := r.ProgramRoutes(ops); errs != nil {
+		t.Fatalf("ProgramRoutes = %v, want nil after individual recovery", errs)
+	}
+	if inner.set[bad] != 28 {
+		t.Errorf("re-driven member not installed: %v", inner.set)
+	}
+	st := r.Stats()
+	if st.Batches != 1 || st.BatchFallbacks != 1 {
+		t.Errorf("stats = %+v, want Batches=1 BatchFallbacks=1", st)
+	}
+	if st.Attempts != 2 { // one batch attempt + one individual attempt
+		t.Errorf("Attempts = %d, want 2", st.Attempts)
+	}
+}
+
+func TestProgramRoutesFallbackClearsPersistentMember(t *testing.T) {
+	inner := newBatchInner()
+	bad := netip.MustParsePrefix("10.0.1.0/24")
+	inner.batchFail[bad] = true
+	inner.setFail[bad] = true // individual re-drive fails too
+	r := mustRetry(t, inner, RetryPolicy{
+		MaxAttempts:   2,
+		FailureBudget: 1,
+		Sleep:         func(time.Duration) {},
+	})
+	ops := []RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: bad, Window: 28},
+	}
+	errs := r.ProgramRoutes(ops)
+	if errs == nil {
+		t.Fatal("ProgramRoutes = nil, want per-op errors")
+	}
+	if errs[0] != nil {
+		t.Errorf("healthy member errored: %v", errs[0])
+	}
+	if !errors.Is(errs[1], ErrFallbackCleared) {
+		t.Errorf("errs[1] = %v, want ErrFallbackCleared", errs[1])
+	}
+	if _, ok := inner.set[bad]; ok {
+		t.Error("fallback did not clear the failing destination")
+	}
+	st := r.Stats()
+	if st.Fallbacks != 1 {
+		t.Errorf("Fallbacks = %d, want 1", st.Fallbacks)
+	}
+}
+
+func TestProgramRoutesWithoutInnerBatchPath(t *testing.T) {
+	inner := newFakeRoutes() // plain RouteProgrammer, no ProgramRoutes
+	r := mustRetry(t, inner, RetryPolicy{Sleep: func(time.Duration) {}})
+	ops := []RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Clear: true},
+	}
+	if errs := r.ProgramRoutes(ops); errs != nil {
+		t.Fatalf("ProgramRoutes = %v, want nil", errs)
+	}
+	if inner.setOps != 1 || inner.clrOps != 1 {
+		t.Errorf("setOps=%d clrOps=%d, want each op driven individually", inner.setOps, inner.clrOps)
+	}
+	st := r.Stats()
+	if st.Batches != 1 || st.BatchFallbacks != 0 {
+		t.Errorf("stats = %+v, want Batches=1 and no batch fallbacks", st)
+	}
+}
+
+func TestProgramRoutesEmptySet(t *testing.T) {
+	r := mustRetry(t, newFakeRoutes(), RetryPolicy{Sleep: func(time.Duration) {}})
+	if errs := r.ProgramRoutes(nil); errs != nil {
+		t.Fatalf("ProgramRoutes(nil) = %v, want nil", errs)
+	}
+	if st := r.Stats(); st.Batches != 0 {
+		t.Errorf("Batches = %d, want 0 for empty set", st.Batches)
+	}
+}

@@ -1,0 +1,404 @@
+package core
+
+import (
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// This file holds the lock-striped shard machinery behind the agent's hot
+// path. Per-destination state — the committed route entry, the smoothing
+// state, and the per-tick grouping scratch — lives in ONE map slot per
+// destination (destState), split across Config.Shards shards keyed by prefix
+// hash. Tick fans its ingest and plan stages out over one worker per shard
+// and merges the per-shard plans deterministically before the (short,
+// global) commit stage. Collapsing entry + history + group bookkeeping into
+// a single struct means the steady-state plan stage performs exactly one
+// prefix-keyed map operation per observation; everything else is pointer
+// chasing. See the pipeline overview in tick.go.
+
+// maxShards bounds Config.Shards; beyond this the per-agent bucket matrix
+// (shards² slice headers) costs more than the striping saves.
+const maxShards = 256
+
+// parallelThreshold is the observation count below which a tick stays on
+// the serial path: spawning one goroutine per shard costs more than
+// scanning a small sample set inline.
+const parallelThreshold = 256
+
+// defaultShards is the Config.Shards default: one shard per core, capped —
+// plan-stage work per shard is tiny, so striping wider than 16 buys nothing
+// while growing the bucket matrix quadratically.
+func defaultShards() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 16 {
+		n = 16
+	}
+	return n
+}
+
+// destState is everything the agent knows about one destination, in one map
+// slot: the committed route entry (valid while installed is true), the
+// inline EWMA smoothing state (used unless a caller supplied a History
+// policy), and the plan stage's per-tick grouping scratch. Smoothing state
+// outlives the installed route on purpose — a destination whose program
+// keeps failing still accumulates history, exactly as the previous separate
+// history map did.
+type destState struct {
+	entry
+	// installed marks that a route is programmed and the embedded entry
+	// fields are live; Lookup/Entries/snapshots ignore the state otherwise.
+	installed bool
+
+	// Inline smoothing state for the default per-shard EWMA path.
+	ewma    float64
+	hasEwma bool
+
+	// Plan-stage scratch (tickMu only): the tick sequence this state was
+	// last touched in, and its group's span in the shard arena.
+	seq  uint64
+	span groupSpan
+}
+
+// shard is one lock stripe of the agent's per-destination state, plus the
+// scratch its plan worker reuses across ticks. mu guards states against
+// concurrent readers (Lookup, Entries, ExportSnapshot) and cross-tick
+// mutators; the scratch slices are touched only by the shard's worker under
+// tickMu.
+type shard struct {
+	mu     sync.Mutex
+	states map[netip.Prefix]*destState
+	// installed counts states with a live route, maintained at every
+	// commit/withdraw site — a sizing hint for Entries and snapshots.
+	installed int
+	// history is non-nil only when the caller supplied a shared History
+	// policy; the default EWMA smoothing is inlined in destState.
+	history HistoryPolicy
+
+	// Plan-stage scratch, reused across ticks (tickMu only).
+	touched     []plannedDest
+	arena       []Observation
+	plan        []programOp
+	guardClears []netip.Prefix
+	expired     []netip.Prefix
+	delta       tickDelta
+}
+
+// plannedDest is one destination observed this tick, in first-encounter
+// (original sample) order.
+type plannedDest struct {
+	key netip.Prefix
+	st  *destState
+}
+
+// groupSpan locates one destination's observations inside the shard's arena.
+type groupSpan struct {
+	off, n, fill int32
+}
+
+// keyedObs is one valid observation routed to a shard: the destination's
+// route key plus the observation's index in the tick's sample slice. The
+// plan stage resolves st once per observation (the hot path's only map
+// lookup) and reuses the pointer for the arena fill pass.
+type keyedObs struct {
+	key netip.Prefix
+	st  *destState
+	idx int32
+}
+
+// tickDelta accumulates one shard's stat deltas during the plan stage; the
+// commit stage folds them into Stats under a.mu.
+type tickDelta struct {
+	combinerRejects  uint64
+	advisorRejects   uint64
+	guardCapped      uint64
+	guardVetoed      uint64
+	guardQuarantined uint64
+}
+
+func (d *tickDelta) add(o tickDelta) {
+	d.combinerRejects += o.combinerRejects
+	d.advisorRejects += o.advisorRejects
+	d.guardCapped += o.guardCapped
+	d.guardVetoed += o.guardVetoed
+	d.guardQuarantined += o.guardQuarantined
+}
+
+// shardIndex maps a route key to its stripe: FNV-1a over the canonical
+// 16-byte address plus the mask length.
+func (a *Agent) shardIndex(p netip.Prefix) int {
+	if len(a.shards) == 1 {
+		return 0
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	b := p.Addr().As16()
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	h ^= uint64(uint8(p.Bits()))
+	h *= prime64
+	return int(h % uint64(len(a.shards)))
+}
+
+func (a *Agent) shardFor(p netip.Prefix) *shard {
+	return a.shards[a.shardIndex(p)]
+}
+
+// smooth folds value into the destination's smoothing state: the inline
+// EWMA (bit-identical to EWMAHistory.Update) unless a caller-supplied
+// policy is installed.
+func (a *Agent) smooth(sh *shard, st *destState, key netip.Prefix, value float64) float64 {
+	if sh.history != nil {
+		return sh.history.Update(key, value)
+	}
+	if !st.hasEwma {
+		st.ewma = value
+		st.hasEwma = true
+		return value
+	}
+	st.ewma = a.cfg.Alpha*st.ewma + (1-a.cfg.Alpha)*value
+	return st.ewma
+}
+
+// forgetHistory drops a destination's smoothing state in a caller-supplied
+// policy; the inline EWMA state dies with its destState map slot, which
+// every caller deletes alongside this call.
+func (a *Agent) forgetHistory(sh *shard, key netip.Prefix) {
+	if sh.history != nil {
+		sh.history.Forget(key)
+	}
+}
+
+// dropInstalled removes dst's state (and any external history) after its
+// route was withdrawn, under the shard lock. It reports whether a live
+// entry existed.
+func (sh *shard) dropInstalled(a *Agent, dst netip.Prefix) bool {
+	st, ok := sh.states[dst]
+	if !ok || !st.installed {
+		return false
+	}
+	delete(sh.states, dst)
+	sh.installed--
+	a.forgetHistory(sh, dst)
+	return true
+}
+
+// lockedHistory serializes a caller-supplied HistoryPolicy that is shared
+// across shards. Updates are keyed per prefix, so serializing them in
+// whatever order the plan workers arrive cannot change any smoothed value.
+type lockedHistory struct {
+	mu    sync.Mutex
+	inner HistoryPolicy
+}
+
+func (l *lockedHistory) Name() string { return l.inner.Name() }
+
+func (l *lockedHistory) Update(dst netip.Prefix, value float64) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.Update(dst, value)
+}
+
+func (l *lockedHistory) Forget(dst netip.Prefix) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.inner.Forget(dst)
+}
+
+// runParallel runs fn(0..n-1), inline when n == 1.
+func runParallel(n int, fn func(i int)) {
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// ingestChunk validates and routes worker w's contiguous chunk of the
+// sample slice: invalid observations are dropped, the rest get their route
+// key, are shown to the governor, and land in the worker's per-shard
+// buckets. Chunks are contiguous and buckets worker-major, so replaying
+// buckets in worker order during the plan stage reconstructs the original
+// sample order exactly — the shard count can never change what a Combiner
+// sees.
+func (a *Agent) ingestChunk(w int, obs []Observation) {
+	nShards := len(a.shards)
+	chunk := (len(obs) + a.ingestWorkers - 1) / a.ingestWorkers
+	lo := w * chunk
+	hi := lo + chunk
+	if hi > len(obs) {
+		hi = len(obs)
+	}
+	for i := lo; i < hi; i++ {
+		o := &obs[i]
+		if o.Cwnd <= 0 || !o.Dst.IsValid() {
+			continue
+		}
+		key, err := a.destKey(o.Dst)
+		if err != nil {
+			continue
+		}
+		if a.cfg.Guard != nil {
+			a.cfg.Guard.ObserveSample(key, *o)
+		}
+		s := a.shardIndex(key)
+		a.buckets[w*nShards+s] = append(a.buckets[w*nShards+s], keyedObs{key: key, idx: int32(i)})
+	}
+}
+
+// planShard runs the plan stage for one shard, under the shard lock: resolve
+// each routed observation to its destState (one map operation per
+// observation — the hot path's entire map traffic), lay the groups out
+// contiguously in the arena preserving sample order, then combine, smooth,
+// clamp, let the governor review, refresh live entries, and emit the shard's
+// route plan, guard clears, and expiry candidates into its scratch slices.
+func (a *Agent) planShard(si int, obs []Observation, now time.Duration) {
+	sh := a.shards[si]
+	nShards := len(a.shards)
+	sh.plan = sh.plan[:0]
+	sh.guardClears = sh.guardClears[:0]
+	sh.expired = sh.expired[:0]
+	sh.touched = sh.touched[:0]
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	// Pass 1: resolve states and count groups. Replaying the worker-major
+	// buckets in worker order visits observations in original sample order,
+	// so first-encounter order (sh.touched) is deterministic for every
+	// shard and worker count.
+	seq := a.tickSeq
+	total := 0
+	for w := 0; w < a.ingestWorkers; w++ {
+		bucket := a.buckets[w*nShards+si]
+		total += len(bucket)
+		for j := range bucket {
+			ko := &bucket[j]
+			st := sh.states[ko.key]
+			if st == nil {
+				st = &destState{}
+				sh.states[ko.key] = st
+			}
+			if st.seq != seq {
+				st.seq = seq
+				st.span = groupSpan{}
+				sh.touched = append(sh.touched, plannedDest{key: ko.key, st: st})
+			}
+			st.span.n++
+			ko.st = st
+		}
+	}
+
+	// Pass 2: assign arena offsets and fill groups in sample order.
+	off := int32(0)
+	for _, td := range sh.touched {
+		td.st.span.off = off
+		off += td.st.span.n
+	}
+	if cap(sh.arena) < total {
+		sh.arena = make([]Observation, total)
+	}
+	arena := sh.arena[:total]
+	for w := 0; w < a.ingestWorkers; w++ {
+		for _, ko := range a.buckets[w*nShards+si] {
+			sp := &ko.st.span
+			arena[sp.off+sp.fill] = obs[ko.idx]
+			sp.fill++
+		}
+	}
+
+	// Pass 3: per destination — combine, smooth, clamp, review, refresh.
+	for _, td := range sh.touched {
+		st := td.st
+		group := arena[st.span.off : st.span.off+st.span.n]
+		value := a.cfg.Combiner.Combine(group)
+		if !isFinite(value) {
+			// A custom Combiner produced NaN/±Inf: skip the round for
+			// this destination rather than folding garbage into history
+			// (an EWMA never recovers from a NaN).
+			sh.delta.combinerRejects++
+			continue
+		}
+		smoothed := a.smooth(sh, st, td.key, value)
+		if a.cfg.Advisor != nil {
+			if m := a.cfg.Advisor.Advise(td.key); isFinite(m) {
+				smoothed *= m
+			} else {
+				sh.delta.advisorRejects++
+			}
+		}
+		final := a.clamp(smoothed)
+
+		if a.cfg.Guard != nil {
+			capped, action := a.cfg.Guard.Review(td.key, final)
+			switch action {
+			case GuardVeto, GuardQuarantine:
+				sh.delta.guardVetoed++
+				if action == GuardQuarantine {
+					sh.delta.guardQuarantined++
+				}
+				// An installed route for a held-back destination is
+				// withdrawn (outside the locks, in the program stage).
+				// The entry is only dropped once the clear succeeds, so
+				// a failed withdrawal retries next round.
+				if st.installed {
+					sh.guardClears = append(sh.guardClears, td.key)
+				}
+				continue
+			case GuardCap:
+				if capped < final {
+					if capped < a.cfg.CMin {
+						capped = a.cfg.CMin
+					}
+					if capped < final {
+						final = capped
+						sh.delta.guardCapped++
+					}
+				}
+			}
+		}
+
+		n := int(st.span.n)
+		if st.installed {
+			// The route is installed; fresh observations extend its
+			// life even if programming the new value fails later.
+			st.expires = now + a.cfg.TTL
+			st.updated = now
+			st.lastObs = n
+			st.samples += uint64(n)
+			// A local observation confirms (and from now on owns) an
+			// entry that was seeded from a fleet snapshot.
+			st.merged = false
+			st.mergedAge = 0
+			if st.window != final {
+				sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n})
+			}
+		} else {
+			// New destination: the entry is recorded in the program
+			// stage, only once the route is actually installed.
+			sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n})
+		}
+	}
+	for dst, st := range sh.states {
+		if st.installed && st.expires <= now {
+			sh.expired = append(sh.expired, dst)
+		}
+	}
+}

@@ -12,9 +12,10 @@ import (
 // exporting the learned table as a snapshot other agents can seed from, and
 // merging a remote snapshot into this agent's state.
 //
-// Merge follows the same lock discipline as Tick: the plan is computed under
-// a.mu with no backend I/O, routes are programmed outside any lock, and each
-// accepted entry commits under a.mu only after its route actually installed.
+// Merge follows the same lock discipline as Tick: the plan is computed with
+// no backend I/O under shard locks taken one at a time, routes are programmed
+// outside any lock (batched when the backend supports it), and each accepted
+// entry commits under its shard lock only after its route actually installed.
 // tickMu serializes the whole merge against Tick and Close, so a merge can
 // never interleave with a poll round's stages.
 //
@@ -105,20 +106,25 @@ type MergeStats struct {
 // of resetting.
 func (a *Agent) ExportSnapshot() []SnapshotEntry {
 	now := a.cfg.Clock()
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make([]SnapshotEntry, 0, len(a.entries))
-	for p, e := range a.entries {
-		age := now - e.updated
-		if age < 0 {
-			age = 0
+	out := make([]SnapshotEntry, 0, a.entryCount())
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for p, st := range sh.states {
+			if !st.installed {
+				continue
+			}
+			age := now - st.updated
+			if age < 0 {
+				age = 0
+			}
+			out = append(out, SnapshotEntry{
+				Prefix:  p,
+				Window:  st.window,
+				Samples: st.samples,
+				Age:     age + st.mergedAge,
+			})
 		}
-		out = append(out, SnapshotEntry{
-			Prefix:  p,
-			Window:  e.window,
-			Samples: e.samples,
-			Age:     age + e.mergedAge,
-		})
+		sh.mu.Unlock()
 	}
 	if a.cfg.Guard != nil {
 		// Quarantine markers ride along so peers do not warm-start a
@@ -128,7 +134,12 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 		// already recovered.
 		for _, q := range a.cfg.Guard.Quarantines() {
 			key := q.Prefix.Masked()
-			if _, exists := a.entries[key]; exists {
+			sh := a.shardFor(key)
+			sh.mu.Lock()
+			st, ok := sh.states[key]
+			exists := ok && st.installed
+			sh.mu.Unlock()
+			if exists {
 				continue
 			}
 			age := q.Age
@@ -189,12 +200,15 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 
 	now := a.cfg.Clock()
 
-	// Stage 1: plan under the state lock; no backend I/O.
+	// Stage 1: plan. tickMu keeps Tick and Close out, so the per-shard
+	// existence checks stay valid until the commit stage; no backend I/O
+	// happens while any shard lock is held.
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
 		return stats, ErrClosed
 	}
+	a.mu.Unlock()
 	plan := make([]mergeOp, 0, len(entries))
 	planned := make(map[netip.Prefix]int, len(entries)) // index into plan
 	for _, se := range entries {
@@ -218,7 +232,12 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			continue
 		}
 		key := se.Prefix.Masked()
-		if _, exists := a.entries[key]; exists {
+		sh := a.shardFor(key)
+		sh.mu.Lock()
+		st, ok := sh.states[key]
+		exists := ok && st.installed
+		sh.mu.Unlock()
+		if exists {
 			stats.SkippedLocal++
 			continue
 		}
@@ -259,16 +278,34 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 		planned[key] = len(plan)
 		plan = append(plan, op)
 	}
-	a.mu.Unlock()
 
 	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
 
-	// Stage 2: program routes outside the lock.
-	var firstErr error
-	for _, op := range plan {
+	// Stage 2: program routes outside the locks — one batch call when the
+	// backend supports it.
+	bp, batch := a.cfg.Routes.(BatchRouteProgrammer)
+	var batchErrs []error
+	if batch && len(plan) > 0 {
+		ops := make([]RouteOp, len(plan))
+		for i, op := range plan {
+			ops[i] = RouteOp{Prefix: op.dst, Window: op.window}
+		}
 		progStart := time.Now()
-		err := a.cfg.Routes.SetInitCwnd(op.dst, op.window)
+		batchErrs = bp.ProgramRoutes(ops)
 		a.mProgram.Observe(time.Since(progStart))
+	}
+	var firstErr error
+	for i, op := range plan {
+		var err error
+		if batch {
+			if batchErrs != nil {
+				err = batchErrs[i]
+			}
+		} else {
+			progStart := time.Now()
+			err = a.cfg.Routes.SetInitCwnd(op.dst, op.window)
+			a.mProgram.Observe(time.Since(progStart))
+		}
 		if err != nil {
 			stats.Errors++
 			a.countLocked(func(s *Stats) { s.RouteErrors++ })
@@ -278,11 +315,21 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			continue
 		}
 
-		// Stage 3: commit under the state lock, only after the route
+		// Stage 3: commit under the shard lock, only after the route
 		// actually installed. tickMu is held, so no Tick interleaved
 		// and the planned absence of a local entry still holds.
-		a.mu.Lock()
-		a.entries[op.dst] = &entry{
+		sh := a.shardFor(op.dst)
+		sh.mu.Lock()
+		st := sh.states[op.dst]
+		if st == nil {
+			st = &destState{}
+			sh.states[op.dst] = st
+		}
+		if !st.installed {
+			st.installed = true
+			sh.installed++
+		}
+		st.entry = entry{
 			window:    op.window,
 			expires:   op.expires,
 			updated:   now,
@@ -293,10 +340,10 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 		}
 		// Seed history so the first local observation blends with the
 		// fleet's estimate instead of starting from nothing.
-		a.cfg.History.Update(op.dst, float64(op.window))
-		a.stats.RoutesSet++
+		a.smooth(sh, st, op.dst, float64(op.window))
+		sh.mu.Unlock()
+		a.countLocked(func(s *Stats) { s.RoutesSet++ })
 		stats.Merged++
-		a.mu.Unlock()
 	}
 
 	a.countLocked(func(s *Stats) {

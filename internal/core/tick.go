@@ -9,22 +9,32 @@ import (
 	"time"
 )
 
-// This file implements the agent's poll round as a three-stage pipeline:
+// This file implements the agent's poll round as a four-stage pipeline:
 //
-//	stage 1 — sample and plan, outside any lock: run the sampler (which may
-//	          block for seconds against a wedged `ss`), group observations,
-//	          and combine each group. All pure computation.
-//	stage 2 — commit, under a short critical section: fold combined values
-//	          into history, clamp, refresh TTLs, and decide which routes
-//	          need programming and which entries expired. No backend I/O.
-//	stage 3 — program, outside the lock again: issue SetInitCwnd /
-//	          ClearInitCwnd calls, re-taking the lock only to record each
-//	          result. An entry is recorded only after its route is actually
-//	          installed, so a failed first program leaves no phantom entry.
+//	sample  — outside any lock: run the sampler (which may block for
+//	          seconds against a wedged `ss`) into a pooled buffer.
+//	plan    — fanned out over the state shards: validate and route each
+//	          observation to its shard (ingest), then per shard regroup,
+//	          combine, smooth, clamp, review, refresh TTLs, and emit the
+//	          shard's route plan. Workers touch disjoint shards, so the
+//	          only shared state is each shard's own lock.
+//	commit  — a short global section: merge the per-shard plans, sort
+//	          them for deterministic programming order, and fold the
+//	          shards' stat deltas into Stats.
+//	program — outside the locks again: apply the whole plan through the
+//	          BatchRouteProgrammer when the backend offers one (a single
+//	          `ip -batch` exec / one kernel lock acquisition), falling
+//	          back to per-op SetInitCwnd / ClearInitCwnd calls. Each
+//	          shard lock is re-taken only to record results. An entry is
+//	          recorded only after its route is actually installed, so a
+//	          failed first program leaves no phantom entry.
 //
 // tickMu serializes whole rounds (and Close) so the stages of two mutators
-// cannot interleave; a.mu is never held across a backend call, so Lookup,
-// Entries, and Stats return promptly even mid-round.
+// cannot interleave; no shard lock is held across a backend call, so Lookup,
+// Entries, and Stats return promptly even mid-round. The merged plan is
+// sorted by prefix before programming, so the agent's output — route ops,
+// their order, and first-error identity — is byte-identical for every shard
+// and worker count.
 
 // programOp is one planned route installation.
 type programOp struct {
@@ -32,6 +42,15 @@ type programOp struct {
 	window int
 	obs    int // group size this round, recorded on success
 }
+
+// clearKind distinguishes why a route withdrawal was planned, which decides
+// the stats it bumps and whether expiry is re-checked before clearing.
+type clearKind int
+
+const (
+	clearKindExpired clearKind = iota
+	clearKindGuard
+)
 
 // Tick executes one iteration of Algorithm 1: sample, group, combine,
 // smooth, clamp, program, expire. It returns the first route-programming
@@ -51,16 +70,19 @@ func (a *Agent) Tick() error {
 	}
 	a.stats.Ticks++
 	a.mu.Unlock()
+	// The plan stage stamps destStates with this sequence to detect "first
+	// touch this tick" without clearing per-tick fields across the table.
+	a.tickSeq++
 
 	now := a.cfg.Clock()
 
-	// Stage 1: sample outside any lock.
+	// Sample stage, outside any lock.
 	if a.breakerBlocks(now) {
 		a.countLocked(func(s *Stats) { s.DegradedTicks++ })
 		return a.expirePass(now)
 	}
 	sampleStart := time.Now()
-	obs, err := a.cfg.Sampler.SampleConnections()
+	obs, err := a.cfg.Sampler.SampleConnections(a.obsBuf[:0])
 	a.mSample.Observe(time.Since(sampleStart))
 	if err != nil {
 		a.noteSampleFailure(now)
@@ -71,271 +93,271 @@ func (a *Agent) Tick() error {
 		}
 		return fmt.Errorf("sample connections: %w", err)
 	}
+	if obs != nil {
+		a.obsBuf = obs // keep the grown buffer for the next round
+	}
 	a.noteSampleSuccess()
 
-	// Group the observed table by destination prefix and combine each
-	// group — still pure computation, still lock-free. The governor sees
-	// every valid sample here, then closes its round before planning.
-	groups := make(map[netip.Prefix][]Observation)
-	for _, o := range obs {
-		if o.Cwnd <= 0 || !o.Dst.IsValid() {
-			continue
-		}
-		key, err := a.destKey(o.Dst)
-		if err != nil {
-			continue
-		}
-		if a.cfg.Guard != nil {
-			a.cfg.Guard.ObserveSample(key, o)
-		}
-		groups[key] = append(groups[key], o)
+	// Plan stage: route observations to shards, then plan each shard.
+	// Small rounds stay serial — goroutines cost more than they save.
+	planStart := time.Now()
+	nShards := len(a.shards)
+	workers := 1
+	if nShards > 1 && len(obs) >= parallelThreshold {
+		workers = nShards
 	}
+	a.ingestWorkers = workers
+	for i := 0; i < workers*nShards; i++ {
+		a.buckets[i] = a.buckets[i][:0]
+	}
+	runParallel(workers, func(w int) { a.ingestChunk(w, obs) })
+	// The governor sees every valid sample above, then closes its round
+	// before any Review call.
 	if a.cfg.Guard != nil {
 		a.cfg.Guard.ObserveTick(now)
 	}
-	type combinedGroup struct {
-		value float64
-		n     int
+	if workers > 1 {
+		runParallel(nShards, func(s int) { a.planShard(s, obs, now) })
+	} else {
+		for s := 0; s < nShards; s++ {
+			a.planShard(s, obs, now)
+		}
 	}
-	combined := make(map[netip.Prefix]combinedGroup, len(groups))
-	for dst, group := range groups {
-		combined[dst] = combinedGroup{value: a.cfg.Combiner.Combine(group), n: len(group)}
-	}
+	a.mPlan.Observe(time.Since(planStart))
 
-	// Stage 2: commit state under a short critical section.
+	// Commit stage: merge the per-shard plans deterministically and fold
+	// the stat deltas — the only remaining global critical section.
+	commitStart := time.Now()
+	plan := a.planBuf[:0]
+	clears := a.clearBuf[:0]
+	var delta tickDelta
+	for _, sh := range a.shards {
+		plan = append(plan, sh.plan...)
+		clears = append(clears, sh.guardClears...)
+		delta.add(sh.delta)
+		sh.delta = tickDelta{}
+	}
+	expiredStart := len(clears)
+	for _, sh := range a.shards {
+		clears = append(clears, sh.expired...)
+	}
+	a.planBuf = plan
+	a.clearBuf = clears
+	guardClears, expired := clears[:expiredStart], clears[expiredStart:]
+	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
+	sort.Slice(guardClears, func(i, j int) bool { return lessPrefix(guardClears[i], guardClears[j]) })
+	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+
 	a.mu.Lock()
 	a.stats.Observations += uint64(len(obs))
-	plan := make([]programOp, 0, len(combined))
-	var guardClears []netip.Prefix
-	for dst, g := range combined {
-		if !isFinite(g.value) {
-			// A custom Combiner produced NaN/±Inf: skip the round for
-			// this destination rather than folding garbage into history
-			// (an EWMA never recovers from a NaN).
-			a.stats.CombinerRejects++
-			a.cfg.Metrics.Counter("riptide_combiner_rejects").Inc()
-			continue
-		}
-		smoothed := a.cfg.History.Update(dst, g.value)
-		if a.cfg.Advisor != nil {
-			if m := a.cfg.Advisor.Advise(dst); isFinite(m) {
-				smoothed *= m
-			} else {
-				a.cfg.Metrics.Counter("riptide_advisor_rejects").Inc()
-			}
-		}
-		final := a.clamp(smoothed)
+	a.stats.CombinerRejects += delta.combinerRejects
+	a.stats.GuardCapped += delta.guardCapped
+	a.stats.GuardVetoed += delta.guardVetoed
+	a.stats.GuardQuarantined += delta.guardQuarantined
+	a.mu.Unlock()
+	if delta.combinerRejects > 0 {
+		a.cfg.Metrics.Counter("riptide_combiner_rejects").Add(delta.combinerRejects)
+	}
+	if delta.advisorRejects > 0 {
+		a.cfg.Metrics.Counter("riptide_advisor_rejects").Add(delta.advisorRejects)
+	}
+	a.mCommit.Observe(time.Since(commitStart))
 
-		if a.cfg.Guard != nil {
-			capped, action := a.cfg.Guard.Review(dst, final)
-			switch action {
-			case GuardVeto, GuardQuarantine:
-				a.stats.GuardVetoed++
-				if action == GuardQuarantine {
-					a.stats.GuardQuarantined++
-				}
-				// An installed route for a held-back destination is
-				// withdrawn (outside the lock, in stage 3). The entry
-				// is only dropped once the clear succeeds, so a failed
-				// withdrawal retries next round.
-				if _, installed := a.entries[dst]; installed {
-					guardClears = append(guardClears, dst)
-				}
-				continue
-			case GuardCap:
-				if capped < final {
-					if capped < a.cfg.CMin {
-						capped = a.cfg.CMin
-					}
-					if capped < final {
-						final = capped
-						a.stats.GuardCapped++
-					}
-				}
-			}
-		}
+	// Program stage, outside the locks.
+	firstErr := a.programPlan(plan, now)
+	if err := a.clearTargets(guardClears, clearKindGuard, now); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := a.clearTargets(expired, clearKindExpired, now); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
 
-		e, ok := a.entries[dst]
-		if ok {
-			// The route is installed; fresh observations extend its
-			// life even if programming the new value fails below.
-			e.expires = now + a.cfg.TTL
-			e.updated = now
-			e.lastObs = g.n
-			e.samples += uint64(g.n)
-			// A local observation confirms (and from now on owns) an
-			// entry that was seeded from a fleet snapshot.
-			e.merged = false
-			e.mergedAge = 0
-			if e.window != final {
-				plan = append(plan, programOp{dst: dst, window: final, obs: g.n})
+// programPlan installs the round's route plan — through one batch call when
+// the backend supports it — and commits each success into its shard.
+func (a *Agent) programPlan(plan []programOp, now time.Duration) error {
+	if len(plan) == 0 {
+		return nil
+	}
+	bp, batch := a.cfg.Routes.(BatchRouteProgrammer)
+	var batchErrs []error
+	if batch {
+		ops := a.opsBuf[:0]
+		for _, op := range plan {
+			ops = append(ops, RouteOp{Prefix: op.dst, Window: op.window})
+		}
+		a.opsBuf = ops
+		progStart := time.Now()
+		batchErrs = bp.ProgramRoutes(ops)
+		a.mProgram.Observe(time.Since(progStart))
+	}
+
+	var firstErr error
+	var set, routeErrs, cleared uint64
+	for i, op := range plan {
+		var err error
+		if batch {
+			if batchErrs != nil {
+				err = batchErrs[i]
 			}
 		} else {
-			// New destination: the entry is recorded in stage 3,
-			// only once the route is actually installed.
-			plan = append(plan, programOp{dst: dst, window: final, obs: g.n})
+			progStart := time.Now()
+			err = a.cfg.Routes.SetInitCwnd(op.dst, op.window)
+			a.mProgram.Observe(time.Since(progStart))
 		}
-	}
-	expired := a.collectExpiredLocked(now)
-	a.mu.Unlock()
 
-	// Sort the plan so programming order (and thus first-error identity)
-	// is deterministic rather than map-iteration dependent.
-	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
-	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
-	sort.Slice(guardClears, func(i, j int) bool { return lessPrefix(guardClears[i], guardClears[j]) })
-
-	// Stage 3: program routes outside the lock.
-	var firstErr error
-	for _, op := range plan {
-		progStart := time.Now()
-		err := a.cfg.Routes.SetInitCwnd(op.dst, op.window)
-		a.mProgram.Observe(time.Since(progStart))
-
-		a.mu.Lock()
+		sh := a.shardFor(op.dst)
 		if err != nil {
-			a.stats.RouteErrors++
+			routeErrs++
 			if errors.Is(err, ErrFallbackCleared) {
-				// The retry decorator gave up and withdrew the
-				// route; drop our entry so Lookup reports the
-				// kernel default rather than a window that is
-				// no longer installed.
-				if _, ok := a.entries[op.dst]; ok {
-					delete(a.entries, op.dst)
-					a.cfg.History.Forget(op.dst)
-					a.stats.RoutesCleared++
+				// The retry decorator gave up and withdrew the route;
+				// drop our entry so Lookup reports the kernel default
+				// rather than a window that is no longer installed.
+				sh.mu.Lock()
+				if sh.dropInstalled(a, op.dst) {
+					cleared++
 				}
+				sh.mu.Unlock()
 			}
-			a.mu.Unlock()
 			if firstErr == nil {
 				firstErr = fmt.Errorf("set initcwnd %v=%d: %w", op.dst, op.window, err)
 			}
 			continue
 		}
-		e, ok := a.entries[op.dst]
-		if !ok {
-			// New destination: stage 2 could not count its samples
-			// because the entry did not exist yet.
-			e = &entry{samples: uint64(op.obs)}
-			a.entries[op.dst] = e
+		sh.mu.Lock()
+		st := sh.states[op.dst]
+		if st == nil {
+			st = &destState{}
+			sh.states[op.dst] = st
 		}
-		e.window = op.window
-		e.expires = now + a.cfg.TTL
-		e.updated = now
-		e.lastObs = op.obs
-		e.merged = false
-		e.mergedAge = 0
-		e.programs++
-		a.stats.RoutesSet++
-		a.mu.Unlock()
+		if !st.installed {
+			// New destination: the plan stage could not count its
+			// samples because no entry existed yet.
+			st.installed = true
+			st.samples = uint64(op.obs)
+			sh.installed++
+		}
+		st.window = op.window
+		st.expires = now + a.cfg.TTL
+		st.updated = now
+		st.lastObs = op.obs
+		st.merged = false
+		st.mergedAge = 0
+		st.programs++
+		sh.mu.Unlock()
+		set++
 	}
-
-	if err := a.clearGuardVetoed(guardClears); err != nil && firstErr == nil {
-		firstErr = err
-	}
-	if err := a.clearRoutes(expired, now); err != nil && firstErr == nil {
-		firstErr = err
-	}
+	a.mu.Lock()
+	a.stats.RoutesSet += set
+	a.stats.RouteErrors += routeErrs
+	a.stats.RoutesCleared += cleared
+	a.mu.Unlock()
 	return firstErr
 }
 
-// clearGuardVetoed withdraws routes the governor vetoed or quarantined this
-// round. Each entry is dropped only once its route is actually cleared, so
-// the withdrawal happens exactly once per quarantine: after success the entry
-// is gone and later vetoes have nothing to clear; after a failure the entry
-// survives and the next round's veto retries.
-func (a *Agent) clearGuardVetoed(targets []netip.Prefix) error {
-	var firstErr error
+// clearTargets withdraws the given routes and, for each success, removes
+// the entry and forgets its history. A failed withdrawal keeps the entry so
+// the next round retries it. Expired targets re-check their deadline under
+// the shard lock, so a destination re-observed between collection and
+// withdrawal is skipped; guard targets are withdrawn as long as the entry
+// still exists (the governor's verdict already decided the round).
+func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Duration) error {
+	if len(targets) == 0 {
+		return nil
+	}
+	// Re-check which targets still need clearing; filtering in place is
+	// safe because targets aliases the agent's scratch for this round.
+	live := targets[:0]
 	for _, dst := range targets {
-		a.mu.Lock()
-		_, ok := a.entries[dst]
-		a.mu.Unlock()
-		if !ok {
-			continue
+		sh := a.shardFor(dst)
+		sh.mu.Lock()
+		st, ok := sh.states[dst]
+		needed := ok && st.installed && (kind == clearKindGuard || st.expires <= now)
+		sh.mu.Unlock()
+		if needed {
+			live = append(live, dst)
 		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
 
+	bp, batch := a.cfg.Routes.(BatchRouteProgrammer)
+	var batchErrs []error
+	if batch {
+		ops := make([]RouteOp, len(live))
+		for i, dst := range live {
+			ops[i] = RouteOp{Prefix: dst, Clear: true}
+		}
 		progStart := time.Now()
-		err := a.cfg.Routes.ClearInitCwnd(dst)
+		batchErrs = bp.ProgramRoutes(ops)
 		a.mProgram.Observe(time.Since(progStart))
+	}
 
-		a.mu.Lock()
+	var firstErr error
+	var expiredN, clearedN, guardClearedN, routeErrs uint64
+	for i, dst := range live {
+		var err error
+		if batch {
+			if batchErrs != nil {
+				err = batchErrs[i]
+			}
+		} else {
+			progStart := time.Now()
+			err = a.cfg.Routes.ClearInitCwnd(dst)
+			a.mProgram.Observe(time.Since(progStart))
+		}
 		if err != nil {
-			a.stats.RouteErrors++
-			a.mu.Unlock()
+			routeErrs++
 			if firstErr == nil {
-				firstErr = fmt.Errorf("guard clear initcwnd %v: %w", dst, err)
+				switch kind {
+				case clearKindGuard:
+					firstErr = fmt.Errorf("guard clear initcwnd %v: %w", dst, err)
+				default:
+					firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+				}
 			}
 			continue
 		}
-		delete(a.entries, dst)
-		a.cfg.History.Forget(dst)
-		a.stats.RoutesCleared++
-		a.stats.GuardCleared++
-		a.mu.Unlock()
-		a.cfg.Metrics.Counter("riptide_guard_clears").Inc()
+		sh := a.shardFor(dst)
+		sh.mu.Lock()
+		sh.dropInstalled(a, dst)
+		sh.mu.Unlock()
+		clearedN++
+		switch kind {
+		case clearKindGuard:
+			guardClearedN++
+			a.cfg.Metrics.Counter("riptide_guard_clears").Inc()
+		default:
+			expiredN++
+		}
 	}
+	a.mu.Lock()
+	a.stats.RoutesCleared += clearedN
+	a.stats.EntriesExpired += expiredN
+	a.stats.GuardCleared += guardClearedN
+	a.stats.RouteErrors += routeErrs
+	a.mu.Unlock()
 	return firstErr
 }
 
 // expirePass runs only the TTL-expiry portion of a round: collect lapsed
-// entries under the lock, withdraw their routes outside it.
+// entries under the shard locks, withdraw their routes outside them.
 func (a *Agent) expirePass(now time.Duration) error {
-	a.mu.Lock()
-	expired := a.collectExpiredLocked(now)
-	a.mu.Unlock()
-	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
-	return a.clearRoutes(expired, now)
-}
-
-// collectExpiredLocked returns the destinations whose TTL lapsed. Callers
-// hold a.mu. Entries observed this round were just refreshed, so they never
-// appear here.
-func (a *Agent) collectExpiredLocked(now time.Duration) []netip.Prefix {
-	var expired []netip.Prefix
-	for dst, e := range a.entries {
-		if e.expires <= now {
-			expired = append(expired, dst)
-		}
-	}
-	return expired
-}
-
-// clearRoutes withdraws the given routes and, for each success, removes the
-// entry and forgets its history. A failed withdrawal keeps the entry so the
-// next round retries it (unless it was re-observed meanwhile). A destination
-// that was re-observed and re-programmed between collection and withdrawal
-// is skipped via the expiry re-check.
-func (a *Agent) clearRoutes(expired []netip.Prefix, now time.Duration) error {
-	var firstErr error
-	for _, dst := range expired {
-		a.mu.Lock()
-		e, ok := a.entries[dst]
-		if !ok || e.expires > now {
-			a.mu.Unlock()
-			continue
-		}
-		a.mu.Unlock()
-
-		progStart := time.Now()
-		err := a.cfg.Routes.ClearInitCwnd(dst)
-		a.mProgram.Observe(time.Since(progStart))
-
-		a.mu.Lock()
-		if err != nil {
-			a.stats.RouteErrors++
-			a.mu.Unlock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
+	expired := a.clearBuf[:0]
+	for _, sh := range a.shards {
+		sh.mu.Lock()
+		for dst, st := range sh.states {
+			if st.installed && st.expires <= now {
+				expired = append(expired, dst)
 			}
-			continue
 		}
-		delete(a.entries, dst)
-		a.cfg.History.Forget(dst)
-		a.stats.EntriesExpired++
-		a.stats.RoutesCleared++
-		a.mu.Unlock()
+		sh.mu.Unlock()
 	}
-	return firstErr
+	a.clearBuf = expired
+	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+	return a.clearTargets(expired, clearKindExpired, now)
 }
 
 // breakerBlocks reports whether the sampler circuit breaker suppresses

@@ -98,13 +98,13 @@ type slowSampler struct {
 	obs     []Observation
 }
 
-func (s *slowSampler) SampleConnections() ([]Observation, error) {
+func (s *slowSampler) SampleConnections(buf []Observation) ([]Observation, error) {
 	select {
 	case s.started <- struct{}{}:
 	default:
 	}
 	time.Sleep(s.delay)
-	return s.obs, nil
+	return append(buf, s.obs...), nil
 }
 
 func TestReadersReturnWhileTickBlockedInSampler(t *testing.T) {

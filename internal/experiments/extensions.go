@@ -27,18 +27,20 @@ type twoHostRig struct {
 	dst    netip.Addr
 }
 
-type rigSampler struct{ host *kernel.Host }
+type rigSampler struct {
+	host  *kernel.Host
+	snaps []kernel.ConnSnapshot
+}
 
-func (s rigSampler) SampleConnections() ([]core.Observation, error) {
-	snaps := s.host.Connections()
-	obs := make([]core.Observation, 0, len(snaps))
-	for _, c := range snaps {
-		obs = append(obs, core.Observation{
+func (s *rigSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
+	s.snaps = s.host.AppendConnections(s.snaps[:0])
+	for _, c := range s.snaps {
+		buf = append(buf, core.Observation{
 			Dst: c.Dst, Cwnd: c.Cwnd, RTT: c.RTT, BytesAcked: c.BytesAcked,
 			Retrans: c.Retrans, Lost: c.Lost, SegsOut: c.SegsOut, LossEvents: c.LossEvents,
 		})
 	}
-	return obs, nil
+	return buf, nil
 }
 
 type rigRoutes struct{ host *kernel.Host }
@@ -79,7 +81,7 @@ func newTwoHostRig(seed int64, history core.HistoryPolicy, advisor core.Advisor,
 		return nil, err
 	}
 	agent, err := core.New(core.Config{
-		Sampler: rigSampler{host: host},
+		Sampler: &rigSampler{host: host},
 		Routes:  rigRoutes{host: host},
 		Clock:   engine.Now,
 		History: history,

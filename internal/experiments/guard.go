@@ -104,7 +104,7 @@ func newGuardRig(seed int64, governed bool) (*guardRig, error) {
 		gov = rig.gov
 	}
 	rig.agent, err = core.New(core.Config{
-		Sampler: rigSampler{host: rig.host},
+		Sampler: &rigSampler{host: rig.host},
 		Routes:  rigRoutes{host: rig.host},
 		Clock:   engine.Now,
 		Guard:   gov,

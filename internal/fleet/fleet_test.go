@@ -16,12 +16,12 @@ type stubSampler struct {
 	obs []core.Observation
 }
 
-func (s *stubSampler) SampleConnections() ([]core.Observation, error) {
+func (s *stubSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	o := s.obs
+	buf = append(buf, s.obs...)
 	s.obs = nil
-	return o, nil
+	return buf, nil
 }
 
 // memRoutes records programmed routes in memory.

@@ -141,6 +141,46 @@ func (h *Host) DelRoute(prefix netip.Prefix) bool {
 	return ok
 }
 
+// RouteUpdate is one element of a batched routing-table edit: install Route
+// (Delete false) or remove Route.Prefix (Delete true).
+type RouteUpdate struct {
+	Route  Route
+	Delete bool
+}
+
+// ApplyRoutes applies a whole batch of route edits under a single lock
+// acquisition — the simulated analogue of `ip -batch`. It returns nil when
+// every update applied, otherwise a slice with one slot per update (nil
+// slots mark successes). Deleting an absent prefix is a no-op, matching
+// DelRoute's tolerance; invalid updates fail individually without aborting
+// the rest of the batch.
+func (h *Host) ApplyRoutes(updates []RouteUpdate) []error {
+	var errs []error
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, u := range updates {
+		var err error
+		switch {
+		case !u.Route.Prefix.IsValid():
+			err = fmt.Errorf("kernel: invalid route prefix")
+		case u.Delete:
+			delete(h.routes, u.Route.Prefix.Masked())
+		case u.Route.InitCwnd < 0:
+			err = fmt.Errorf("kernel: route initcwnd %d must be >= 0", u.Route.InitCwnd)
+		default:
+			key := u.Route.Prefix.Masked()
+			h.routes[key] = Route{Prefix: key, InitCwnd: u.Route.InitCwnd, Proto: u.Route.Proto}
+		}
+		if err != nil {
+			if errs == nil {
+				errs = make([]error, len(updates))
+			}
+			errs[i] = err
+		}
+	}
+	return errs
+}
+
 // Routes returns a copy of the routing table, most-specific first.
 func (h *Host) Routes() []Route {
 	h.mu.Lock()
@@ -222,28 +262,39 @@ func (h *Host) Unregister(id uint64) bool {
 	return ok
 }
 
+// connRef pairs a connection id with its snapshotter while the host lock is
+// released for the Snapshot calls.
+type connRef struct {
+	id uint64
+	s  Snapshotter
+}
+
 // Connections snapshots every established connection, like `ss -tin`.
 // Results are sorted by id for determinism.
 func (h *Host) Connections() []ConnSnapshot {
+	return h.AppendConnections(nil)
+}
+
+// AppendConnections is Connections into a caller-provided buffer: snapshots
+// are appended to buf and the grown slice returned, so a sampling loop that
+// reuses its buffer allocates only the transient id/snapshotter references.
+// Snapshot calls happen outside the host lock, preserving the package's
+// lock discipline (connection state locks never nest inside the host's).
+func (h *Host) AppendConnections(buf []ConnSnapshot) []ConnSnapshot {
 	h.mu.Lock()
-	ids := make([]uint64, 0, len(h.conns))
-	snaps := make([]Snapshotter, 0, len(h.conns))
-	for id := range h.conns {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	for _, id := range ids {
-		snaps = append(snaps, h.conns[id])
+	refs := make([]connRef, 0, len(h.conns))
+	for id, s := range h.conns {
+		refs = append(refs, connRef{id: id, s: s})
 	}
 	h.mu.Unlock()
+	sort.Slice(refs, func(i, j int) bool { return refs[i].id < refs[j].id })
 
-	out := make([]ConnSnapshot, 0, len(snaps))
-	for i, s := range snaps {
-		snap := s.Snapshot()
-		snap.ID = ids[i]
-		out = append(out, snap)
+	for _, ref := range refs {
+		snap := ref.s.Snapshot()
+		snap.ID = ref.id
+		buf = append(buf, snap)
 	}
-	return out
+	return buf
 }
 
 // ConnCount reports the number of established connections.

@@ -373,3 +373,85 @@ func TestDeleteRestoresDefaultProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApplyRoutesAllSuccessReturnsNil(t *testing.T) {
+	h := newHost(t)
+	updates := []RouteUpdate{
+		{Route: Route{Prefix: prefix(t, "10.0.0.0/24"), InitCwnd: 40}},
+		{Route: Route{Prefix: prefix(t, "10.0.1.0/24"), InitCwnd: 20}},
+	}
+	if errs := h.ApplyRoutes(updates); errs != nil {
+		t.Fatalf("ApplyRoutes = %v, want nil", errs)
+	}
+	if h.RouteCount() != 2 {
+		t.Errorf("RouteCount = %d, want 2", h.RouteCount())
+	}
+	if got := h.InitCwndFor(addr(t, "10.0.1.9")); got != 20 {
+		t.Errorf("InitCwndFor = %d, want 20", got)
+	}
+}
+
+func TestApplyRoutesPerSlotErrors(t *testing.T) {
+	h := newHost(t)
+	if err := h.AddRoute(Route{Prefix: prefix(t, "10.0.9.0/24"), InitCwnd: 30}); err != nil {
+		t.Fatal(err)
+	}
+	updates := []RouteUpdate{
+		{Route: Route{Prefix: netip.Prefix{}, InitCwnd: 40}},           // invalid prefix
+		{Route: Route{Prefix: prefix(t, "10.0.0.0/24"), InitCwnd: -1}}, // negative initcwnd
+		{Route: Route{Prefix: prefix(t, "10.0.5.0/24")}, Delete: true}, // delete absent: tolerated
+		{Route: Route{Prefix: prefix(t, "10.0.9.0/24")}, Delete: true}, // delete existing
+		{Route: Route{Prefix: prefix(t, "10.0.1.5/24"), InitCwnd: 28}}, // install, masked
+	}
+	errs := h.ApplyRoutes(updates)
+	if errs == nil {
+		t.Fatal("invalid updates accepted")
+	}
+	if len(errs) != len(updates) {
+		t.Fatalf("len(errs) = %d, want one slot per update", len(errs))
+	}
+	if errs[0] == nil || errs[1] == nil {
+		t.Errorf("invalid updates not rejected: %v", errs)
+	}
+	for i := 2; i < len(updates); i++ {
+		if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil (one bad update must not abort the batch)", i, errs[i])
+		}
+	}
+	if _, ok := h.Lookup(addr(t, "10.0.9.1")); ok {
+		t.Error("batched delete did not remove the route")
+	}
+	r, ok := h.Lookup(addr(t, "10.0.1.200"))
+	if !ok || r.Prefix != prefix(t, "10.0.1.0/24") || r.InitCwnd != 28 {
+		t.Errorf("batched install = %+v ok=%v, want masked 10.0.1.0/24 iw=28", r, ok)
+	}
+}
+
+func TestAppendConnectionsReusesCallerBuffer(t *testing.T) {
+	h := newHost(t)
+	for i := 0; i < 3; i++ {
+		snap := ConnSnapshot{Dst: addr(t, "10.0.0.9"), Cwnd: 10 + i}
+		if _, err := h.Register(&fakeConn{snap: snap}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	buf := make([]ConnSnapshot, 0, 8)
+	out := h.AppendConnections(buf)
+	if len(out) != 3 {
+		t.Fatalf("len = %d, want 3", len(out))
+	}
+	if &out[0] != &buf[0:1][0] {
+		t.Error("AppendConnections reallocated despite sufficient capacity")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i-1].ID >= out[i].ID {
+			t.Errorf("snapshots not sorted by id: %v >= %v", out[i-1].ID, out[i].ID)
+		}
+	}
+	// Appending after existing elements preserves them.
+	sentinel := ConnSnapshot{ID: 999}
+	out2 := h.AppendConnections([]ConnSnapshot{sentinel})
+	if len(out2) != 4 || out2[0].ID != 999 {
+		t.Errorf("append after sentinel = %v", out2)
+	}
+}

@@ -32,6 +32,14 @@ type Runner interface {
 	Run(name string, args ...string) ([]byte, error)
 }
 
+// BatchRunner is an optional Runner extension for commands fed via stdin —
+// `ip -batch -` reads one route command per line. Runners that implement it
+// unlock the batched route-programming path.
+type BatchRunner interface {
+	Runner
+	RunInput(input []byte, name string, args ...string) ([]byte, error)
+}
+
 // ExecRunner runs commands with os/exec under a timeout.
 type ExecRunner struct {
 	// Timeout bounds each command; defaults to 5s when zero.
@@ -42,7 +50,16 @@ type ExecRunner struct {
 }
 
 // Run implements Runner.
-func (r ExecRunner) Run(name string, args ...string) (out []byte, err error) {
+func (r ExecRunner) Run(name string, args ...string) ([]byte, error) {
+	return r.run(nil, name, args...)
+}
+
+// RunInput implements BatchRunner: like Run, with input piped to stdin.
+func (r ExecRunner) RunInput(input []byte, name string, args ...string) ([]byte, error) {
+	return r.run(input, name, args...)
+}
+
+func (r ExecRunner) run(input []byte, name string, args ...string) (out []byte, err error) {
 	timeout := r.Timeout
 	if timeout == 0 {
 		timeout = 5 * time.Second
@@ -58,7 +75,11 @@ func (r ExecRunner) Run(name string, args ...string) (out []byte, err error) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()
-	out, err = exec.CommandContext(ctx, name, args...).Output()
+	cmd := exec.CommandContext(ctx, name, args...)
+	if input != nil {
+		cmd.Stdin = bytes.NewReader(input)
+	}
+	out, err = cmd.Output()
 	if err != nil {
 		var exitErr *exec.ExitError
 		if errors.As(err, &exitErr) {
@@ -70,7 +91,7 @@ func (r ExecRunner) Run(name string, args ...string) (out []byte, err error) {
 	return out, nil
 }
 
-var _ Runner = ExecRunner{}
+var _ BatchRunner = ExecRunner{}
 
 // Sampler implements core.ConnectionSampler by parsing `ss -tin`.
 type Sampler struct {
@@ -85,13 +106,15 @@ func NewSampler(runner Runner) (*Sampler, error) {
 	return &Sampler{runner: runner}, nil
 }
 
-// SampleConnections implements core.ConnectionSampler.
-func (s *Sampler) SampleConnections() ([]core.Observation, error) {
+// SampleConnections implements core.ConnectionSampler: parsed observations
+// are appended to buf, so the agent's pooled buffer absorbs the per-tick
+// slice growth.
+func (s *Sampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
 	out, err := s.runner.Run("ss", "-tin")
 	if err != nil {
 		return nil, err
 	}
-	return ParseSS(out)
+	return AppendParseSS(buf, out)
 }
 
 var _ core.ConnectionSampler = (*Sampler)(nil)
@@ -100,20 +123,34 @@ var _ core.ConnectionSampler = (*Sampler)(nil)
 // parsable peer address or cwnd are skipped; only ESTAB sockets are
 // reported, since only established connections carry meaningful windows.
 func ParseSS(out []byte) ([]core.Observation, error) {
-	lines := strings.Split(string(out), "\n")
-	var obs []core.Observation
-	var cur *core.Observation
-	for _, line := range lines {
+	return AppendParseSS(nil, out)
+}
+
+// AppendParseSS is ParseSS into a caller-provided buffer: parsed
+// observations are appended to buf and the grown slice returned. Beyond the
+// buffer's own growth it allocates nothing, so a steady-state sampling loop
+// stays allocation-free.
+func AppendParseSS(buf []core.Observation, out []byte) ([]core.Observation, error) {
+	obs := buf
+	var cur core.Observation
+	live := false
+	rest := string(out)
+	for len(rest) > 0 {
+		line, tail, _ := strings.Cut(rest, "\n")
+		rest = tail
 		trimmed := strings.TrimSpace(line)
 		if trimmed == "" {
 			continue
 		}
 		if isSocketLine(line) {
 			// Flush the previous socket if it had TCP info.
-			if cur != nil && cur.Cwnd > 0 {
-				obs = append(obs, *cur)
+			if live && cur.Cwnd > 0 {
+				obs = append(obs, cur)
 			}
-			cur = nil
+			live = false
+			if !strings.HasPrefix(trimmed, "ESTAB") {
+				continue
+			}
 			fields := strings.Fields(trimmed)
 			if len(fields) < 5 || fields[0] != "ESTAB" {
 				continue
@@ -122,17 +159,18 @@ func ParseSS(out []byte) ([]core.Observation, error) {
 			if err != nil {
 				continue
 			}
-			cur = &core.Observation{Dst: peer}
+			cur = core.Observation{Dst: peer}
+			live = true
 			continue
 		}
 		// Indented continuation: TCP info for the current socket.
-		if cur == nil {
+		if !live {
 			continue
 		}
-		parseInfoLine(trimmed, cur)
+		parseInfoLine(trimmed, &cur)
 	}
-	if cur != nil && cur.Cwnd > 0 {
-		obs = append(obs, *cur)
+	if live && cur.Cwnd > 0 {
+		obs = append(obs, cur)
 	}
 	return obs, nil
 }
@@ -303,3 +341,82 @@ func (r *Routes) ClearInitCwnd(prefix netip.Prefix) error {
 	_, err := r.runner.Run("ip", r.DelCommand(prefix)...)
 	return err
 }
+
+// BatchScript renders the `ip -batch` stdin script for ops: one route
+// command per line, without the leading "ip" (ip -batch supplies it).
+func (r *Routes) BatchScript(ops []core.RouteOp) []byte {
+	var b bytes.Buffer
+	for _, op := range ops {
+		var args []string
+		if op.Clear {
+			args = r.DelCommand(op.Prefix)
+		} else {
+			args = r.SetCommand(op.Prefix, op.Window)
+		}
+		b.WriteString(strings.Join(args, " "))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ProgramRoutes implements core.BatchRouteProgrammer: the whole route set is
+// applied with a single `ip -force -batch -` exec, the script fed via stdin.
+// `-force` keeps ip processing past individual command failures, so one bad
+// route cannot abort the rest of the batch — but the nonzero exit status
+// cannot say which member failed, so on error every scripted op is reported
+// failed with the batch error; the retry decorator then re-drives members
+// individually to recover attribution. Invalid ops are rejected up front
+// with per-op errors and never reach the script. A runner without stdin
+// support (no BatchRunner) degrades to per-op commands.
+func (r *Routes) ProgramRoutes(ops []core.RouteOp) []error {
+	if len(ops) == 0 {
+		return nil
+	}
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(ops))
+		}
+		errs[i] = err
+	}
+	br, hasBatch := r.runner.(BatchRunner)
+	if !hasBatch {
+		for i, op := range ops {
+			var err error
+			if op.Clear {
+				err = r.ClearInitCwnd(op.Prefix)
+			} else {
+				err = r.SetInitCwnd(op.Prefix, op.Window)
+			}
+			if err != nil {
+				fail(i, err)
+			}
+		}
+		return errs
+	}
+	valid := make([]core.RouteOp, 0, len(ops))
+	validIdx := make([]int, 0, len(ops))
+	for i, op := range ops {
+		switch {
+		case !op.Prefix.IsValid():
+			fail(i, errors.New("linux: invalid prefix"))
+		case !op.Clear && op.Window < 1:
+			fail(i, fmt.Errorf("linux: initcwnd %d must be >= 1", op.Window))
+		default:
+			valid = append(valid, op)
+			validIdx = append(validIdx, i)
+		}
+	}
+	if len(valid) == 0 {
+		return errs
+	}
+	if _, err := br.RunInput(r.BatchScript(valid), "ip", "-force", "-batch", "-"); err != nil {
+		batchErr := fmt.Errorf("linux: ip -batch (%d route ops): %w", len(valid), err)
+		for _, i := range validIdx {
+			fail(i, batchErr)
+		}
+	}
+	return errs
+}
+
+var _ core.BatchRouteProgrammer = (*Routes)(nil)

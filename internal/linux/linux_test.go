@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"riptide/internal/core"
 	"riptide/internal/metrics"
 )
 
@@ -239,7 +240,7 @@ func TestSamplerRunsSS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	obs, err := s.SampleConnections()
+	obs, err := s.SampleConnections(nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,7 +255,7 @@ func TestSamplerRunsSS(t *testing.T) {
 func TestSamplerPropagatesError(t *testing.T) {
 	r := &fakeRunner{err: errors.New("boom")}
 	s, _ := NewSampler(r)
-	if _, err := s.SampleConnections(); err == nil {
+	if _, err := s.SampleConnections(nil); err == nil {
 		t.Error("runner error swallowed")
 	}
 }
@@ -451,5 +452,194 @@ func TestParseSSWrappedInfoLines(t *testing.T) {
 		if o.Cwnd == 99 {
 			t.Error("non-ESTAB socket's info line produced an observation")
 		}
+	}
+}
+
+// batchFakeRunner is fakeRunner plus a stdin surface; each batch script is
+// recorded verbatim so tests can assert on the rendered `ip -batch` input.
+type batchFakeRunner struct {
+	fakeRunner
+	inputs [][]byte
+	inErr  error
+}
+
+func (b *batchFakeRunner) RunInput(input []byte, name string, args ...string) ([]byte, error) {
+	b.calls = append(b.calls, append([]string{name}, args...))
+	b.inputs = append(b.inputs, append([]byte(nil), input...))
+	return b.out, b.inErr
+}
+
+func TestBatchScriptRendersOneCommandPerLine(t *testing.T) {
+	routes, err := NewRoutes(&fakeRunner{}, RoutesConfig{Device: "eth0", Gateway: "10.0.0.1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := string(routes.BatchScript([]core.RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Clear: true},
+	}))
+	want := "route replace 10.0.0.0/24 dev eth0 proto static initcwnd 40 via 10.0.0.1\n" +
+		"route del 10.0.1.0/24 dev eth0 proto static via 10.0.0.1\n"
+	if script != want {
+		t.Errorf("BatchScript = %q, want %q", script, want)
+	}
+	if strings.Contains(script, "ip ") {
+		t.Error("batch script must not carry the leading `ip` (ip -batch supplies it)")
+	}
+}
+
+func TestProgramRoutesSingleBatchExec(t *testing.T) {
+	r := &batchFakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{Device: "eth0"})
+	ops := []core.RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Window: 20},
+		{Prefix: netip.MustParsePrefix("10.0.2.0/24"), Clear: true},
+	}
+	if errs := routes.ProgramRoutes(ops); errs != nil {
+		t.Fatalf("ProgramRoutes = %v, want nil", errs)
+	}
+	if len(r.calls) != 1 {
+		t.Fatalf("calls = %v, want one exec for the whole set", r.calls)
+	}
+	if got := strings.Join(r.calls[0], " "); got != "ip -force -batch -" {
+		t.Errorf("argv = %q, want %q", got, "ip -force -batch -")
+	}
+	if got, want := string(r.inputs[0]), string(routes.BatchScript(ops)); got != want {
+		t.Errorf("stdin script = %q, want %q", got, want)
+	}
+}
+
+func TestProgramRoutesRejectsInvalidOpsUpFront(t *testing.T) {
+	r := &batchFakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	ops := []core.RouteOp{
+		{Prefix: netip.Prefix{}, Window: 40},                        // invalid prefix
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 0},   // window < 1
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Window: 28},  // valid
+		{Prefix: netip.MustParsePrefix("10.0.2.0/24"), Clear: true}, // valid (window ignored)
+	}
+	errs := routes.ProgramRoutes(ops)
+	if errs == nil {
+		t.Fatal("invalid ops accepted")
+	}
+	if errs[0] == nil || errs[1] == nil {
+		t.Errorf("invalid ops not rejected: %v", errs)
+	}
+	if errs[2] != nil || errs[3] != nil {
+		t.Errorf("valid ops failed: %v", errs)
+	}
+	if len(r.inputs) != 1 {
+		t.Fatalf("batch execs = %d, want 1", len(r.inputs))
+	}
+	script := string(r.inputs[0])
+	if strings.Contains(script, "initcwnd 0") || strings.Count(script, "\n") != 2 {
+		t.Errorf("invalid ops leaked into the batch script: %q", script)
+	}
+}
+
+func TestProgramRoutesBatchFailureMarksAllScriptedOps(t *testing.T) {
+	r := &batchFakeRunner{inErr: errors.New("exit status 1")}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	ops := []core.RouteOp{
+		{Prefix: netip.Prefix{}, Window: 40}, // validation error, not batch error
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Clear: true},
+	}
+	errs := routes.ProgramRoutes(ops)
+	if errs == nil {
+		t.Fatal("batch failure not reported")
+	}
+	for i := 1; i < len(ops); i++ {
+		if errs[i] == nil || !strings.Contains(errs[i].Error(), "ip -batch (2 route ops)") {
+			t.Errorf("errs[%d] = %v, want unattributable batch error over 2 ops", i, errs[i])
+		}
+	}
+	if strings.Contains(errs[0].Error(), "ip -batch") {
+		t.Errorf("validation error replaced by batch error: %v", errs[0])
+	}
+}
+
+func TestProgramRoutesDegradesWithoutBatchRunner(t *testing.T) {
+	r := &fakeRunner{} // Runner only: no RunInput
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	ops := []core.RouteOp{
+		{Prefix: netip.MustParsePrefix("10.0.0.0/24"), Window: 40},
+		{Prefix: netip.MustParsePrefix("10.0.1.0/24"), Clear: true},
+	}
+	if errs := routes.ProgramRoutes(ops); errs != nil {
+		t.Fatalf("ProgramRoutes = %v, want nil", errs)
+	}
+	if len(r.calls) != 2 {
+		t.Fatalf("calls = %v, want one exec per op", r.calls)
+	}
+	if r.calls[0][1] != "route" || r.calls[0][2] != "replace" {
+		t.Errorf("first per-op call = %v", r.calls[0])
+	}
+	if r.calls[1][2] != "del" {
+		t.Errorf("second per-op call = %v", r.calls[1])
+	}
+}
+
+func TestProgramRoutesEmptySetNoExec(t *testing.T) {
+	r := &batchFakeRunner{}
+	routes, _ := NewRoutes(r, RoutesConfig{})
+	if errs := routes.ProgramRoutes(nil); errs != nil {
+		t.Fatalf("ProgramRoutes(nil) = %v", errs)
+	}
+	if len(r.calls) != 0 {
+		t.Errorf("empty set reached the runner: %v", r.calls)
+	}
+}
+
+func TestRunInputFeedsStdin(t *testing.T) {
+	out, err := ExecRunner{}.RunInput([]byte("hello batch\n"), "cat")
+	if err != nil {
+		t.Skipf("cat unavailable: %v", err)
+	}
+	if string(out) != "hello batch\n" {
+		t.Errorf("RunInput output = %q", out)
+	}
+}
+
+func TestAppendParseSSReusesCallerBuffer(t *testing.T) {
+	parsed, err := ParseSS([]byte(ssFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) == 0 {
+		t.Fatal("fixture parsed to nothing")
+	}
+	buf := make([]core.Observation, 0, len(parsed)+4)
+	out, err := AppendParseSS(buf, []byte(ssFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(parsed) {
+		t.Fatalf("len = %d, want %d", len(out), len(parsed))
+	}
+	if &out[0] != &buf[0:1][0] {
+		t.Error("AppendParseSS reallocated despite sufficient capacity")
+	}
+}
+
+func TestSamplerAppendsToCallerBuffer(t *testing.T) {
+	r := &fakeRunner{out: []byte(ssFixture)}
+	s, err := NewSampler(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sentinel := core.Observation{Dst: netip.MustParseAddr("192.0.2.1"), Cwnd: 7}
+	buf := make([]core.Observation, 0, 32)
+	buf = append(buf, sentinel)
+	out, err := s.SampleConnections(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 2 || out[0] != sentinel {
+		t.Fatalf("sampler did not append to the caller's buffer: %v", out[:1])
+	}
+	if &out[0] != &buf[0] {
+		t.Error("sampler reallocated despite sufficient capacity")
 	}
 }

@@ -39,6 +39,11 @@ type (
 	ConnectionSampler = core.ConnectionSampler
 	// RouteProgrammer applies initcwnd overrides (the `ip route` step).
 	RouteProgrammer = core.RouteProgrammer
+	// BatchRouteProgrammer is the optional batched route-programming
+	// extension (one `ip -batch` exec per tick).
+	BatchRouteProgrammer = core.BatchRouteProgrammer
+	// RouteOp is one element of a batched route-programming request.
+	RouteOp = core.RouteOp
 	// Combiner reduces a destination's observations to one value.
 	Combiner = core.Combiner
 	// HistoryPolicy smooths combined values across rounds.
@@ -156,13 +161,14 @@ type LinuxOptions struct {
 	// CommandTimeout bounds each ss/ip invocation (default 5s).
 	CommandTimeout time.Duration
 
-	// UpdateInterval, TTL, Alpha, CMax, CMin, and PrefixBits override the
-	// paper defaults when non-zero.
+	// UpdateInterval, TTL, Alpha, CMax, CMin, PrefixBits, and Shards
+	// override the paper defaults when non-zero.
 	UpdateInterval time.Duration
 	TTL            time.Duration
 	Alpha          float64
 	CMax, CMin     int
 	PrefixBits     int
+	Shards         int
 }
 
 // NewLinuxAgent builds an Agent wired to the local machine's ss and ip
@@ -193,6 +199,7 @@ func NewLinuxAgent(opts LinuxOptions) (*Agent, error) {
 		CMax:           opts.CMax,
 		CMin:           opts.CMin,
 		PrefixBits:     opts.PrefixBits,
+		Shards:         opts.Shards,
 	})
 }
 

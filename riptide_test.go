@@ -15,12 +15,10 @@ type memSampler struct {
 	obs []Observation
 }
 
-func (m *memSampler) SampleConnections() ([]Observation, error) {
+func (m *memSampler) SampleConnections(buf []Observation) ([]Observation, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	out := make([]Observation, len(m.obs))
-	copy(out, m.obs)
-	return out, nil
+	return append(buf, m.obs...), nil
 }
 
 type memRoutes struct {
@@ -149,7 +147,7 @@ func TestRunLoop(t *testing.T) {
 
 type failSampler struct{}
 
-func (failSampler) SampleConnections() ([]Observation, error) {
+func (failSampler) SampleConnections([]Observation) ([]Observation, error) {
 	return nil, errors.New("boom")
 }
 
