@@ -32,10 +32,11 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
-# Machine-readable perf-trajectory snapshot (agent-tick scaling series plus
-# batched-vs-individual route programming) for PR-over-PR comparison.
+# Machine-readable perf-trajectory snapshot (agent-tick scaling series —
+# full-rescan, delta-steady, and delta-churn modes — plus batched-vs-
+# individual route programming) for PR-over-PR comparison.
 bench-json:
-	$(GO) run ./cmd/riptide-bench -perf-only -perf-json BENCH_5.json
+	$(GO) run ./cmd/riptide-bench -perf-only -perf-json BENCH_6.json -perf-sizes 1000,10000,100000,1000000
 
 # Quick-scale markdown report to stdout.
 report:

@@ -16,3 +16,15 @@ func newSyntheticBackend(n int, batch bool) (ConnectionSampler, RouteProgrammer,
 	}
 	return perf.StaticSampler(perf.SyntheticObservations(n)), routes, func() time.Duration { return 0 }
 }
+
+// newModeBackend picks the sampler matching a tick-series mode: steady state
+// (identical backing slice, the delta tick's cheapest path) or a
+// deterministic 1-in-churnFrac per-round window churn.
+func newModeBackend(n, churnFrac int) (ConnectionSampler, RouteProgrammer, func() time.Duration) {
+	base := perf.SyntheticObservations(n)
+	var sampler ConnectionSampler = perf.FixedSampler(base)
+	if churnFrac > 0 {
+		sampler = perf.NewChurnSampler(base, churnFrac)
+	}
+	return sampler, perf.NopBatchRoutes{}, func() time.Duration { return 0 }
+}

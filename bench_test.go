@@ -13,9 +13,11 @@ import (
 	"fmt"
 	"net/netip"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"riptide/internal/experiments"
 	"riptide/internal/kernel"
@@ -278,29 +280,104 @@ func BenchmarkAgentTick(b *testing.B) {
 }
 
 // benchmarkAgentTickSeries is the hot-path scaling series: serial (one
-// shard) versus sharded planning, both over the batched route-programming
-// surface, at a fixed observed-table size.
+// shard) versus sharded planning, crossed with the tick's processing
+// modes — full rescan (every state replanned each round), delta steady
+// state (identical observation stream), and delta with ~1% window churn —
+// all over the batched route-programming surface at a fixed observed-table
+// size.
 func benchmarkAgentTickSeries(b *testing.B, conns int) {
-	for _, v := range []struct {
+	for _, sv := range []struct {
 		name   string
 		shards int
 	}{
 		{"serial", 1},
 		{"sharded", 8},
 	} {
-		b.Run(v.name, func(b *testing.B) {
-			sampler, routes, clock := newSyntheticBackend(conns, true)
-			agent, err := New(Config{Sampler: sampler, Routes: routes, Clock: clock, Shards: v.shards})
+		for _, mode := range []struct {
+			name       string
+			fullRescan bool
+			churnFrac  int
+		}{
+			{"full", true, 0},
+			{"delta-steady", false, 0},
+			{"delta-churn1pct", false, 100},
+		} {
+			b.Run(sv.name+"/"+mode.name, func(b *testing.B) {
+				sampler, routes, clock := newModeBackend(conns, mode.churnFrac)
+				agent, err := New(Config{
+					Sampler:    sampler,
+					Routes:     routes,
+					Clock:      clock,
+					Shards:     sv.shards,
+					FullRescan: mode.fullRescan,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer func() { _ = agent.Close() }()
+				// One warmup tick so pools and learned entries reach
+				// steady state before timing.
+				if err := agent.Tick(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := agent.Tick(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkAgentTick1k(b *testing.B)   { benchmarkAgentTickSeries(b, 1_000) }
+func BenchmarkAgentTick10k(b *testing.B)  { benchmarkAgentTickSeries(b, 10_000) }
+func BenchmarkAgentTick100k(b *testing.B) { benchmarkAgentTickSeries(b, 100_000) }
+
+// BenchmarkAgentTick1M is the acceptance point for the delta tick: a
+// million-destination table at steady state and under churn. The full
+// rescan points at this size take hundreds of milliseconds each, so the
+// whole series sits behind -short.
+func BenchmarkAgentTick1M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("1M-destination series skipped in -short mode")
+	}
+	benchmarkAgentTickSeries(b, 1_000_000)
+}
+
+// TestShardedTickNotSlowerThanSerial is the bench-smoke gate for the
+// parallel plan stage: with real cores available, sharding the full-rescan
+// plan work across 8 shards must not lose to a single shard. On fewer than
+// 4 cores the comparison measures lock traffic, not parallelism, so the
+// test skips — exactly the configuration the perf harness now refuses to
+// label "parallel".
+func TestShardedTickNotSlowerThanSerial(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 4 {
+		t.Skipf("GOMAXPROCS=%d: parallel plan stage needs >=4 cores to beat serial", runtime.GOMAXPROCS(0))
+	}
+	if testing.Short() {
+		t.Skip("bench smoke skipped in -short mode")
+	}
+	const conns = 100_000
+	tick := func(shards int) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			sampler, routes, clock := newModeBackend(conns, 0)
+			agent, err := New(Config{
+				Sampler:    sampler,
+				Routes:     routes,
+				Clock:      clock,
+				Shards:     shards,
+				FullRescan: true,
+			})
 			if err != nil {
 				b.Fatal(err)
 			}
 			defer func() { _ = agent.Close() }()
-			// One warmup tick so pools and learned entries reach
-			// steady state before timing.
 			if err := agent.Tick(); err != nil {
 				b.Fatal(err)
 			}
-			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := agent.Tick(); err != nil {
@@ -309,11 +386,13 @@ func benchmarkAgentTickSeries(b *testing.B, conns int) {
 			}
 		})
 	}
+	serial := tick(1)
+	sharded := tick(8)
+	if sharded.NsPerOp() > serial.NsPerOp() {
+		t.Errorf("shards=8 tick %v slower than shards=1 %v at GOMAXPROCS=%d",
+			time.Duration(sharded.NsPerOp()), time.Duration(serial.NsPerOp()), runtime.GOMAXPROCS(0))
+	}
 }
-
-func BenchmarkAgentTick1k(b *testing.B)   { benchmarkAgentTickSeries(b, 1_000) }
-func BenchmarkAgentTick10k(b *testing.B)  { benchmarkAgentTickSeries(b, 10_000) }
-func BenchmarkAgentTick100k(b *testing.B) { benchmarkAgentTickSeries(b, 100_000) }
 
 // BenchmarkBatchProgram compares per-op route installation against the
 // batched ApplyRoutes path on the simulated kernel — the cost model behind

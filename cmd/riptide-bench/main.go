@@ -43,20 +43,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("riptide-bench", flag.ContinueOnError)
 	var (
-		scale     = fs.String("scale", "quick", "scale preset: quick|full")
-		out       = fs.String("o", "", "output file (default stdout)")
-		seed      = fs.Int64("seed", 1, "random seed")
-		n         = fs.Int("n", 200000, "model sample count")
-		seriesDir = fs.String("series-dir", "", "also write each figure's curve data as CSV into this directory")
-		workers   = fs.Int("workers", 0, "concurrent experiments (default: CPU count)")
-		perfJSON  = fs.String("perf-json", "", "write the agent hot-path perf snapshot (BENCH_<n>.json) to this file")
-		perfOnly  = fs.Bool("perf-only", false, "run only the perf harness (requires -perf-json)")
-		perfSizes = fs.String("perf-sizes", "1000,10000,100000", "comma-separated observed-table sizes for the perf series")
-		perfTime  = fs.Duration("perf-time", 300*time.Millisecond, "minimum measured time per perf series point")
+		scale      = fs.String("scale", "quick", "scale preset: quick|full")
+		out        = fs.String("o", "", "output file (default stdout)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		n          = fs.Int("n", 200000, "model sample count")
+		seriesDir  = fs.String("series-dir", "", "also write each figure's curve data as CSV into this directory")
+		workers    = fs.Int("workers", 0, "concurrent experiments (default: CPU count)")
+		perfJSON   = fs.String("perf-json", "", "write the agent hot-path perf snapshot (BENCH_<n>.json) to this file")
+		perfOnly   = fs.Bool("perf-only", false, "run only the perf harness (requires -perf-json)")
+		perfSizes  = fs.String("perf-sizes", "1000,10000,100000", "comma-separated observed-table sizes for the perf series")
+		perfTime   = fs.Duration("perf-time", 300*time.Millisecond, "minimum measured time per perf series point")
+		gomaxprocs = fs.Int("gomaxprocs", 0, "pin runtime.GOMAXPROCS for the run (0 = host core count)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Perf snapshots are only comparable when their parallelism is an
+	// explicit, recorded choice. BENCH_5 silently inherited GOMAXPROCS=1
+	// from its environment and mismeasured the shard fan-out; pin to the
+	// host's core count unless the caller overrides.
+	if *gomaxprocs <= 0 {
+		*gomaxprocs = runtime.NumCPU()
+	}
+	runtime.GOMAXPROCS(*gomaxprocs)
 
 	var s experiments.Scale
 	switch *scale {
@@ -102,6 +111,21 @@ var prePRBaselines = []perf.Baseline{
 	{Name: "AgentTick/dest=10000/pre-shard", NsPerOp: 6980329, AllocsPerOp: 10142, BytesPerOp: 4309375},
 }
 
+// bench5Baselines carry the BENCH_5.json series forward: the full-rescan
+// agent before the delta tick landed. They were captured at GOMAXPROCS=1
+// (the harness bug this PR fixes), so the shards=8 points measure lock
+// striping, not parallelism.
+var bench5Baselines = []perf.Baseline{
+	{Name: "BENCH_5/AgentTick/dest=1000/shards=1", NsPerOp: 151905.58, AllocsPerOp: 2, BytesPerOp: 72},
+	{Name: "BENCH_5/AgentTick/dest=1000/shards=8", NsPerOp: 232044.70, AllocsPerOp: 37, BytesPerOp: 920},
+	{Name: "BENCH_5/AgentTick/dest=10000/shards=1", NsPerOp: 1548143.70, AllocsPerOp: 2, BytesPerOp: 72},
+	{Name: "BENCH_5/AgentTick/dest=10000/shards=8", NsPerOp: 1709430.61, AllocsPerOp: 37, BytesPerOp: 920},
+	{Name: "BENCH_5/AgentTick/dest=100000/shards=1", NsPerOp: 34597534.875, AllocsPerOp: 2, BytesPerOp: 72},
+	{Name: "BENCH_5/AgentTick/dest=100000/shards=8", NsPerOp: 33247698.94, AllocsPerOp: 37, BytesPerOp: 920},
+	{Name: "BENCH_5/RouteProgram/ops=1024/mode=individual", NsPerOp: 99431.85},
+	{Name: "BENCH_5/RouteProgram/ops=1024/mode=batch", NsPerOp: 66711.08},
+}
+
 // writePerfSnapshot runs the perf harness over the requested observed-table
 // sizes and writes the JSON snapshot to path.
 func writePerfSnapshot(path, sizesCSV string, minTime time.Duration) error {
@@ -125,7 +149,7 @@ func writePerfSnapshot(path, sizesCSV string, minTime time.Duration) error {
 		return err
 	}
 	snap.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
-	snap.Baselines = prePRBaselines
+	snap.Baselines = append(append([]perf.Baseline(nil), prePRBaselines...), bench5Baselines...)
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

@@ -84,9 +84,20 @@ func TestPerfSnapshotWritesJSON(t *testing.T) {
 	if snap.Schema != perf.SnapshotSchema {
 		t.Errorf("schema = %q", snap.Schema)
 	}
-	// 2 sizes x 2 shard variants + 2 route-programming modes.
-	if len(snap.Benchmarks) != 6 {
-		t.Fatalf("benchmarks = %d, want 6", len(snap.Benchmarks))
+	// 2 sizes x 6 series points + 2 route-programming modes.
+	if len(snap.Benchmarks) != 14 {
+		t.Fatalf("benchmarks = %d, want 14", len(snap.Benchmarks))
+	}
+	if snap.GOMAXPROCS < 1 {
+		t.Errorf("gomaxprocs = %d not stamped", snap.GOMAXPROCS)
+	}
+	// Single-core runs must not label a multi-shard series "parallel".
+	if snap.GOMAXPROCS == 1 {
+		for _, b := range snap.Benchmarks {
+			if strings.Contains(b.Name, "parallel") {
+				t.Errorf("%s labeled parallel at GOMAXPROCS=1", b.Name)
+			}
+		}
 	}
 	for _, b := range snap.Benchmarks {
 		if b.NsPerOp <= 0 || b.Iterations < 1 {

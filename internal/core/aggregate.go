@@ -1,0 +1,228 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Adaptive prefix aggregation (Config.AggregateBits): when the children of
+// one covering /AggregateBits prefix converge on similar learned windows,
+// the agent installs a single broader route at the most conservative child
+// window and withdraws the children. Longest-prefix match makes every
+// transition safe without ordering constraints beyond "install before
+// withdraw":
+//
+//   - formation programs the covering route first, then clears the child
+//     routes (which the broader route now shadows from below — a child
+//     route left behind by a failed clear simply keeps winning LPM);
+//   - a child whose learned window diverges from the aggregate gets its
+//     specific route reinstalled, which shadows the aggregate immediately;
+//   - dissolution reinstalls the absorbed children first, then withdraws
+//     the covering route — coverage never gaps.
+//
+// Absorbed children keep their destState: they continue to sample, smooth,
+// and refresh TTLs (their freshness also refreshes the covering route), so
+// a split reinstalls the window the child would have been running anyway.
+// Aggregate routes themselves are never guard-reviewed — their children
+// are, and a veto or quarantine of an absorbed child forces the aggregate
+// apart (the veto cannot carve a hole in a broader route).
+//
+// All aggregation state lives on the shard that owns the covering prefix;
+// shardIndex hashes children by their covering key so parent and children
+// are always co-located and the aggregate pass never crosses stripes.
+
+// aggState tracks one covering prefix's membership. Guarded by the owning
+// shard's mu, like states.
+type aggState struct {
+	// children maps child route key → state, maintained at state
+	// creation/deletion; only installed or absorbed members count toward
+	// formation and dissolution decisions.
+	children map[netip.Prefix]*destState
+	// window is the covering route's window while installed is true.
+	window    int
+	installed bool
+	// dirty marks the parent queued in sh.dirtyAggs.
+	dirty bool
+	// force requests dissolution regardless of membership (guard veto of
+	// an absorbed child).
+	force bool
+}
+
+// aggEnabled reports whether adaptive prefix aggregation is configured.
+func (a *Agent) aggEnabled() bool { return a.cfg.AggregateBits > 0 }
+
+// aggKey returns the covering aggregate prefix for a route key, and whether
+// the key participates in aggregation (it must be strictly longer than the
+// aggregate granularity; IPv4 keys cannot aggregate into an IPv6-sized
+// covering prefix or vice versa because the family is preserved).
+func (a *Agent) aggKey(p netip.Prefix) (netip.Prefix, bool) {
+	bits := a.cfg.AggregateBits
+	if bits <= 0 || p.Bits() <= bits {
+		return netip.Prefix{}, false
+	}
+	parent, err := p.Addr().Prefix(bits)
+	if err != nil {
+		return netip.Prefix{}, false
+	}
+	return parent, true
+}
+
+// aggRegister records a newly created state in its covering prefix's
+// membership. Called at every state-creation site, under the shard lock.
+func (a *Agent) aggRegister(sh *shard, key netip.Prefix, st *destState) {
+	parent, ok := a.aggKey(key)
+	if !ok {
+		return
+	}
+	agg := sh.aggs[parent]
+	if agg == nil {
+		agg = &aggState{children: make(map[netip.Prefix]*destState)}
+		sh.aggs[parent] = agg
+	}
+	agg.children[key] = st
+	a.aggMarkDirty(sh, parent, agg)
+}
+
+// aggUnregister removes a deleted state from aggregation bookkeeping: a
+// child leaves its parent's membership; a covering prefix's own state going
+// away marks the aggregate uninstalled. Called from dropState.
+func (a *Agent) aggUnregister(sh *shard, key netip.Prefix) {
+	if !a.aggEnabled() {
+		return
+	}
+	if key.Bits() <= a.cfg.AggregateBits {
+		// The covering route's own state was dropped (expired or cleared
+		// elsewhere); surviving members re-plan on the next aggregate pass.
+		if agg := sh.aggs[key]; agg != nil && agg.installed {
+			agg.installed = false
+			a.aggMarkDirty(sh, key, agg)
+		}
+		return
+	}
+	parent, ok := a.aggKey(key)
+	if !ok {
+		return
+	}
+	agg := sh.aggs[parent]
+	if agg == nil {
+		return
+	}
+	delete(agg.children, key)
+	if len(agg.children) == 0 && !agg.installed && !agg.dirty {
+		delete(sh.aggs, parent)
+		return
+	}
+	a.aggMarkDirty(sh, parent, agg)
+}
+
+// aggMarkDirty queues the parent for the next aggregate pass, once.
+func (a *Agent) aggMarkDirty(sh *shard, parent netip.Prefix, agg *aggState) {
+	if !agg.dirty {
+		agg.dirty = true
+		sh.dirtyAggs = append(sh.dirtyAggs, parent)
+	}
+}
+
+// aggregatePass re-evaluates every covering prefix whose membership or
+// windows changed since the last pass, under the shard lock (it runs inside
+// planShard after pass 3, so child windows are this round's). It emits the
+// shard's aggregate route ops (sh.plan), child withdrawals (sh.absorbs),
+// and covering-route withdrawals (sh.dissolves); commits happen in the
+// program stage, which re-marks parents dirty on failure so decisions
+// retry. Membership iteration order is irrelevant: the emitted ops are
+// sorted globally before programming.
+func (a *Agent) aggregatePass(sh *shard, now time.Duration) {
+	if !a.aggEnabled() || len(sh.dirtyAggs) == 0 {
+		return
+	}
+	minChildren := a.cfg.AggregateMinChildren
+	tol := a.cfg.AggregateTolerance
+	for _, parent := range sh.dirtyAggs {
+		agg := sh.aggs[parent]
+		if agg == nil {
+			continue
+		}
+		agg.dirty = false
+		if len(agg.children) == 0 && !agg.installed {
+			delete(sh.aggs, parent)
+			continue
+		}
+
+		installedN, absorbedN := 0, 0
+		minW, maxW := 0, 0
+		for _, cst := range agg.children {
+			switch {
+			case cst.installed:
+				installedN++
+			case cst.absorbed:
+				absorbedN++
+			default:
+				continue
+			}
+			if installedN+absorbedN == 1 {
+				minW, maxW = cst.window, cst.window
+				continue
+			}
+			if cst.window < minW {
+				minW = cst.window
+			}
+			if cst.window > maxW {
+				maxW = cst.window
+			}
+		}
+		members := installedN + absorbedN
+
+		if agg.installed {
+			force := agg.force
+			agg.force = false
+			switch {
+			case force || members < minChildren:
+				// Dissolve: reinstall the absorbed children at the windows
+				// they have kept learning (sets run before clears, so
+				// coverage never gaps), then withdraw the covering route.
+				for ckey, cst := range agg.children {
+					if cst.absorbed {
+						sh.plan = append(sh.plan, programOp{dst: ckey, window: cst.window, obs: cst.lastObs, shard: sh.idx})
+					}
+				}
+				sh.dissolves = append(sh.dissolves, parent)
+			case absorbedN == 0:
+				// Every member split back out (or a previous dissolve's
+				// covering-route clear failed and its reinstalls stuck):
+				// the covering route serves nobody — withdraw it.
+				sh.dissolves = append(sh.dissolves, parent)
+			default:
+				// Re-absorb installed children that sit within tolerance
+				// of the covering window (new arrivals inside the prefix,
+				// or split children that converged back).
+				for ckey, cst := range agg.children {
+					if cst.installed && absInt(cst.window-agg.window) <= tol {
+						sh.absorbs = append(sh.absorbs, ckey)
+					}
+				}
+			}
+			continue
+		}
+
+		if installedN >= minChildren && maxW-minW <= tol {
+			// Form: one covering route at the most conservative member
+			// window; the children are withdrawn only after it installs.
+			agg.window = minW
+			sh.plan = append(sh.plan, programOp{dst: parent, window: minW, aggregate: true, shard: sh.idx})
+			for ckey, cst := range agg.children {
+				if cst.installed {
+					sh.absorbs = append(sh.absorbs, ckey)
+				}
+			}
+		}
+	}
+	sh.dirtyAggs = sh.dirtyAggs[:0]
+}
+
+// absInt is |v| for window distances.
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for adaptive prefix aggregation: formation once enough children of
+// a covering prefix converge, split-out when a child's window diverges,
+// dissolution when the membership collapses, and the guard's power to force
+// an aggregate apart.
+
+// aggObs is one converged child observation under 10.0.0.0/24.
+func aggObs(host byte, cwnd int) Observation {
+	return Observation{
+		Dst:  netip.AddrFrom4([4]byte{10, 0, 0, host}),
+		Cwnd: cwnd,
+		RTT:  50 * time.Millisecond,
+	}
+}
+
+// newAggAgent builds a single-shard aggregation agent over a playback
+// schedule: /32 routes, /24 covering prefixes, 4-child formation threshold,
+// tolerance 2.
+func newAggAgent(t *testing.T, rounds [][]Observation, gov Governor) (*Agent, *recordingRoutes, *atomic.Int64) {
+	t.Helper()
+	routes := &recordingRoutes{}
+	var now atomic.Int64
+	a, err := New(Config{
+		Sampler:              &playbackSampler{rounds: rounds},
+		Routes:               routes,
+		Clock:                func() time.Duration { return time.Duration(now.Load()) },
+		AggregateBits:        24,
+		AggregateMinChildren: 4,
+		AggregateTolerance:   2,
+		Guard:                gov,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	return a, routes, &now
+}
+
+func tickN(t *testing.T, a *Agent, now *atomic.Int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		now.Add(int64(30 * time.Second))
+		if err := a.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func countOps(ops []string, substr string) int {
+	n := 0
+	for _, op := range ops {
+		if strings.Contains(op, substr) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestAggregateFormation(t *testing.T) {
+	round := []Observation{aggObs(1, 32), aggObs(2, 32), aggObs(3, 32), aggObs(4, 32)}
+	a, routes, now := newAggAgent(t, [][]Observation{round}, nil)
+
+	// Tick 1 installs the four specific routes; the aggregate pass sees no
+	// installed children yet (installation commits after planning).
+	tickN(t, a, now, 1)
+	if got := countOps(routes.recorded(), "set 10.0.0."); got != 4 {
+		t.Fatalf("tick 1: %d child sets, want 4: %q", got, routes.recorded())
+	}
+
+	// Tick 2: four installed children at the same window → one covering
+	// route at the most conservative window, children withdrawn after it.
+	tickN(t, a, now, 1)
+	ops := routes.recorded()[4:]
+	want := []string{
+		"set 10.0.0.0/24 32",
+		"clear 10.0.0.1/32", "clear 10.0.0.2/32", "clear 10.0.0.3/32", "clear 10.0.0.4/32",
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("tick 2 ops = %q, want %q", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("tick 2 op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+
+	st := a.Stats()
+	if st.AggregatesFormed != 1 || st.ChildrenAbsorbed != 4 {
+		t.Errorf("formed=%d absorbed=%d, want 1/4", st.AggregatesFormed, st.ChildrenAbsorbed)
+	}
+	// The learned table is the single covering route; children resolve
+	// through it.
+	entries := a.Entries()
+	if len(entries) != 1 || entries[0].Prefix != netip.MustParsePrefix("10.0.0.0/24") {
+		t.Fatalf("entries = %+v, want only 10.0.0.0/24", entries)
+	}
+	if w, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 0, 0, 3})); !ok || w != 32 {
+		t.Errorf("absorbed child Lookup = %d,%v want 32,true", w, ok)
+	}
+
+	// Steady state: nothing further to program.
+	before := len(routes.recorded())
+	tickN(t, a, now, 2)
+	if after := len(routes.recorded()); after != before {
+		t.Errorf("steady aggregate emitted %d extra ops: %q", after-before, routes.recorded()[before:])
+	}
+}
+
+func TestAggregateSplitOnDivergence(t *testing.T) {
+	converged := []Observation{aggObs(1, 32), aggObs(2, 32), aggObs(3, 32), aggObs(4, 32)}
+	diverged := []Observation{aggObs(1, 96), aggObs(2, 32), aggObs(3, 32), aggObs(4, 32)}
+	a, routes, now := newAggAgent(t, [][]Observation{converged, converged, diverged}, nil)
+
+	tickN(t, a, now, 2) // install + form
+	base := len(routes.recorded())
+
+	// Child .1's window moves to EWMA(32, 96) = 0.75·32 + 0.25·96 = 48,
+	// far outside tolerance 2 of the covering window 32: its specific
+	// route comes back and shadows the aggregate via LPM.
+	tickN(t, a, now, 1)
+	ops := routes.recorded()[base:]
+	if len(ops) != 1 || ops[0] != "set 10.0.0.1/32 48" {
+		t.Fatalf("split ops = %q, want [set 10.0.0.1/32 48]", ops)
+	}
+	st := a.Stats()
+	if st.AggregateSplits != 1 {
+		t.Errorf("AggregateSplits = %d, want 1", st.AggregateSplits)
+	}
+	if st.AggregatesDissolved != 0 {
+		t.Errorf("AggregatesDissolved = %d, want 0 (three children remain absorbed)", st.AggregatesDissolved)
+	}
+	// Both the covering route and the split child are live.
+	if w, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 0, 0, 1})); !ok || w != 48 {
+		t.Errorf("split child Lookup = %d,%v want 48,true", w, ok)
+	}
+	if w, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 0, 0, 2})); !ok || w != 32 {
+		t.Errorf("absorbed sibling Lookup = %d,%v want 32,true", w, ok)
+	}
+}
+
+func TestAggregateDissolveWhenAllChildrenSplit(t *testing.T) {
+	converged := []Observation{aggObs(1, 32), aggObs(2, 32), aggObs(3, 32), aggObs(4, 32)}
+	scattered := []Observation{aggObs(1, 60), aggObs(2, 72), aggObs(3, 84), aggObs(4, 96)}
+	rounds := [][]Observation{converged, converged, scattered, scattered, scattered}
+	a, routes, now := newAggAgent(t, rounds, nil)
+
+	tickN(t, a, now, 5)
+	st := a.Stats()
+	if st.AggregateSplits != 4 {
+		t.Errorf("AggregateSplits = %d, want 4", st.AggregateSplits)
+	}
+	if st.AggregatesDissolved != 1 {
+		t.Errorf("AggregatesDissolved = %d, want 1", st.AggregatesDissolved)
+	}
+	if st.AggregatesFormed != 1 {
+		t.Errorf("AggregatesFormed = %d, want 1 (scattered windows must not re-form)", st.AggregatesFormed)
+	}
+	if got := countOps(routes.recorded(), "clear 10.0.0.0/24"); got != 1 {
+		t.Errorf("covering-route clears = %d, want 1: %q", got, routes.recorded())
+	}
+	// The table is back to the four specific routes.
+	for _, e := range a.Entries() {
+		if e.Prefix.Bits() != 32 {
+			t.Errorf("post-dissolve entry %v is not a /32", e.Prefix)
+		}
+	}
+	if got := len(a.Entries()); got != 4 {
+		t.Errorf("entries = %d, want 4", got)
+	}
+}
+
+func TestGuardVetoOfAbsorbedChildForcesDissolve(t *testing.T) {
+	round := []Observation{aggObs(1, 32), aggObs(2, 32), aggObs(3, 32), aggObs(4, 32)}
+	vetoed := netip.MustParsePrefix("10.0.0.1/32")
+	var vetoOn atomic.Bool
+	gov := &stubGovernor{veto: func(p netip.Prefix) bool { return vetoOn.Load() && p == vetoed }}
+	a, routes, now := newAggAgent(t, [][]Observation{round}, gov)
+
+	tickN(t, a, now, 2) // install + form
+	if st := a.Stats(); st.AggregatesFormed != 1 {
+		t.Fatalf("AggregatesFormed = %d, want 1", st.AggregatesFormed)
+	}
+	base := len(routes.recorded())
+
+	// The governor now holds back .1 — but its traffic is served by the
+	// covering route, and a veto cannot carve a hole in a broader route:
+	// the aggregate is forced apart, the surviving children get their
+	// specific routes back, and .1 ends with no route at all.
+	vetoOn.Store(true)
+	tickN(t, a, now, 1)
+	ops := routes.recorded()[base:]
+	want := []string{
+		"set 10.0.0.2/32 32", "set 10.0.0.3/32 32", "set 10.0.0.4/32 32",
+		"clear 10.0.0.0/24",
+	}
+	if len(ops) != len(want) {
+		t.Fatalf("force-dissolve ops = %q, want %q", ops, want)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Errorf("op %d = %q, want %q", i, ops[i], want[i])
+		}
+	}
+	st := a.Stats()
+	if st.GuardVetoed == 0 {
+		t.Error("GuardVetoed not counted")
+	}
+	if st.AggregatesDissolved != 1 {
+		t.Errorf("AggregatesDissolved = %d, want 1", st.AggregatesDissolved)
+	}
+	if _, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 0, 0, 1})); ok {
+		t.Error("vetoed child still resolves after force-dissolve")
+	}
+	if w, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 0, 0, 2})); !ok || w != 32 {
+		t.Errorf("surviving child Lookup = %d,%v want 32,true", w, ok)
+	}
+}
+
+// TestAggregationKeepsRouteTableCompact is the convergence check behind the
+// 1M-destination goal: when whole /24s of hosts learn the same window, the
+// programmed table collapses to the covering prefixes.
+func TestAggregationKeepsRouteTableCompact(t *testing.T) {
+	const hostsPerPrefix, prefixes = 250, 4
+	obs := make([]Observation, 0, hostsPerPrefix*prefixes)
+	for p := 0; p < prefixes; p++ {
+		for h := 1; h <= hostsPerPrefix; h++ {
+			obs = append(obs, Observation{
+				Dst:  netip.AddrFrom4([4]byte{10, 1, byte(p), byte(h)}),
+				Cwnd: 40,
+				RTT:  50 * time.Millisecond,
+			})
+		}
+	}
+	routes := &recordingRoutes{}
+	var now atomic.Int64
+	a, err := New(Config{
+		Sampler:       &playbackSampler{rounds: [][]Observation{obs}},
+		Routes:        routes,
+		Clock:         func() time.Duration { return time.Duration(now.Load()) },
+		AggregateBits: 24,
+		Shards:        4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = a.Close() }()
+	tickN(t, a, &now, 3)
+
+	dests := hostsPerPrefix * prefixes
+	entries := a.Entries()
+	if len(entries) != prefixes {
+		t.Fatalf("installed routes = %d for %d destinations, want %d covering prefixes",
+			len(entries), dests, prefixes)
+	}
+	for _, e := range entries {
+		if e.Prefix.Bits() != 24 || e.Window != 40 {
+			t.Errorf("entry %v window %d, want /24 at 40", e.Prefix, e.Window)
+		}
+	}
+	st := a.Stats()
+	if st.AggregatesFormed != prefixes || st.ChildrenAbsorbed != uint64(dests) {
+		t.Errorf("formed=%d absorbed=%d, want %d/%d", st.AggregatesFormed, st.ChildrenAbsorbed, prefixes, dests)
+	}
+	// Every host still resolves through its covering route.
+	if w, ok := a.Lookup(netip.AddrFrom4([4]byte{10, 1, 2, 17})); !ok || w != 40 {
+		t.Errorf("Lookup = %d,%v want 40,true", w, ok)
+	}
+}
+
+// TestAggregateConfigValidation pins the aggregation knob constraints.
+func TestAggregateConfigValidation(t *testing.T) {
+	base := func() Config {
+		return Config{
+			Sampler: &playbackSampler{rounds: [][]Observation{{}}},
+			Routes:  &recordingRoutes{},
+			Clock:   func() time.Duration { return 0 },
+		}
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bits out of range", func(c *Config) { c.AggregateBits = 129 }},
+		{"bits not coarser than PrefixBits", func(c *Config) { c.AggregateBits = 32 }},
+		{"min children below 2", func(c *Config) { c.AggregateBits = 24; c.AggregateMinChildren = 1 }},
+		{"negative tolerance", func(c *Config) { c.AggregateBits = 24; c.AggregateTolerance = -1 }},
+	}
+	for _, tc := range cases {
+		cfg := base()
+		tc.mut(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Defaults fill in when only the granularity is set.
+	cfg := base()
+	cfg.AggregateBits = 24
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatalf("minimal aggregation config rejected: %v", err)
+	}
+	_ = a.Close()
+	if fmt.Sprint(DefaultAggregateMinChildren, DefaultAggregateTolerance) != "4 2" {
+		t.Errorf("defaults moved: %d %d", DefaultAggregateMinChildren, DefaultAggregateTolerance)
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"net/netip"
 	"runtime"
 	"sync"
@@ -27,16 +28,24 @@ const maxShards = 256
 // scanning a small sample set inline.
 const parallelThreshold = 256
 
-// defaultShards is the Config.Shards default: one shard per core, capped —
-// plan-stage work per shard is tiny, so striping wider than 16 buys nothing
-// while growing the bucket matrix quadratically.
+// MaxDefaultShards caps the Config.Shards default: plan-stage work per shard
+// is tiny, so striping wider than this buys nothing while growing the bucket
+// matrix quadratically. Benchmarks that derive a shard count from GOMAXPROCS
+// clamp to it so their labels match the agent's effective configuration.
+const MaxDefaultShards = 16
+
+// maxDuration is the nextExpiry sentinel for "no live entry has a deadline".
+const maxDuration = time.Duration(math.MaxInt64)
+
+// defaultShards is the Config.Shards default: one shard per core, capped at
+// MaxDefaultShards.
 func defaultShards() int {
 	n := runtime.GOMAXPROCS(0)
 	if n < 1 {
 		n = 1
 	}
-	if n > 16 {
-		n = 16
+	if n > MaxDefaultShards {
+		n = MaxDefaultShards
 	}
 	return n
 }
@@ -53,6 +62,10 @@ type destState struct {
 	// installed marks that a route is programmed and the embedded entry
 	// fields are live; Lookup/Entries/snapshots ignore the state otherwise.
 	installed bool
+	// absorbed marks a child whose specific route was withdrawn in favour
+	// of an installed covering aggregate; the entry fields keep learning so
+	// a diverging window can split its specific route back out.
+	absorbed bool
 
 	// Inline smoothing state for the default per-shard EWMA path.
 	ewma    float64
@@ -62,6 +75,33 @@ type destState struct {
 	// last touched in, and its group's span in the shard arena.
 	seq  uint64
 	span groupSpan
+
+	// Delta-tick bookkeeping (tickMu only): the group size of the last
+	// planned round and the Combine value it produced. A group whose every
+	// observation is position-stable since last round and whose size
+	// matches prevN is provably identical to last round's, so its Combine
+	// call (and arena copy) is skipped and lastValue reused.
+	prevN     int32
+	lastValue float64
+	hasLast   bool
+
+	// Quiescent fast-path bookkeeping (tickMu only; see planShardQuiescent).
+	// memberOff locates the group's member sample-indices in sh.memberIdx
+	// (valid while sh.planValid); dirtySeq dedups the group in a stable
+	// round's dirty list; inActive tracks membership in sh.active; cleanSeen
+	// is the sh.cleanRounds value up to which lazy TTL/sample credit has
+	// been folded into the entry fields; ewmaSeen is the same watermark for
+	// the smoothing state (advanced only by eager processing, replayed by
+	// forwardEWMALocked); wakeAt is the sh.cleanRounds value at which the
+	// state's next window flip is due (freezeHorizon's verdict) — until
+	// then the clean loop skips it entirely, and 0 means the horizon is
+	// unknown and must be recomputed on the next visit.
+	memberOff int32
+	dirtySeq  uint64
+	cleanSeen uint64
+	ewmaSeen  uint64
+	wakeAt    uint64
+	inActive  bool
 }
 
 // shard is one lock stripe of the agent's per-destination state, plus the
@@ -70,6 +110,9 @@ type destState struct {
 // mutators; the scratch slices are touched only by the shard's worker under
 // tickMu.
 type shard struct {
+	// idx is the shard's position in Agent.shards, stamped into plan ops so
+	// the commit stage skips re-hashing the destination.
+	idx    int32
 	mu     sync.Mutex
 	states map[netip.Prefix]*destState
 	// installed counts states with a live route, maintained at every
@@ -79,13 +122,110 @@ type shard struct {
 	// policy; the default EWMA smoothing is inlined in destState.
 	history HistoryPolicy
 
+	// gen invalidates cached *destState pointers in the agent's sample
+	// cache: bumped on every state deletion (and Close). Read during
+	// ingest without the shard lock — safe because every writer holds
+	// tickMu, which ingest also runs under.
+	gen uint64
+	// nextExpiry is a lazy lower bound on the earliest TTL deadline among
+	// installed/absorbed states; expiry scans are skipped while now is
+	// before it, making a no-op expiry round O(shards) instead of
+	// O(entries). maxDuration when no live state has a deadline.
+	nextExpiry time.Duration
+	// planValid marks that touched/span/arena scratch from the last
+	// grouping rebuild is still exact: no state has been deleted since.
+	// Combined with an identical sample stream it lets planShard skip the
+	// grouping passes outright (see planShard).
+	planValid bool
+
+	// Aggregation state (Config.AggregateBits): covering prefix →
+	// membership; dirtyAggs queues parents whose membership or windows
+	// changed for the next aggregate pass. Guarded by mu like states.
+	aggs      map[netip.Prefix]*aggState
+	dirtyAggs []netip.Prefix
+
+	// slab backs destState allocation in insertion-order blocks, so the
+	// plan stage's pointer chasing walks mostly-sequential memory. Blocks
+	// are never reallocated, keeping state pointers stable; slots of
+	// deleted states are reclaimed only when their whole block is.
+	slab    []destState
+	slabOff int
+
 	// Plan-stage scratch, reused across ticks (tickMu only).
 	touched     []plannedDest
 	arena       []Observation
 	plan        []programOp
 	guardClears []netip.Prefix
 	expired     []netip.Prefix
+	absorbs     []netip.Prefix
+	dissolves   []netip.Prefix
 	delta       tickDelta
+
+	// Quiescent fast-path state (a.quiescentOK configs only). memberIdx
+	// concatenates every touched group's member sample-indices in sample
+	// order, laid out by the last full rebuild (valid while planValid);
+	// active lists the touched states that still need per-round plan work —
+	// smoothing not yet at its fixed point, or install pending — and drains
+	// as states converge. cleanRounds counts stable rounds applied
+	// shard-wide since the agent started; refreshedAt is the time of the
+	// latest one; fullSeq is the tick sequence of the last full rebuild (a
+	// state with seq == fullSeq is covered by shard-level lazy credit).
+	// dirtyList and gather are per-round scratch. All tickMu-only except
+	// where materializeLocked runs under mu from readers.
+	memberIdx   []int32
+	active      []plannedDest
+	dirtyList   []plannedDest
+	gather      []Observation
+	cleanRounds uint64
+	refreshedAt time.Duration
+	fullSeq     uint64
+	// creditPending marks that quiescent rounds ran since the last full
+	// rebuild, so the next full round bulk-materializes the covered set.
+	creditPending bool
+}
+
+// newDestState carves a destState from the shard's slab.
+func (sh *shard) newDestState() *destState {
+	if sh.slabOff == len(sh.slab) {
+		n := 2 * len(sh.slab)
+		if n == 0 {
+			n = 64
+		}
+		if n > 4096 {
+			n = 4096
+		}
+		sh.slab = make([]destState, n)
+		sh.slabOff = 0
+	}
+	st := &sh.slab[sh.slabOff]
+	sh.slabOff++
+	// A brand-new state has earned no lazy clean-round credit, and its
+	// window trajectory is unknown.
+	st.cleanSeen = sh.cleanRounds
+	st.ewmaSeen = sh.cleanRounds
+	st.wakeAt = 0
+	return st
+}
+
+// noteExpiry lowers the shard's next-expiry bound to cover a refreshed or
+// newly installed deadline. Called at every expires-write site.
+func (sh *shard) noteExpiry(e time.Duration) {
+	if e < sh.nextExpiry {
+		sh.nextExpiry = e
+	}
+}
+
+// cachedSample is the delta-tick sample cache entry for one observation
+// index: the route key and shard resolved last round, the resolved state
+// pointer, and the shard generation that validates it. invalid marks an
+// observation the validation pass rejected, so its twin next round is
+// rejected without re-keying.
+type cachedSample struct {
+	key     netip.Prefix
+	st      *destState
+	gen     uint64
+	shard   int32
+	invalid bool
 }
 
 // plannedDest is one destination observed this tick, in first-encounter
@@ -96,9 +236,21 @@ type plannedDest struct {
 }
 
 // groupSpan locates one destination's observations inside the shard's arena.
+// off == cleanSpan marks a group proven identical to last round's: it is
+// never laid out in the arena and its Combine value is reused.
 type groupSpan struct {
 	off, n, fill int32
+	// mfill counts member indices recorded into sh.memberIdx during the
+	// rebuild's fill pass (quiescent-eligible configs only).
+	mfill int32
+	// dirty is set when any member observation was not position-stable
+	// since last round; only a fully stable group of unchanged size may
+	// skip the arena.
+	dirty bool
 }
+
+// cleanSpan is the groupSpan.off sentinel for skipped (clean) groups.
+const cleanSpan = int32(-1)
 
 // keyedObs is one valid observation routed to a shard: the destination's
 // route key plus the observation's index in the tick's sample slice. The
@@ -118,6 +270,9 @@ type tickDelta struct {
 	guardCapped      uint64
 	guardVetoed      uint64
 	guardQuarantined uint64
+	// expiredDropped counts absorbed (route-less) states dropped by the
+	// expiry sweep; they fold into EntriesExpired without a clear op.
+	expiredDropped uint64
 }
 
 func (d *tickDelta) add(o tickDelta) {
@@ -126,13 +281,20 @@ func (d *tickDelta) add(o tickDelta) {
 	d.guardCapped += o.guardCapped
 	d.guardVetoed += o.guardVetoed
 	d.guardQuarantined += o.guardQuarantined
+	d.expiredDropped += o.expiredDropped
 }
 
 // shardIndex maps a route key to its stripe: FNV-1a over the canonical
-// 16-byte address plus the mask length.
+// 16-byte address plus the mask length. With aggregation enabled the hash
+// runs over the covering aggregate key instead, so a parent and all its
+// children land on one shard and the aggregate pass never crosses stripes
+// (at the cost of coarser load spreading).
 func (a *Agent) shardIndex(p netip.Prefix) int {
 	if len(a.shards) == 1 {
 		return 0
+	}
+	if parent, ok := a.aggKey(p); ok {
+		p = parent
 	}
 	const (
 		offset64 = 14695981039346656037
@@ -186,10 +348,28 @@ func (sh *shard) dropInstalled(a *Agent, dst netip.Prefix) bool {
 	if !ok || !st.installed {
 		return false
 	}
-	delete(sh.states, dst)
 	sh.installed--
-	a.forgetHistory(sh, dst)
+	a.dropState(sh, dst)
 	return true
+}
+
+// dropState deletes a destination's state under the shard lock, bumping the
+// shard generation so cached sample pointers and retained grouping scratch
+// are invalidated, and updating aggregate membership. Callers maintain
+// sh.installed themselves. The struct's live flags are cleared so stale
+// pointers in retained scratch (touched, active) read it as dead until the
+// next full rebuild discards them.
+func (a *Agent) dropState(sh *shard, dst netip.Prefix) {
+	if st, ok := sh.states[dst]; ok {
+		st.installed = false
+		st.absorbed = false
+		st.inActive = false
+	}
+	delete(sh.states, dst)
+	sh.gen++
+	sh.planValid = false
+	a.forgetHistory(sh, dst)
+	a.aggUnregister(sh, dst)
 }
 
 // lockedHistory serializes a caller-supplied HistoryPolicy that is shared
@@ -238,6 +418,12 @@ func runParallel(n int, fn func(i int)) {
 // buckets in worker order during the plan stage reconstructs the original
 // sample order exactly — the shard count can never change what a Combiner
 // sees.
+//
+// In delta mode an observation byte-identical at the same index as last
+// round reuses its cached key/shard/state (the cached state pointer survives
+// only while the shard generation is unchanged); everything else takes the
+// full validation path and re-primes the cache. The governor sees every
+// valid observation either way.
 func (a *Agent) ingestChunk(w int, obs []Observation) {
 	nShards := len(a.shards)
 	chunk := (len(obs) + a.ingestWorkers - 1) / a.ingestWorkers
@@ -246,95 +432,217 @@ func (a *Agent) ingestChunk(w int, obs []Observation) {
 	if hi > len(obs) {
 		hi = len(obs)
 	}
+	prev, prevCache, cache := a.obsPrev, a.cachePrev, a.cacheCur
+	stable := a.delta && a.havePrev
 	for i := lo; i < hi; i++ {
 		o := &obs[i]
+		if stable && i < len(prev) && *o == prev[i] {
+			c := prevCache[i]
+			switch {
+			case c.invalid:
+				cache[i] = c
+				continue
+			case c.st != nil && c.gen == a.shards[c.shard].gen:
+				cache[i] = c
+				if a.cfg.Guard != nil {
+					a.cfg.Guard.ObserveSample(c.key, *o)
+				}
+				b := &a.buckets[w*nShards+int(c.shard)]
+				*b = append(*b, keyedObs{key: c.key, st: c.st, idx: int32(i)})
+				continue
+			}
+		}
 		if o.Cwnd <= 0 || !o.Dst.IsValid() {
+			if a.delta {
+				cache[i] = cachedSample{invalid: true}
+			}
 			continue
 		}
 		key, err := a.destKey(o.Dst)
 		if err != nil {
+			if a.delta {
+				cache[i] = cachedSample{invalid: true}
+			}
 			continue
 		}
 		if a.cfg.Guard != nil {
 			a.cfg.Guard.ObserveSample(key, *o)
 		}
 		s := a.shardIndex(key)
+		if a.delta {
+			// The state pointer and generation are filled in by the plan
+			// stage once the shard resolves (or creates) the state.
+			cache[i] = cachedSample{key: key, shard: int32(s)}
+		}
 		a.buckets[w*nShards+s] = append(a.buckets[w*nShards+s], keyedObs{key: key, idx: int32(i)})
 	}
 }
 
 // planShard runs the plan stage for one shard, under the shard lock: resolve
-// each routed observation to its destState (one map operation per
-// observation — the hot path's entire map traffic), lay the groups out
+// each routed observation to its destState (one map operation per dirty
+// observation — cached pointers cover the rest), lay the dirty groups out
 // contiguously in the arena preserving sample order, then combine, smooth,
-// clamp, let the governor review, refresh live entries, and emit the shard's
-// route plan, guard clears, and expiry candidates into its scratch slices.
+// clamp, let the governor review, refresh live entries, run the aggregate
+// pass, and emit the shard's route plan, clears, and expiry candidates into
+// its scratch slices.
+//
+// Delta mode prunes the work three ways, always producing byte-identical
+// output to a full rescan (enforced by TestDeltaTickMatchesFullRescan):
+//
+//   - an observation position-stable since last round arrives with its
+//     cached state pointer, skipping the map lookup (ingestChunk);
+//   - a group whose every member is stable and whose size is unchanged is
+//     provably identical to last round's, so the arena copy and Combine are
+//     skipped and the recorded Combine value reused — smoothing, clamping,
+//     review, and TTL refresh still run every round;
+//   - a sample stream that is literally the same slice as last round's,
+//     with no state deleted since the last rebuild (sh.planValid), skips
+//     passes 1 and 2 outright: the retained touched/span/arena scratch is
+//     still exact.
 func (a *Agent) planShard(si int, obs []Observation, now time.Duration) {
 	sh := a.shards[si]
 	nShards := len(a.shards)
 	sh.plan = sh.plan[:0]
 	sh.guardClears = sh.guardClears[:0]
 	sh.expired = sh.expired[:0]
-	sh.touched = sh.touched[:0]
+	sh.absorbs = sh.absorbs[:0]
+	sh.dissolves = sh.dissolves[:0]
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 
-	// Pass 1: resolve states and count groups. Replaying the worker-major
-	// buckets in worker order visits observations in original sample order,
-	// so first-encounter order (sh.touched) is deterministic for every
-	// shard and worker count.
-	seq := a.tickSeq
-	total := 0
-	for w := 0; w < a.ingestWorkers; w++ {
-		bucket := a.buckets[w*nShards+si]
-		total += len(bucket)
-		for j := range bucket {
-			ko := &bucket[j]
-			st := sh.states[ko.key]
-			if st == nil {
-				st = &destState{}
-				sh.states[ko.key] = st
+	// A full round ending a quiescent run must fold the outstanding
+	// clean-round credit — entry fields and skipped smoothing advances —
+	// into the covered entries (last rebuild's touched set) before pass 3
+	// starts mutating them eagerly, and before pass 1 restamps their
+	// sequence numbers.
+	if sh.creditPending {
+		for _, td := range sh.touched {
+			a.materializeLocked(sh, td.st)
+			a.forwardEWMALocked(sh, td.st)
+		}
+		sh.creditPending = false
+	}
+
+	if !(a.identTick && sh.planValid) {
+		sh.planValid = false
+		sh.touched = sh.touched[:0]
+
+		// Pass 1: resolve states and count groups. Replaying the
+		// worker-major buckets in worker order visits observations in
+		// original sample order, so first-encounter order (sh.touched) is
+		// deterministic for every shard and worker count. Observations
+		// that arrived without a cached state resolve through the map and
+		// mark their group dirty; newly resolved pointers are written back
+		// to the sample cache for the next round.
+		seq := a.tickSeq
+		cache := a.cacheCur
+		gen := sh.gen
+		for w := 0; w < a.ingestWorkers; w++ {
+			bucket := a.buckets[w*nShards+si]
+			for j := range bucket {
+				ko := &bucket[j]
+				st := ko.st
+				fresh := st == nil
+				if fresh {
+					st = sh.states[ko.key]
+					if st == nil {
+						st = sh.newDestState()
+						sh.states[ko.key] = st
+						a.aggRegister(sh, ko.key, st)
+					}
+					if a.delta {
+						cache[ko.idx].st = st
+						cache[ko.idx].gen = gen
+					}
+					ko.st = st
+				}
+				if st.seq != seq {
+					st.seq = seq
+					st.span = groupSpan{}
+					sh.touched = append(sh.touched, plannedDest{key: ko.key, st: st})
+				}
+				st.span.n++
+				if fresh {
+					st.span.dirty = true
+				}
 			}
-			if st.seq != seq {
-				st.seq = seq
-				st.span = groupSpan{}
-				sh.touched = append(sh.touched, plannedDest{key: ko.key, st: st})
+		}
+
+		// Pass 2: clean groups (fully stable, unchanged size, with a
+		// recorded Combine value) skip the arena; dirty groups get offsets
+		// and are filled in sample order. Quiescent-eligible configs also
+		// record every group's member sample-indices (memberIdx), so later
+		// stable rounds can re-Combine a dirtied group without any regroup.
+		off := int32(0)
+		moff := int32(0)
+		for _, td := range sh.touched {
+			sp := &td.st.span
+			if a.quiescentOK {
+				td.st.memberOff = moff
+				moff += sp.n
 			}
-			st.span.n++
-			ko.st = st
+			if !sp.dirty && td.st.hasLast && sp.n == td.st.prevN {
+				sp.off = cleanSpan
+				continue
+			}
+			sp.off = off
+			off += sp.n
+		}
+		if int(off) > len(sh.arena) {
+			sh.arena = make([]Observation, off)
+		}
+		if int(moff) > len(sh.memberIdx) {
+			sh.memberIdx = make([]int32, moff)
+		}
+		if off > 0 || moff > 0 {
+			arena, members := sh.arena, sh.memberIdx
+			for w := 0; w < a.ingestWorkers; w++ {
+				for _, ko := range a.buckets[w*nShards+si] {
+					sp := &ko.st.span
+					if moff > 0 {
+						members[ko.st.memberOff+sp.mfill] = ko.idx
+						sp.mfill++
+					}
+					if sp.off == cleanSpan {
+						continue
+					}
+					arena[sp.off+sp.fill] = obs[ko.idx]
+					sp.fill++
+				}
+			}
+		}
+		if a.delta {
+			sh.planValid = true
+		}
+		if a.quiescentOK {
+			sh.fullSeq = seq
 		}
 	}
 
-	// Pass 2: assign arena offsets and fill groups in sample order.
-	off := int32(0)
-	for _, td := range sh.touched {
-		td.st.span.off = off
-		off += td.st.span.n
-	}
-	if cap(sh.arena) < total {
-		sh.arena = make([]Observation, total)
-	}
-	arena := sh.arena[:total]
-	for w := 0; w < a.ingestWorkers; w++ {
-		for _, ko := range a.buckets[w*nShards+si] {
-			sp := &ko.st.span
-			arena[sp.off+sp.fill] = obs[ko.idx]
-			sp.fill++
-		}
-	}
-
-	// Pass 3: per destination — combine, smooth, clamp, review, refresh.
+	// Pass 3: per destination — combine (or reuse), smooth, clamp, review,
+	// refresh. This runs in full every round: smoothing must advance even
+	// on unchanged observations, and TTLs must refresh.
+	arena := sh.arena
 	for _, td := range sh.touched {
 		st := td.st
-		group := arena[st.span.off : st.span.off+st.span.n]
-		value := a.cfg.Combiner.Combine(group)
-		if !isFinite(value) {
-			// A custom Combiner produced NaN/±Inf: skip the round for
-			// this destination rather than folding garbage into history
-			// (an EWMA never recovers from a NaN).
-			sh.delta.combinerRejects++
-			continue
+		sp := &st.span
+		var value float64
+		if sp.off == cleanSpan {
+			value = st.lastValue
+		} else {
+			value = a.cfg.Combiner.Combine(arena[sp.off : sp.off+sp.n])
+			st.prevN = sp.n
+			if !isFinite(value) {
+				// A custom Combiner produced NaN/±Inf: skip the round for
+				// this destination rather than folding garbage into history
+				// (an EWMA never recovers from a NaN).
+				st.hasLast = false
+				sh.delta.combinerRejects++
+				continue
+			}
+			st.lastValue = value
+			st.hasLast = true
 		}
 		smoothed := a.smooth(sh, st, td.key, value)
 		if a.cfg.Advisor != nil {
@@ -360,6 +668,18 @@ func (a *Agent) planShard(si int, obs []Observation, now time.Duration) {
 				// a failed withdrawal retries next round.
 				if st.installed {
 					sh.guardClears = append(sh.guardClears, td.key)
+				} else if st.absorbed {
+					// A veto cannot carve a hole in the covering route
+					// that serves this child: drop the child's state and
+					// force the aggregate apart so the hold-back takes
+					// effect next round.
+					a.dropState(sh, td.key)
+					if parent, ok := a.aggKey(td.key); ok {
+						if agg := sh.aggs[parent]; agg != nil {
+							agg.force = true
+							a.aggMarkDirty(sh, parent, agg)
+						}
+					}
 				}
 				continue
 			case GuardCap:
@@ -375,8 +695,9 @@ func (a *Agent) planShard(si int, obs []Observation, now time.Duration) {
 			}
 		}
 
-		n := int(st.span.n)
-		if st.installed {
+		n := int(sp.n)
+		switch {
+		case st.installed:
 			// The route is installed; fresh observations extend its
 			// life even if programming the new value fails later.
 			st.expires = now + a.cfg.TTL
@@ -387,18 +708,387 @@ func (a *Agent) planShard(si int, obs []Observation, now time.Duration) {
 			// entry that was seeded from a fleet snapshot.
 			st.merged = false
 			st.mergedAge = 0
+			sh.noteExpiry(st.expires)
 			if st.window != final {
-				sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n})
+				sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n, st: st, shard: sh.idx})
 			}
-		} else {
+		case st.absorbed:
+			// Covered by an aggregate: keep learning in place, refresh the
+			// child's TTL and the covering route's, and split the specific
+			// route back out only when the learned window diverges from
+			// the aggregate (it shadows the broader route via LPM).
+			st.window = final
+			st.expires = now + a.cfg.TTL
+			st.updated = now
+			st.lastObs = n
+			st.samples += uint64(n)
+			st.merged = false
+			st.mergedAge = 0
+			sh.noteExpiry(st.expires)
+			parent, _ := a.aggKey(td.key)
+			agg := sh.aggs[parent]
+			if agg == nil || !agg.installed || absInt(final-agg.window) > a.cfg.AggregateTolerance {
+				sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n, split: true, st: st, shard: sh.idx})
+			} else if pst := sh.states[parent]; pst != nil && pst.installed {
+				pst.expires = now + a.cfg.TTL
+				pst.updated = now
+				sh.noteExpiry(pst.expires)
+			}
+		default:
 			// New destination: the entry is recorded in the program
 			// stage, only once the route is actually installed.
-			sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n})
+			sh.plan = append(sh.plan, programOp{dst: td.key, window: final, obs: n, st: st, shard: sh.idx})
 		}
 	}
+
+	// Rebuild the quiescent active list: after a full round every touched
+	// state starts active and drops off as it converges (planShardQuiescent).
+	if a.quiescentOK {
+		sh.active = append(sh.active[:0], sh.touched...)
+		for _, td := range sh.touched {
+			td.st.inActive = true
+			td.st.cleanSeen = sh.cleanRounds
+			td.st.ewmaSeen = sh.cleanRounds
+			td.st.wakeAt = 0
+		}
+	}
+
+	a.aggregatePass(sh, now)
+
+	if sh.nextExpiry <= now {
+		sh.delta.expiredDropped += a.sweepExpiredLocked(sh, now)
+	}
+}
+
+// sweepExpiredLocked scans the shard for lapsed deadlines under its lock:
+// installed states queue a route withdrawal in sh.expired; absorbed states
+// have no route to withdraw and are dropped directly (the returned count
+// folds into EntriesExpired). The shard's next-expiry bound is recomputed;
+// queued withdrawals pin it at now so a failed clear retries next round.
+func (a *Agent) sweepExpiredLocked(sh *shard, now time.Duration) (dropped uint64) {
+	next := maxDuration
 	for dst, st := range sh.states {
-		if st.installed && st.expires <= now {
+		// Outstanding quiescent rounds leave covered entries' deadlines
+		// stale; fold the credit in before judging them.
+		a.materializeLocked(sh, st)
+		switch {
+		case st.installed && st.expires <= now:
 			sh.expired = append(sh.expired, dst)
+		case st.absorbed && st.expires <= now:
+			a.dropState(sh, dst)
+			dropped++
+		case (st.installed || st.absorbed) && st.expires < next:
+			next = st.expires
 		}
 	}
+	if len(sh.expired) > 0 {
+		next = now
+	}
+	sh.nextExpiry = next
+	return dropped
+}
+
+// The quiescent fast path.
+//
+// A production sampler usually reports the same connection table round after
+// round, with only the congestion metrics moving. When the stream is
+// *positionally stable* — same length, same destination (and validity) at
+// every index — group membership is provably unchanged, so the whole
+// ingest/regroup machinery is redundant: the only real work is re-combining
+// the groups that contain a changed observation, and advancing smoothing
+// for states whose EWMA has not yet reached its fixed point.
+//
+// planShardQuiescent exploits that. It is used only for configurations
+// where a skipped per-destination visit is provably unobservable
+// (a.quiescentOK: no Governor, no Advisor, no shared History policy, no
+// prefix aggregation) and produces byte-identical output to a full rescan:
+//
+//   - dirty groups (any member changed this round) re-Combine from their
+//     member sample-indices recorded at the last full rebuild;
+//   - clean states still converging (or with an install pending) advance
+//     through sh.active, and drop off it once smoothing reaches a bitwise
+//     fixed point with the programmed window — after which every further
+//     round is a no-op for them by definition;
+//   - the per-round TTL refresh and sample credit of converged states is
+//     applied lazily: sh.cleanRounds/refreshedAt record the rounds the
+//     shard sat quiescent, and materializeLocked folds the credit into the
+//     entry fields before anything reads them (Entries, snapshots, expiry
+//     sweeps, or the next full rebuild).
+
+// materializeLocked folds outstanding quiescent-round credit into one
+// entry: the TTL refreshes and per-round sample counts the skipped visits
+// would have applied. Covered states are exactly last full rebuild's
+// touched set (seq == fullSeq); anything else — merged entries, dropped
+// states lingering in stale scratch — takes no credit. Called under the
+// state's shard lock (readers) or tickMu (plan stage).
+func (a *Agent) materializeLocked(sh *shard, st *destState) {
+	if st.cleanSeen == sh.cleanRounds || st.seq != sh.fullSeq || !st.installed {
+		st.cleanSeen = sh.cleanRounds
+		return
+	}
+	st.samples += uint64(st.lastObs) * (sh.cleanRounds - st.cleanSeen)
+	st.expires = sh.refreshedAt + a.cfg.TTL
+	st.updated = sh.refreshedAt
+	st.cleanSeen = sh.cleanRounds
+	sh.noteExpiry(st.expires)
+}
+
+// compareChunk is the stable-round detector: worker w compares its chunk of
+// the sample against last round's, routing changed observations (same
+// destination, still valid) to the per-shard dirty buckets. It reports
+// false — round not stable, fall back to the full ingest path — on any
+// membership change: a destination swap, a validity flip, or an observation
+// whose cached state is missing.
+func (a *Agent) compareChunk(w int, obs []Observation) bool {
+	nShards := len(a.shards)
+	chunk := (len(obs) + a.ingestWorkers - 1) / a.ingestWorkers
+	lo := w * chunk
+	hi := lo + chunk
+	if hi > len(obs) {
+		hi = len(obs)
+	}
+	prev, prevCache := a.obsPrev, a.cachePrev
+	for i := lo; i < hi; i++ {
+		o := &obs[i]
+		if *o == prev[i] {
+			continue
+		}
+		c := &prevCache[i]
+		if c.invalid || c.st == nil || o.Dst != prev[i].Dst || o.Cwnd <= 0 {
+			return false
+		}
+		b := &a.buckets[w*nShards+int(c.shard)]
+		*b = append(*b, keyedObs{key: c.key, st: c.st, idx: int32(i)})
+	}
+	return true
+}
+
+// quiescentBody is pass 3 of the plan stage for one destination on the
+// quiescent path — the same combine-result handling as planShard's loop,
+// minus the branches the a.quiescentOK gate rules out (guard, advisor,
+// aggregation). It reports whether the round was a steady refresh: the
+// route installed and its programmed window unchanged.
+func (a *Agent) quiescentBody(sh *shard, key netip.Prefix, st *destState, value float64, n int, now time.Duration) (steady bool) {
+	smoothed := a.smooth(sh, st, key, value)
+	final := a.clamp(smoothed)
+	if !st.installed {
+		// Install still pending (or the first program failed); replan every
+		// round, exactly like the full path's new-destination branch.
+		sh.plan = append(sh.plan, programOp{dst: key, window: final, obs: n, st: st, shard: sh.idx})
+		return false
+	}
+	st.expires = now + a.cfg.TTL
+	st.updated = now
+	st.lastObs = n
+	st.samples += uint64(n)
+	st.merged = false
+	st.mergedAge = 0
+	sh.noteExpiry(st.expires)
+	if st.window != final {
+		sh.plan = append(sh.plan, programOp{dst: key, window: final, obs: n, st: st, shard: sh.idx})
+		return false
+	}
+	return true
+}
+
+// maxFreezeSim bounds freezeHorizon's trajectory walk. A float64 EWMA under
+// a fixed input is monotone toward that input and therefore reaches a
+// bitwise fixed point in finitely many steps — around 130 for realistic
+// window magnitudes. The bound only matters for absurd combiner outputs.
+const maxFreezeSim = 8192
+
+// freezeHorizon simulates a state's future smoothing trajectory under its
+// current combined value, using bit-for-bit the float expression smooth
+// evaluates each round, and returns the number of rounds until the clamped
+// window next changes: 0 means it never will — the window is frozen and the
+// state may drain from the active list, every later visit being a pure
+// TTL/sample refresh that the shard-level lazy credit replays. A positive
+// horizon parks the state until exactly that round. The walk is short: the
+// trajectory approaches the combined value from one side without crossing
+// it (round-to-nearest cannot push the convex combination past v), and
+// clamp is monotone, so once the current window equals clamp(v) no flip can
+// ever come; otherwise a flip is at most a few steps out. A walk that
+// somehow exhausts maxFreezeSim without a flip or fixed point answers 1 —
+// the state is revisited every round, slower but never wrong.
+func (a *Agent) freezeHorizon(st *destState) int32 {
+	e, v, w := st.ewma, st.lastValue, st.window
+	if w == a.clamp(v) {
+		return 0
+	}
+	for k := int32(1); k <= maxFreezeSim; k++ {
+		e2 := a.cfg.Alpha*e + (1-a.cfg.Alpha)*v
+		if e2 == e {
+			return 0
+		}
+		if a.clamp(e2) != w {
+			return k
+		}
+		e = e2
+	}
+	return 1
+}
+
+// forwardEWMALocked replays the smoothing advances a drained state skipped:
+// each quiescent round the full path would have folded the unchanged
+// combined value into the EWMA with the exact expression smooth uses, so
+// iterating it here is bitwise identical. The walk stops early at the fixed
+// point. Must run before any eager smoothing of a previously drained state
+// (dirty rounds and the full rebuild ending a quiescent run).
+func (a *Agent) forwardEWMALocked(sh *shard, st *destState) {
+	k := sh.cleanRounds - st.ewmaSeen
+	st.ewmaSeen = sh.cleanRounds
+	if k == 0 || st.seq != sh.fullSeq || !st.installed || !st.hasEwma || !st.hasLast {
+		return
+	}
+	v := st.lastValue
+	for ; k > 0; k-- {
+		e := a.cfg.Alpha*st.ewma + (1-a.cfg.Alpha)*v
+		if e == st.ewma {
+			return
+		}
+		st.ewma = e
+	}
+}
+
+// planShardQuiescent replaces planShard on a stable round: group membership
+// is unchanged since the last full rebuild, so only dirty groups and
+// not-yet-converged states are visited. Everything else is covered by the
+// shard-level clean-round credit.
+func (a *Agent) planShardQuiescent(si int, obs []Observation, now time.Duration) {
+	sh := a.shards[si]
+	nShards := len(a.shards)
+	sh.plan = sh.plan[:0]
+	sh.guardClears = sh.guardClears[:0]
+	sh.expired = sh.expired[:0]
+	sh.absorbs = sh.absorbs[:0]
+	sh.dissolves = sh.dissolves[:0]
+
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	seq := a.tickSeq
+
+	// Collect this round's dirty groups from the compare buckets, deduped
+	// by group, and settle their outstanding lazy credit before this
+	// round's counter bump — the current round is handled eagerly below,
+	// so it must not also be credited. Bucket replay order is original
+	// sample order, but no order dependence remains here: the commit stage
+	// sorts the merged plan.
+	sh.dirtyList = sh.dirtyList[:0]
+	for w := 0; w < a.ingestWorkers; w++ {
+		for _, ko := range a.buckets[w*nShards+si] {
+			if ko.st.dirtySeq != seq {
+				ko.st.dirtySeq = seq
+				a.materializeLocked(sh, ko.st)
+				a.forwardEWMALocked(sh, ko.st)
+				sh.dirtyList = append(sh.dirtyList, plannedDest{key: ko.key, st: ko.st})
+			}
+		}
+	}
+
+	sh.cleanRounds++
+	sh.refreshedAt = now
+	sh.creditPending = true
+
+	// Advance the still-active clean states. Groups dirtied this round are
+	// kept on the list but handled below with their fresh Combine value. A
+	// state parked until a future flip round is skipped without a single
+	// write: every skipped round is a pure refresh, replayed by the lazy
+	// credit when it wakes (or is redirtied, swept, or read).
+	kept := sh.active[:0]
+	for _, td := range sh.active {
+		st := td.st
+		if st.dirtySeq == seq {
+			kept = append(kept, td)
+			continue
+		}
+		if st.wakeAt > sh.cleanRounds {
+			kept = append(kept, td)
+			continue
+		}
+		if !st.hasLast {
+			// The last Combine was rejected (NaN/±Inf); the full path
+			// re-combines — and re-rejects — such a group every round.
+			st.cleanSeen = sh.cleanRounds
+			st.ewmaSeen = sh.cleanRounds
+			a.recombineLocked(sh, td, obs, now)
+			kept = append(kept, td)
+			continue
+		}
+		// Settle any parked span first: credit and smoothing replay cover
+		// the rounds through the previous one, the current round is then
+		// handled eagerly by quiescentBody. The transient counter decrement
+		// scopes both helpers to that boundary; states visited last round
+		// have nothing to settle and skip the calls.
+		if st.cleanSeen != sh.cleanRounds-1 || st.ewmaSeen != sh.cleanRounds-1 {
+			sh.cleanRounds--
+			a.materializeLocked(sh, st)
+			a.forwardEWMALocked(sh, st)
+			sh.cleanRounds++
+		}
+		st.cleanSeen = sh.cleanRounds
+		st.ewmaSeen = sh.cleanRounds
+		if a.quiescentBody(sh, td.key, st, st.lastValue, int(st.prevN), now) {
+			k := a.freezeHorizon(st)
+			if k == 0 {
+				// Window frozen: drain from the active list entirely.
+				st.inActive = false
+				st.wakeAt = 0
+				continue
+			}
+			st.wakeAt = sh.cleanRounds + uint64(k)
+		} else {
+			// The window moved (or an install is pending): recompute the
+			// horizon on the next visit.
+			st.wakeAt = 0
+		}
+		kept = append(kept, td)
+	}
+	sh.active = kept
+
+	// Dirty groups: re-Combine from their member sample-indices and run the
+	// full per-destination treatment. A converged state going dirty rejoins
+	// the active list.
+	for _, td := range sh.dirtyList {
+		st := td.st
+		st.cleanSeen = sh.cleanRounds
+		st.ewmaSeen = sh.cleanRounds
+		a.recombineLocked(sh, td, obs, now)
+		if !st.inActive {
+			st.inActive = true
+			sh.active = append(sh.active, td)
+		}
+	}
+
+	if sh.nextExpiry <= now {
+		sh.delta.expiredDropped += a.sweepExpiredLocked(sh, now)
+	}
+}
+
+// recombineLocked gathers a group's member observations (positions recorded
+// at the last full rebuild, still exact on a stable round), re-runs Combine,
+// and applies the per-destination pass. It reports whether the combined
+// value was finite; a rejected value leaves the state exactly as the full
+// path would — no refresh, hasLast cleared, the reject counted.
+func (a *Agent) recombineLocked(sh *shard, td plannedDest, obs []Observation, now time.Duration) bool {
+	st := td.st
+	st.wakeAt = 0 // the combined value may move: horizon void
+	n := int(st.prevN)
+	if cap(sh.gather) < n {
+		sh.gather = make([]Observation, 0, 2*n)
+	}
+	g := sh.gather[:0]
+	for _, idx := range sh.memberIdx[st.memberOff : st.memberOff+st.prevN] {
+		g = append(g, obs[idx])
+	}
+	value := a.cfg.Combiner.Combine(g)
+	if !isFinite(value) {
+		st.hasLast = false
+		sh.delta.combinerRejects++
+		return false
+	}
+	st.lastValue = value
+	st.hasLast = true
+	a.quiescentBody(sh, td.key, st, value, n, now)
+	return true
 }

@@ -113,6 +113,7 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 			if !st.installed {
 				continue
 			}
+			a.materializeLocked(sh, st)
 			age := now - st.updated
 			if age < 0 {
 				age = 0
@@ -235,7 +236,10 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 		sh := a.shardFor(key)
 		sh.mu.Lock()
 		st, ok := sh.states[key]
-		exists := ok && st.installed
+		// An absorbed child counts as local: its covering aggregate route
+		// serves it, and seeding a specific route under the aggregate would
+		// shadow the window the child is still learning.
+		exists := ok && (st.installed || st.absorbed)
 		sh.mu.Unlock()
 		if exists {
 			stats.SkippedLocal++
@@ -322,8 +326,9 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 		sh.mu.Lock()
 		st := sh.states[op.dst]
 		if st == nil {
-			st = &destState{}
+			st = sh.newDestState()
 			sh.states[op.dst] = st
+			a.aggRegister(sh, op.dst, st)
 		}
 		if !st.installed {
 			st.installed = true
@@ -338,6 +343,7 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			merged:    true,
 			mergedAge: op.age,
 		}
+		sh.noteExpiry(op.expires)
 		// Seed history so the first local observation blends with the
 		// fleet's estimate instead of starting from nothing.
 		a.smooth(sh, st, op.dst, float64(op.window))

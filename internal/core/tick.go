@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"net/netip"
+	"slices"
 	"sort"
 	"time"
 )
@@ -41,6 +42,19 @@ type programOp struct {
 	dst    netip.Prefix
 	window int
 	obs    int // group size this round, recorded on success
+	// st and shard let the commit stage reach the destination's state
+	// without re-hashing and re-resolving the prefix. st may be nil
+	// (aggregate parent ops); the commit stage trusts it only while it is
+	// still the installed map occupant, falling back to the map otherwise.
+	// Plan ops never outlive their tick, so the pointer cannot go stale.
+	st    *destState
+	shard int32
+	// aggregate marks a covering-route installation planned by the
+	// aggregate pass; committing it marks the aggState installed.
+	aggregate bool
+	// split marks the reinstallation of an absorbed child whose window
+	// diverged from its aggregate; committing it counts AggregateSplits.
+	split bool
 }
 
 // clearKind distinguishes why a route withdrawal was planned, which decides
@@ -50,6 +64,12 @@ type clearKind int
 const (
 	clearKindExpired clearKind = iota
 	clearKindGuard
+	// clearKindAbsorb withdraws a child route now covered by an installed
+	// aggregate; the state is kept (marked absorbed), not dropped.
+	clearKindAbsorb
+	// clearKindDissolve withdraws a covering aggregate route after its
+	// members were reinstalled (or lapsed).
+	clearKindDissolve
 )
 
 // Tick executes one iteration of Algorithm 1: sample, group, combine,
@@ -98,6 +118,32 @@ func (a *Agent) Tick() error {
 	}
 	a.noteSampleSuccess()
 
+	// Delta setup: size this round's sample cache, and detect a stream
+	// that is literally last round's slice (a sampler with a fixed set
+	// returning its own backing array). Such a round can skip ingest
+	// entirely — and, per shard, the grouping passes (see planShard) —
+	// unless a governor needs to see every sample or a shard's retained
+	// scratch was invalidated.
+	identStream := false
+	if a.delta {
+		if cap(a.cacheCur) < len(obs) {
+			a.cacheCur = make([]cachedSample, len(obs))
+		} else {
+			a.cacheCur = a.cacheCur[:cap(a.cacheCur)]
+		}
+		identStream = a.havePrev && len(obs) > 0 && len(obs) == len(a.obsPrev) && &obs[0] == &a.obsPrev[0]
+	}
+	a.identTick = identStream
+	skipIngest := identStream && a.cfg.Guard == nil
+	if skipIngest {
+		for _, sh := range a.shards {
+			if !sh.planValid {
+				skipIngest = false
+				break
+			}
+		}
+	}
+
 	// Plan stage: route observations to shards, then plan each shard.
 	// Small rounds stay serial — goroutines cost more than they save.
 	planStart := time.Now()
@@ -106,21 +152,74 @@ func (a *Agent) Tick() error {
 	if nShards > 1 && len(obs) >= parallelThreshold {
 		workers = nShards
 	}
-	a.ingestWorkers = workers
-	for i := 0; i < workers*nShards; i++ {
-		a.buckets[i] = a.buckets[i][:0]
+
+	// Stable-round detection (the quiescent fast path): with an eligible
+	// config, a retained rebuild on every shard, and a stream of unchanged
+	// length, compare this round's sample against last round's. If every
+	// position kept its destination and validity, group membership is
+	// provably unchanged — ingest and regroup are skipped and each shard
+	// patches only its dirty groups and still-converging states. Any
+	// membership change falls back to the full path below, which resets the
+	// (possibly partially filled) buckets itself.
+	stable := false
+	if a.quiescentOK && a.havePrev && len(obs) > 0 && len(obs) == len(a.obsPrev) {
+		allValid := true
+		for _, sh := range a.shards {
+			if !sh.planValid {
+				allValid = false
+				break
+			}
+		}
+		if allValid {
+			a.ingestWorkers = workers
+			for i := 0; i < workers*nShards; i++ {
+				a.buckets[i] = a.buckets[i][:0]
+			}
+			switch {
+			case identStream:
+				stable = true
+			case workers > 1:
+				runParallel(workers, func(w int) { a.compareOK[w] = a.compareChunk(w, obs) })
+				stable = true
+				for w := 0; w < workers; w++ {
+					if !a.compareOK[w] {
+						stable = false
+						break
+					}
+				}
+			default:
+				stable = a.compareChunk(0, obs)
+			}
+		}
 	}
-	runParallel(workers, func(w int) { a.ingestChunk(w, obs) })
-	// The governor sees every valid sample above, then closes its round
-	// before any Review call.
-	if a.cfg.Guard != nil {
-		a.cfg.Guard.ObserveTick(now)
-	}
-	if workers > 1 {
-		runParallel(nShards, func(s int) { a.planShard(s, obs, now) })
+
+	if stable {
+		if workers > 1 {
+			runParallel(nShards, func(s int) { a.planShardQuiescent(s, obs, now) })
+		} else {
+			for s := 0; s < nShards; s++ {
+				a.planShardQuiescent(s, obs, now)
+			}
+		}
 	} else {
-		for s := 0; s < nShards; s++ {
-			a.planShard(s, obs, now)
+		if !skipIngest {
+			a.ingestWorkers = workers
+			for i := 0; i < workers*nShards; i++ {
+				a.buckets[i] = a.buckets[i][:0]
+			}
+			runParallel(workers, func(w int) { a.ingestChunk(w, obs) })
+		}
+		// The governor sees every valid sample above, then closes its
+		// round before any Review call.
+		if a.cfg.Guard != nil {
+			a.cfg.Guard.ObserveTick(now)
+		}
+		if workers > 1 {
+			runParallel(nShards, func(s int) { a.planShard(s, obs, now) })
+		} else {
+			for s := 0; s < nShards; s++ {
+				a.planShard(s, obs, now)
+			}
 		}
 	}
 	a.mPlan.Observe(time.Since(planStart))
@@ -128,11 +227,21 @@ func (a *Agent) Tick() error {
 	// Commit stage: merge the per-shard plans deterministically and fold
 	// the stat deltas — the only remaining global critical section.
 	commitStart := time.Now()
-	plan := a.planBuf[:0]
+	var plan []programOp
+	if len(a.shards) == 1 {
+		// One shard: adopt its plan in place rather than copying ~150-byte
+		// ops through the merge buffer (the shard rebuilds it next round).
+		plan = a.shards[0].plan
+	} else {
+		plan = a.planBuf[:0]
+		for _, sh := range a.shards {
+			plan = append(plan, sh.plan...)
+		}
+		a.planBuf = plan
+	}
 	clears := a.clearBuf[:0]
 	var delta tickDelta
 	for _, sh := range a.shards {
-		plan = append(plan, sh.plan...)
 		clears = append(clears, sh.guardClears...)
 		delta.add(sh.delta)
 		sh.delta = tickDelta{}
@@ -141,12 +250,28 @@ func (a *Agent) Tick() error {
 	for _, sh := range a.shards {
 		clears = append(clears, sh.expired...)
 	}
-	a.planBuf = plan
+	absorbStart := len(clears)
+	for _, sh := range a.shards {
+		clears = append(clears, sh.absorbs...)
+	}
+	dissolveStart := len(clears)
+	for _, sh := range a.shards {
+		clears = append(clears, sh.dissolves...)
+	}
 	a.clearBuf = clears
-	guardClears, expired := clears[:expiredStart], clears[expiredStart:]
-	sort.Slice(plan, func(i, j int) bool { return lessPrefix(plan[i].dst, plan[j].dst) })
+	guardClears := clears[:expiredStart]
+	expired := clears[expiredStart:absorbStart]
+	absorbs := clears[absorbStart:dissolveStart]
+	dissolves := clears[dissolveStart:]
+	// The plan comparator is total (dst, then window, then flags): the
+	// same destination can legitimately carry two byte-identical-dst ops
+	// in one round (a pass-3 split plus a dissolve reinstall), and an
+	// unstable sort must still order them deterministically.
+	planIdx := a.sortPlan(plan)
 	sort.Slice(guardClears, func(i, j int) bool { return lessPrefix(guardClears[i], guardClears[j]) })
 	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
+	sort.Slice(absorbs, func(i, j int) bool { return lessPrefix(absorbs[i], absorbs[j]) })
+	sort.Slice(dissolves, func(i, j int) bool { return lessPrefix(dissolves[i], dissolves[j]) })
 
 	a.mu.Lock()
 	a.stats.Observations += uint64(len(obs))
@@ -154,6 +279,7 @@ func (a *Agent) Tick() error {
 	a.stats.GuardCapped += delta.guardCapped
 	a.stats.GuardVetoed += delta.guardVetoed
 	a.stats.GuardQuarantined += delta.guardQuarantined
+	a.stats.EntriesExpired += delta.expiredDropped
 	a.mu.Unlock()
 	if delta.combinerRejects > 0 {
 		a.cfg.Metrics.Counter("riptide_combiner_rejects").Add(delta.combinerRejects)
@@ -163,9 +289,37 @@ func (a *Agent) Tick() error {
 	}
 	a.mCommit.Observe(time.Since(commitStart))
 
-	// Program stage, outside the locks.
-	firstErr := a.programPlan(plan, now)
+	// Retain this round's stream as the next round's delta baseline. The
+	// sample buffer hand-off keeps the invariant that obsPrev and obsBuf
+	// never share a backing array: next round's sample appends into the
+	// retiring buffer (or fresh space) while obsPrev stays frozen.
+	if a.delta {
+		// A stable round never re-keys: positions are unchanged, so last
+		// round's cache stays authoritative and is not swapped out.
+		if !skipIngest && !stable {
+			a.cachePrev, a.cacheCur = a.cacheCur, a.cachePrev
+		}
+		prevScratch := a.obsPrev
+		a.obsPrev = obs
+		a.havePrev = true
+		if sameBacking(obs, prevScratch) {
+			a.obsBuf = nil
+		} else {
+			a.obsBuf = prevScratch[:0]
+		}
+	}
+
+	// Program stage, outside the locks. Sets run first, so dissolve
+	// reinstalls precede the covering-route withdrawal and absorb clears
+	// follow their aggregate's installation — LPM coverage never gaps.
+	firstErr := a.programPlan(plan, planIdx, now)
+	if err := a.clearTargets(absorbs, clearKindAbsorb, now); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if err := a.clearTargets(guardClears, clearKindGuard, now); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	if err := a.clearTargets(dissolves, clearKindDissolve, now); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if err := a.clearTargets(expired, clearKindExpired, now); err != nil && firstErr == nil {
@@ -174,17 +328,158 @@ func (a *Agent) Tick() error {
 	return firstErr
 }
 
+// planKey pairs a packed comparator key with the op's index in the
+// unsorted plan, so the commit sort can order 8-byte keys instead of
+// swapping 64-byte ops through a reflective comparator.
+type planKey struct {
+	key uint64
+	idx int32
+}
+
+// packOpKey encodes every field lessProgramOp consults — IPv4 address,
+// prefix length, window, split, aggregate — into one uint64 whose unsigned
+// order equals the comparator's. It refuses anything it cannot encode
+// exactly (IPv6 and 4-in-6 addresses, windows outside a byte); the caller
+// then falls back to the comparator sort.
+func packOpKey(op *programOp) (uint64, bool) {
+	addr := op.dst.Addr()
+	if !addr.Is4() || op.window < 0 || op.window > 0xff {
+		return 0, false
+	}
+	b := addr.As4()
+	k := uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 | uint64(b[3])<<16
+	k |= uint64(op.dst.Bits()) << 10
+	k |= uint64(op.window) << 2
+	if op.split {
+		k |= 2
+	}
+	if op.aggregate {
+		k |= 1
+	}
+	return k, true
+}
+
+// sortPlan orders the merged plan by lessProgramOp without moving the ops.
+// An all-IPv4 plan — the overwhelmingly common case — gets its packed
+// 8-byte keys sorted and returned; the caller walks the plan through that
+// index order. Plans with anything unpackable are comparator-sorted in
+// place and get a nil key slice. Key ties break on emission index, which
+// only matters for ops equal in every field the comparator sees (and
+// therefore interchangeable anyway).
+func (a *Agent) sortPlan(plan []programOp) []planKey {
+	keys := a.planKeys[:0]
+	packed := true
+	for i := range plan {
+		k, ok := packOpKey(&plan[i])
+		if !ok {
+			packed = false
+			break
+		}
+		keys = append(keys, planKey{key: k, idx: int32(i)})
+	}
+	a.planKeys = keys
+	if !packed {
+		sort.Slice(plan, func(i, j int) bool { return lessProgramOp(plan[i], plan[j]) })
+		return nil
+	}
+	if len(keys) < 128 {
+		slices.SortFunc(keys, func(x, y planKey) int {
+			switch {
+			case x.key < y.key:
+				return -1
+			case x.key > y.key:
+				return 1
+			default:
+				return int(x.idx - y.idx)
+			}
+		})
+		return keys
+	}
+	return a.radixSortPlanKeys(keys)
+}
+
+// radixSortPlanKeys stable-sorts keys by packed key ascending with LSD
+// counting passes over the 48 significant bits, one byte at a time. The
+// stability makes the emission-index tie-break implicit, so the order is
+// identical to the comparison sort above; passes whose digit is constant
+// across the whole plan (the top address bytes usually are) are skipped.
+func (a *Agent) radixSortPlanKeys(keys []planKey) []planKey {
+	tmp := a.planKeysTmp
+	if cap(tmp) < len(keys) {
+		tmp = make([]planKey, len(keys))
+	}
+	tmp = tmp[:len(keys)]
+	src, dst := keys, tmp
+	var count [256]int
+	for shift := uint(0); shift < 48; shift += 8 {
+		for i := range count {
+			count[i] = 0
+		}
+		for i := range src {
+			count[(src[i].key>>shift)&0xff]++
+		}
+		if count[(src[0].key>>shift)&0xff] == len(src) {
+			continue
+		}
+		sum := 0
+		for i := range count {
+			c := count[i]
+			count[i] = sum
+			sum += c
+		}
+		for i := range src {
+			d := (src[i].key >> shift) & 0xff
+			dst[count[d]] = src[i]
+			count[d]++
+		}
+		src, dst = dst, src
+	}
+	a.planKeys = src
+	a.planKeysTmp = dst
+	return src
+}
+
+// lessProgramOp is the total order for the round's merged plan: prefix
+// first, then window, then the split/aggregate flags as tie-breakers.
+func lessProgramOp(a, b programOp) bool {
+	if a.dst != b.dst {
+		return lessPrefix(a.dst, b.dst)
+	}
+	if a.window != b.window {
+		return a.window < b.window
+	}
+	if a.split != b.split {
+		return !a.split
+	}
+	return !a.aggregate && b.aggregate
+}
+
+// sameBacking reports whether two slices share a backing array (checked via
+// their first element at full capacity).
+func sameBacking(a, b []Observation) bool {
+	return cap(a) > 0 && cap(b) > 0 && &a[:cap(a)][0] == &b[:cap(b)][0]
+}
+
 // programPlan installs the round's route plan — through one batch call when
-// the backend supports it — and commits each success into its shard.
-func (a *Agent) programPlan(plan []programOp, now time.Duration) error {
+// the backend supports it — and commits each success into its shard. keys,
+// when non-nil, gives the sorted program order as indices into plan (which
+// then stays unsorted); a nil keys means plan itself is already ordered.
+func (a *Agent) programPlan(plan []programOp, keys []planKey, now time.Duration) error {
 	if len(plan) == 0 {
 		return nil
+	}
+	opAt := func(i int) *programOp {
+		if keys != nil {
+			return &plan[keys[i].idx]
+		}
+		return &plan[i]
 	}
 	bp, batch := a.cfg.Routes.(BatchRouteProgrammer)
 	var batchErrs []error
 	if batch {
 		ops := a.opsBuf[:0]
-		for _, op := range plan {
+		for i := range plan {
+			op := opAt(i)
 			ops = append(ops, RouteOp{Prefix: op.dst, Window: op.window})
 		}
 		a.opsBuf = ops
@@ -194,21 +489,36 @@ func (a *Agent) programPlan(plan []programOp, now time.Duration) error {
 	}
 
 	var firstErr error
-	var set, routeErrs, cleared uint64
-	for i, op := range plan {
+	var set, routeErrs, cleared, formed, splits uint64
+	// The shard lock is held across runs of consecutive same-shard ops
+	// (with one shard, the whole plan) instead of being retaken per op.
+	// Nothing blocking happens while it is held: batch errors are already
+	// in hand, and the per-op SetInitCwnd path releases it first.
+	var cur *shard
+	unlockCur := func() {
+		if cur != nil {
+			cur.mu.Unlock()
+			cur = nil
+		}
+	}
+	defer unlockCur()
+	for i := range plan {
+		op := opAt(i)
 		var err error
 		if batch {
 			if batchErrs != nil {
 				err = batchErrs[i]
 			}
 		} else {
+			unlockCur()
 			progStart := time.Now()
 			err = a.cfg.Routes.SetInitCwnd(op.dst, op.window)
 			a.mProgram.Observe(time.Since(progStart))
 		}
 
-		sh := a.shardFor(op.dst)
+		sh := a.shards[op.shard]
 		if err != nil {
+			unlockCur()
 			routeErrs++
 			if errors.Is(err, ErrFallbackCleared) {
 				// The retry decorator gave up and withdrew the route;
@@ -219,24 +529,55 @@ func (a *Agent) programPlan(plan []programOp, now time.Duration) error {
 					cleared++
 				}
 				sh.mu.Unlock()
+			} else if op.aggregate {
+				// A failed covering-route install leaves the children in
+				// place; re-mark the parent so the formation retries.
+				sh.mu.Lock()
+				if agg := sh.aggs[op.dst]; agg != nil {
+					a.aggMarkDirty(sh, op.dst, agg)
+				}
+				sh.mu.Unlock()
 			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("set initcwnd %v=%d: %w", op.dst, op.window, err)
 			}
 			continue
 		}
-		sh.mu.Lock()
-		st := sh.states[op.dst]
-		if st == nil {
-			st = &destState{}
-			sh.states[op.dst] = st
+		if sh != cur {
+			unlockCur()
+			sh.mu.Lock()
+			cur = sh
+		}
+		// The planned state pointer short-circuits the map for the common
+		// commit (a window change on an installed route). A state that lost
+		// its installed flag since planning (an ErrFallbackCleared drop of
+		// an earlier duplicate op) may no longer be the map occupant, so it
+		// re-resolves.
+		st := op.st
+		if st == nil || !st.installed {
+			st = sh.states[op.dst]
+			if st == nil {
+				st = sh.newDestState()
+				sh.states[op.dst] = st
+				a.aggRegister(sh, op.dst, st)
+			}
 		}
 		if !st.installed {
-			// New destination: the plan stage could not count its
-			// samples because no entry existed yet.
 			st.installed = true
-			st.samples = uint64(op.obs)
 			sh.installed++
+			if st.absorbed {
+				// An absorbed child got its specific route back (window
+				// divergence, or a dissolve reinstall); its accumulated
+				// samples carry over.
+				st.absorbed = false
+				if op.split {
+					splits++
+				}
+			} else {
+				// New destination: the plan stage could not count its
+				// samples because no entry existed yet.
+				st.samples = uint64(op.obs)
+			}
 		}
 		st.window = op.window
 		st.expires = now + a.cfg.TTL
@@ -245,13 +586,29 @@ func (a *Agent) programPlan(plan []programOp, now time.Duration) error {
 		st.merged = false
 		st.mergedAge = 0
 		st.programs++
-		sh.mu.Unlock()
+		sh.noteExpiry(st.expires)
+		if op.aggregate {
+			if agg := sh.aggs[op.dst]; agg != nil && !agg.installed {
+				agg.installed = true
+				agg.window = op.window
+				formed++
+			}
+		} else if parent, ok := a.aggKey(op.dst); ok {
+			// A child install or window change can alter its aggregate's
+			// membership maths; queue the parent for re-evaluation.
+			if agg := sh.aggs[parent]; agg != nil {
+				a.aggMarkDirty(sh, parent, agg)
+			}
+		}
 		set++
 	}
+	unlockCur()
 	a.mu.Lock()
 	a.stats.RoutesSet += set
 	a.stats.RouteErrors += routeErrs
 	a.stats.RoutesCleared += cleared
+	a.stats.AggregatesFormed += formed
+	a.stats.AggregateSplits += splits
 	a.mu.Unlock()
 	return firstErr
 }
@@ -273,7 +630,23 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 		sh := a.shardFor(dst)
 		sh.mu.Lock()
 		st, ok := sh.states[dst]
-		needed := ok && st.installed && (kind == clearKindGuard || st.expires <= now)
+		var needed bool
+		switch kind {
+		case clearKindAbsorb:
+			// Withdraw the child only while its covering route is actually
+			// installed — a failed aggregate install must not strand the
+			// child without any route.
+			needed = ok && st.installed
+			if needed {
+				parent, pok := a.aggKey(dst)
+				agg := sh.aggs[parent]
+				needed = pok && agg != nil && agg.installed
+			}
+		case clearKindDissolve, clearKindGuard:
+			needed = ok && st.installed
+		default:
+			needed = ok && st.installed && st.expires <= now
+		}
 		sh.mu.Unlock()
 		if needed {
 			live = append(live, dst)
@@ -297,6 +670,7 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 
 	var firstErr error
 	var expiredN, clearedN, guardClearedN, routeErrs uint64
+	var absorbedN, dissolvedN uint64
 	for i, dst := range live {
 		var err error
 		if batch {
@@ -308,28 +682,62 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 			err = a.cfg.Routes.ClearInitCwnd(dst)
 			a.mProgram.Observe(time.Since(progStart))
 		}
+		sh := a.shardFor(dst)
 		if err != nil {
 			routeErrs++
+			if kind == clearKindAbsorb || kind == clearKindDissolve {
+				// Leave the route as-is and re-mark the aggregate so the
+				// next round re-derives (and retries) the decision.
+				key := dst
+				if kind == clearKindAbsorb {
+					if parent, ok := a.aggKey(dst); ok {
+						key = parent
+					}
+				}
+				sh.mu.Lock()
+				if agg := sh.aggs[key]; agg != nil {
+					a.aggMarkDirty(sh, key, agg)
+				}
+				sh.mu.Unlock()
+			}
 			if firstErr == nil {
 				switch kind {
 				case clearKindGuard:
 					firstErr = fmt.Errorf("guard clear initcwnd %v: %w", dst, err)
+				case clearKindAbsorb:
+					firstErr = fmt.Errorf("absorb clear initcwnd %v: %w", dst, err)
+				case clearKindDissolve:
+					firstErr = fmt.Errorf("dissolve clear initcwnd %v: %w", dst, err)
 				default:
 					firstErr = fmt.Errorf("clear initcwnd %v: %w", dst, err)
 				}
 			}
 			continue
 		}
-		sh := a.shardFor(dst)
 		sh.mu.Lock()
-		sh.dropInstalled(a, dst)
+		if kind == clearKindAbsorb {
+			// The covering route now serves this child; keep the state so
+			// it goes on sampling and refreshing, but stop counting it as
+			// an installed route.
+			if st := sh.states[dst]; st != nil && st.installed {
+				st.installed = false
+				st.absorbed = true
+				sh.installed--
+				absorbedN++
+			}
+		} else {
+			sh.dropInstalled(a, dst)
+			if kind == clearKindDissolve {
+				dissolvedN++
+			}
+		}
 		sh.mu.Unlock()
 		clearedN++
 		switch kind {
 		case clearKindGuard:
 			guardClearedN++
 			a.cfg.Metrics.Counter("riptide_guard_clears").Inc()
-		default:
+		case clearKindExpired:
 			expiredN++
 		}
 	}
@@ -338,24 +746,32 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 	a.stats.EntriesExpired += expiredN
 	a.stats.GuardCleared += guardClearedN
 	a.stats.RouteErrors += routeErrs
+	a.stats.ChildrenAbsorbed += absorbedN
+	a.stats.AggregatesDissolved += dissolvedN
 	a.mu.Unlock()
 	return firstErr
 }
 
 // expirePass runs only the TTL-expiry portion of a round: collect lapsed
-// entries under the shard locks, withdraw their routes outside them.
+// entries under the shard locks, withdraw their routes outside them. Shards
+// whose next-expiry bound has not been reached are skipped without touching
+// a single state, so a no-op expiry round costs O(shards).
 func (a *Agent) expirePass(now time.Duration) error {
 	expired := a.clearBuf[:0]
+	var dropped uint64
 	for _, sh := range a.shards {
 		sh.mu.Lock()
-		for dst, st := range sh.states {
-			if st.installed && st.expires <= now {
-				expired = append(expired, dst)
-			}
+		if sh.nextExpiry <= now {
+			sh.expired = sh.expired[:0]
+			dropped += a.sweepExpiredLocked(sh, now)
+			expired = append(expired, sh.expired...)
 		}
 		sh.mu.Unlock()
 	}
 	a.clearBuf = expired
+	if dropped > 0 {
+		a.countLocked(func(s *Stats) { s.EntriesExpired += dropped })
+	}
 	sort.Slice(expired, func(i, j int) bool { return lessPrefix(expired[i], expired[j]) })
 	return a.clearTargets(expired, clearKindExpired, now)
 }

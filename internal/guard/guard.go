@@ -243,6 +243,9 @@ type destState struct {
 	coolTicks int
 
 	quarantinedAt time.Duration
+	// queued marks membership in the governor's quarantine timer list, so
+	// re-quarantining a destination never double-enters it.
+	queued bool
 }
 
 // Governor implements core.Governor: a per-destination loss-regression
@@ -253,12 +256,25 @@ type Governor struct {
 	mu    sync.Mutex
 	dests map[netip.Prefix]*destState
 
+	// Delta index: ObserveTick touches only destinations that actually
+	// produced evidence this round (sampledList, rebuilt each tick by
+	// ObserveSample) plus quarantine timers that may have fired (quarList,
+	// consulted only once nextProbe — the earliest cool-down deadline —
+	// has been reached). A tick with no samples and no due timers does no
+	// per-destination work at all.
+	sampledList []*destState
+	quarList    []*destState
+	nextProbe   time.Duration
+
 	// Canary baseline: pooled deltas and their EWMA loss rate.
 	basePendRetrans int64
 	basePendSegs    int64
 	baseLoss        float64
 	haveBase        bool
 }
+
+// noProbe is the nextProbe sentinel while no quarantine timer is pending.
+const noProbe = time.Duration(math.MaxInt64)
 
 var _ core.Governor = (*Governor)(nil)
 
@@ -269,8 +285,9 @@ func New(cfg Config) (*Governor, error) {
 		return nil, err
 	}
 	return &Governor{
-		cfg:   cfg,
-		dests: make(map[netip.Prefix]*destState),
+		cfg:       cfg,
+		dests:     make(map[netip.Prefix]*destState),
+		nextProbe: noProbe,
 	}, nil
 }
 
@@ -306,20 +323,26 @@ func (g *Governor) ObserveSample(dst netip.Prefix, o core.Observation) {
 	}
 	ds.tickRetrans += o.Retrans
 	ds.tickSegs += o.SegsOut
-	ds.sampled = true
+	if !ds.sampled {
+		ds.sampled = true
+		g.sampledList = append(g.sampledList, ds)
+	}
 }
 
 // ObserveTick implements core.Governor: it closes one sampling round,
 // converting each destination's per-tick telemetry deltas into loss-rate
-// judgments and advancing the state machines.
+// judgments and advancing the state machines. Only destinations sampled this
+// round are visited — an unsampled destination contributes no evidence and
+// its state machine cannot move — plus the quarantine timer list when the
+// earliest cool-down deadline has been reached.
 func (g *Governor) ObserveTick(now time.Duration) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 
 	// Fold canary evidence into the baseline first, so this tick's
 	// judgments compare against this tick's baseline.
-	for _, ds := range g.dests {
-		if !ds.canary || !ds.sampled {
+	for _, ds := range g.sampledList {
+		if !ds.canary {
 			continue
 		}
 		if dR, dS, ok := ds.takeDelta(); ok {
@@ -342,33 +365,30 @@ func (g *Governor) ObserveTick(now time.Duration) {
 	quarantineAt := math.Max(g.cfg.LossFloor, g.cfg.QuarantineRatio*base)
 	recoverAt := math.Min(math.Max(g.cfg.LossFloor/2, g.cfg.RecoverRatio*base), throttleAt)
 
-	for _, ds := range g.dests {
+	for _, ds := range g.sampledList {
+		ds.sampled = false
 		if ds.canary {
-			ds.sampled = false
 			continue
 		}
 
 		judged := false
-		if ds.sampled {
-			if dR, dS, ok := ds.takeDelta(); ok {
-				ds.pendRetrans += dR
-				ds.pendSegs += dS
-			}
-			if ds.pendSegs >= g.cfg.MinSegments {
-				rate := clampRate(float64(ds.pendRetrans) / float64(ds.pendSegs))
-				ds.loss = g.ewma(ds.loss, rate, ds.haveLoss)
-				ds.haveLoss = true
-				ds.pendRetrans, ds.pendSegs = 0, 0
-				judged = true
-			}
-			ds.sampled = false
+		if dR, dS, ok := ds.takeDelta(); ok {
+			ds.pendRetrans += dR
+			ds.pendSegs += dS
+		}
+		if ds.pendSegs >= g.cfg.MinSegments {
+			rate := clampRate(float64(ds.pendRetrans) / float64(ds.pendSegs))
+			ds.loss = g.ewma(ds.loss, rate, ds.haveLoss)
+			ds.haveLoss = true
+			ds.pendRetrans, ds.pendSegs = 0, 0
+			judged = true
+		}
+		if !judged {
+			continue
 		}
 
 		switch ds.state {
 		case Healthy:
-			if !judged {
-				continue
-			}
 			if ds.loss >= throttleAt {
 				ds.hotTicks++
 			} else {
@@ -379,9 +399,6 @@ func (g *Governor) ObserveTick(now time.Duration) {
 				g.count("riptide_guard_throttles")
 			}
 		case Throttled:
-			if !judged {
-				continue
-			}
 			switch {
 			case ds.loss >= quarantineAt:
 				ds.hotTicks++
@@ -394,29 +411,16 @@ func (g *Governor) ObserveTick(now time.Duration) {
 			}
 			if ds.hotTicks >= g.cfg.HysteresisTicks {
 				ds.transition(Quarantined)
-				ds.quarantinedAt = now
-				g.count("riptide_guard_quarantines")
+				g.pushQuarantine(ds, now)
 			} else if ds.coolTicks >= g.cfg.HysteresisTicks {
 				ds.transition(Healthy)
 				g.count("riptide_guard_recoveries")
 			}
 		case Quarantined:
-			// Loss seen during quarantine is kernel-default traffic;
-			// it neither extends nor shortens the cool-down. The EWMA
-			// restarts fresh when probing begins so stale
-			// pre-quarantine loss cannot trigger instant
-			// re-quarantine.
-			if now-ds.quarantinedAt >= g.cfg.QuarantineTTL {
-				ds.transition(Probing)
-				ds.haveLoss = false
-				ds.loss = 0
-				ds.pendRetrans, ds.pendSegs = 0, 0
-				g.count("riptide_guard_probes")
-			}
+			// Loss seen during quarantine is kernel-default traffic; it
+			// neither extends nor shortens the cool-down. The timer list
+			// below owns the release.
 		case Probing:
-			if !judged {
-				continue
-			}
 			switch {
 			case ds.loss >= throttleAt:
 				ds.hotTicks++
@@ -429,14 +433,61 @@ func (g *Governor) ObserveTick(now time.Duration) {
 			}
 			if ds.hotTicks >= g.cfg.HysteresisTicks {
 				ds.transition(Quarantined)
-				ds.quarantinedAt = now
-				g.count("riptide_guard_quarantines")
+				g.pushQuarantine(ds, now)
 			} else if ds.coolTicks >= g.cfg.HysteresisTicks {
 				ds.transition(Healthy)
 				g.count("riptide_guard_recoveries")
 			}
 		}
 	}
+	g.sampledList = g.sampledList[:0]
+
+	// Release quarantines whose cool-down lapsed. nextProbe is a lazy lower
+	// bound on the earliest deadline, so ticks before it skip the list
+	// entirely; the scan recomputes the bound from the survivors. The EWMA
+	// restarts fresh when probing begins so stale pre-quarantine loss
+	// cannot trigger instant re-quarantine.
+	if now >= g.nextProbe {
+		next := noProbe
+		kept := g.quarList[:0]
+		for _, ds := range g.quarList {
+			if ds.state != Quarantined {
+				ds.queued = false
+				continue
+			}
+			if now-ds.quarantinedAt >= g.cfg.QuarantineTTL {
+				ds.transition(Probing)
+				ds.haveLoss = false
+				ds.loss = 0
+				ds.pendRetrans, ds.pendSegs = 0, 0
+				ds.queued = false
+				g.count("riptide_guard_probes")
+				continue
+			}
+			kept = append(kept, ds)
+			if deadline := ds.quarantinedAt + g.cfg.QuarantineTTL; deadline < next {
+				next = deadline
+			}
+		}
+		g.quarList = kept
+		g.nextProbe = next
+	}
+}
+
+// pushQuarantine records a quarantine entry: it stamps the cool-down start,
+// enters the destination into the timer list (once), folds the release
+// deadline into nextProbe, and counts the transition. Called with mu held at
+// both quarantine-entry sites.
+func (g *Governor) pushQuarantine(ds *destState, now time.Duration) {
+	ds.quarantinedAt = now
+	if !ds.queued {
+		ds.queued = true
+		g.quarList = append(g.quarList, ds)
+	}
+	if deadline := now + g.cfg.QuarantineTTL; deadline < g.nextProbe {
+		g.nextProbe = deadline
+	}
+	g.count("riptide_guard_quarantines")
 }
 
 // takeDelta converts the destination's current-tick sums into deltas against

@@ -455,3 +455,61 @@ func TestAppendConnectionsReusesCallerBuffer(t *testing.T) {
 		t.Errorf("append after sentinel = %v", out2)
 	}
 }
+
+// TestAggregationShadowingTransitions pins the LPM semantics the agent's
+// prefix aggregation relies on: a covering route and a child route coexist
+// with the child winning; withdrawing the child mid-stream falls traffic
+// back to the covering route with no gap; and withdrawing the covering
+// route leaves remaining children serving. Every aggregate transition
+// (form: install parent then clear children; split: reinstall child;
+// dissolve: reinstall children then clear parent) is a sequence of these
+// steps, so none of them can ever route a destination to the kernel
+// default.
+func TestAggregationShadowingTransitions(t *testing.T) {
+	h := newHost(t)
+	child := Route{Prefix: prefix(t, "10.1.2.3/32"), InitCwnd: 48}
+	parent := Route{Prefix: prefix(t, "10.1.2.0/24"), InitCwnd: 32}
+	dst := addr(t, "10.1.2.3")
+	sibling := addr(t, "10.1.2.9")
+
+	// Formation order: covering route first, then the child withdrawal.
+	if err := h.AddRoute(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddRoute(parent); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(dst); got != 48 {
+		t.Errorf("child shadowing parent: InitCwndFor = %d, want 48", got)
+	}
+	if got := h.InitCwndFor(sibling); got != 32 {
+		t.Errorf("sibling under parent: InitCwndFor = %d, want 32", got)
+	}
+	if !h.DelRoute(child.Prefix) {
+		t.Fatal("child withdrawal failed")
+	}
+	if got := h.InitCwndFor(dst); got != 32 {
+		t.Errorf("after absorb: InitCwndFor = %d, want 32 (covering route)", got)
+	}
+
+	// Split: the specific route returns and instantly wins LPM again.
+	if err := h.AddRoute(child); err != nil {
+		t.Fatal(err)
+	}
+	if got := h.InitCwndFor(dst); got != 48 {
+		t.Errorf("after split: InitCwndFor = %d, want 48", got)
+	}
+
+	// Dissolution order: children are back first, then the covering route
+	// goes; the child keeps serving and only the sibling returns to the
+	// kernel default.
+	if !h.DelRoute(parent.Prefix) {
+		t.Fatal("parent withdrawal failed")
+	}
+	if got := h.InitCwndFor(dst); got != 48 {
+		t.Errorf("after dissolve: InitCwndFor = %d, want 48", got)
+	}
+	if got := h.InitCwndFor(sibling); got != DefaultInitCwnd {
+		t.Errorf("sibling after dissolve: InitCwndFor = %d, want default %d", got, DefaultInitCwnd)
+	}
+}

@@ -20,13 +20,16 @@ import (
 )
 
 // SyntheticObservations builds an n-connection observed table spanning many
-// /24 destination prefixes with varied windows, RTTs, and byte counts — the
-// shape of a busy production host's `ss -tin` output.
+// destination addresses with varied windows, RTTs, and byte counts — the
+// shape of a busy production host's `ss -tin` output. Addresses are unique
+// up to 250^3 connections (the previous encoding silently wrapped at 62 500,
+// so larger "destination counts" re-observed the same hosts), and hosts fill
+// /24s densely so prefix-aggregation runs see realistic covering groups.
 func SyntheticObservations(n int) []core.Observation {
 	obs := make([]core.Observation, 0, n)
 	for i := 0; i < n; i++ {
 		obs = append(obs, core.Observation{
-			Dst:        netip.AddrFrom4([4]byte{10, byte(i / 250 % 250), byte(i % 250), 1}),
+			Dst:        netip.AddrFrom4([4]byte{10, byte(i / 62500 % 250), byte(i / 250 % 250), byte(1 + i%250)}),
 			Cwnd:       10 + i%90,
 			RTT:        time.Duration(20+i%200) * time.Millisecond,
 			BytesAcked: int64(i) * 1500,
@@ -36,12 +39,74 @@ func SyntheticObservations(n int) []core.Observation {
 }
 
 // StaticSampler replays a fixed observation set, appending into the
-// caller's pooled buffer per the ConnectionSampler contract.
+// caller's pooled buffer per the ConnectionSampler contract. Because the
+// copy lands in the agent's own (ping-ponged) buffers, successive rounds
+// present equal observations in distinct backing arrays — the delta tick's
+// element-compare path, not its identical-slice path.
 type StaticSampler []core.Observation
 
 // SampleConnections implements core.ConnectionSampler.
 func (s StaticSampler) SampleConnections(buf []core.Observation) ([]core.Observation, error) {
 	return append(buf, s...), nil
+}
+
+// FixedSampler returns the same backing slice every round — the shape of a
+// sampler with a stable connection table and its own buffer. The delta tick
+// recognises the identical slice and skips ingest and regrouping entirely.
+type FixedSampler []core.Observation
+
+// SampleConnections implements core.ConnectionSampler.
+func (s FixedSampler) SampleConnections([]core.Observation) ([]core.Observation, error) {
+	return s, nil
+}
+
+// ChurnSampler replays a fixed table with a deterministic ~1 in frac of the
+// entries' windows mutated each round, modelling steady-state sampling where
+// a small slice of destinations is actually changing. The base table stays
+// pristine and every round diverges from the previous one at ~2/frac of the
+// indices. It alternates between two internal copies of the table — the
+// slice handed out last round stays frozen while the other is repaired
+// (its stale mutations reverted from base) and re-mutated, so the caller
+// sees a fresh backing array each round without paying a full table copy.
+type ChurnSampler struct {
+	base []core.Observation
+	bufs [2][]core.Observation
+	muts [2][]int // positions mutated in each buffer, reverted on reuse
+	frac int
+	tick int
+}
+
+// NewChurnSampler builds a ChurnSampler mutating 1 in frac entries per
+// round (frac <= 0 means 100, i.e. 1% churn).
+func NewChurnSampler(base []core.Observation, frac int) *ChurnSampler {
+	if frac <= 0 {
+		frac = 100
+	}
+	return &ChurnSampler{base: base, frac: frac}
+}
+
+// SampleConnections implements core.ConnectionSampler.
+func (s *ChurnSampler) SampleConnections([]core.Observation) ([]core.Observation, error) {
+	cur := s.tick & 1
+	out := s.bufs[cur]
+	if out == nil {
+		out = append([]core.Observation(nil), s.base...)
+	}
+	for _, i := range s.muts[cur] {
+		out[i] = s.base[i]
+	}
+	muts := s.muts[cur][:0]
+	s.tick++
+	n := len(out)
+	for j := 0; j < n/s.frac; j++ {
+		i := (j*9973 + s.tick*31337) % n
+		o := &out[i]
+		o.Cwnd = 10 + (o.Cwnd+s.tick+j)%90
+		muts = append(muts, i)
+	}
+	s.bufs[cur] = out
+	s.muts[cur] = muts
+	return out, nil
 }
 
 // NopRoutes discards route programs; it measures the agent alone.
@@ -73,15 +138,23 @@ var (
 // isolates the sample/plan/commit pipeline the benchmarks target. With
 // batch true the route sink exposes the batched programming surface.
 func NewTickAgent(conns, shards int, batch bool) (*core.Agent, error) {
+	return newTickAgent(StaticSampler(SyntheticObservations(conns)), shards, batch, false)
+}
+
+// newTickAgent is the measurement-agent constructor behind the series:
+// any sampler, optional batch surface, and optional full-rescan mode (the
+// pre-delta baseline the delta series are compared against).
+func newTickAgent(sampler core.ConnectionSampler, shards int, batch, fullRescan bool) (*core.Agent, error) {
 	var routes core.RouteProgrammer = NopRoutes{}
 	if batch {
 		routes = NopBatchRoutes{}
 	}
 	return core.New(core.Config{
-		Sampler: StaticSampler(SyntheticObservations(conns)),
-		Routes:  routes,
-		Clock:   func() time.Duration { return 0 },
-		Shards:  shards,
+		Sampler:    sampler,
+		Routes:     routes,
+		Clock:      func() time.Duration { return 0 },
+		Shards:     shards,
+		FullRescan: fullRescan,
 	})
 }
 
@@ -90,6 +163,7 @@ type Benchmark struct {
 	Name         string  `json:"name"`
 	Destinations int     `json:"destinations,omitempty"`
 	Shards       int     `json:"shards,omitempty"`
+	Mode         string  `json:"mode,omitempty"`
 	Iterations   int     `json:"iterations"`
 	NsPerOp      float64 `json:"nsPerOp"`
 	AllocsPerOp  float64 `json:"allocsPerOp"`
@@ -156,46 +230,87 @@ func Measure(name string, minTime time.Duration, fn func() error) (Benchmark, er
 	}
 }
 
-// shardVariants returns the shard counts worth tracking on this machine:
-// the serial reference (1) and the parallel default; on single-CPU hosts an
-// 8-shard point is added so the sharded code path stays measured.
-func shardVariants() []int {
-	variants := []int{1}
+// multiShards returns the multi-shard count worth tracking on this machine
+// — GOMAXPROCS clamped to the agent's documented default-shard cap (the
+// unclamped value used to make the label and the effective shard count
+// diverge on >16-core hosts) — plus the honest label for its series: a
+// multi-shard run only counts as "parallel" when more than one core is
+// actually available; at GOMAXPROCS=1 the same configuration is merely
+// lock-striped and must not be sold as a parallelism measurement.
+func multiShards() (shards int, label string) {
+	shards = 8
 	if p := runtime.GOMAXPROCS(0); p > 1 {
-		variants = append(variants, p)
-	} else {
-		variants = append(variants, 8)
+		shards = p
+		if shards > core.MaxDefaultShards {
+			shards = core.MaxDefaultShards
+		}
+		return shards, "parallel"
 	}
-	return variants
+	return shards, "striped"
+}
+
+// measureTick runs one agent-tick series point and stamps its dimensions.
+func measureTick(name string, size, shards int, mode string, minTime time.Duration, sampler core.ConnectionSampler, fullRescan bool) (Benchmark, error) {
+	agent, err := newTickAgent(sampler, shards, true, fullRescan)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	b, err := Measure(name, minTime, agent.Tick)
+	if err != nil {
+		_ = agent.Close()
+		return Benchmark{}, err
+	}
+	b.Destinations = size
+	b.Shards = shards
+	b.Mode = mode
+	return b, agent.Close()
 }
 
 // Collect measures the agent-tick scaling series at the given observed-table
-// sizes (serial and sharded variants, batched route programming) plus the
-// batched-vs-individual route programming comparison, and returns the
-// snapshot. minTime bounds each measured batch, not the whole run.
+// sizes plus the batched-vs-individual route programming comparison, and
+// returns the snapshot. Each size gets six points: the serial full-rescan
+// baseline, the multi-shard full rescan (labeled parallel or striped per
+// the host), and the delta steady state (identical stream, ingest skipped)
+// and delta under ~1% churn at both shards=1 and the multi-shard count —
+// the serial delta points are the like-for-like comparison against the
+// serial full-rescan baseline on single-core hosts, where multi-shard runs
+// pay striping overhead without any parallel payoff. minTime bounds each
+// measured batch, not the whole run.
 func Collect(sizes []int, minTime time.Duration) (Snapshot, error) {
 	snap := Snapshot{
 		Schema:     SnapshotSchema,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	multi, multiLabel := multiShards()
 	for _, size := range sizes {
-		for _, shards := range shardVariants() {
-			agent, err := NewTickAgent(size, shards, true)
+		base := SyntheticObservations(size)
+		points := []struct {
+			name       string
+			shards     int
+			mode       string
+			sampler    core.ConnectionSampler
+			fullRescan bool
+		}{
+			{fmt.Sprintf("AgentTick/dest=%d/shards=1/mode=full", size),
+				1, "full", StaticSampler(base), true},
+			{fmt.Sprintf("AgentTick/dest=%d/shards=%d/mode=full/%s", size, multi, multiLabel),
+				multi, "full/" + multiLabel, StaticSampler(base), true},
+			{fmt.Sprintf("AgentTick/dest=%d/shards=1/mode=delta/steady", size),
+				1, "delta/steady", FixedSampler(base), false},
+			{fmt.Sprintf("AgentTick/dest=%d/shards=1/mode=delta/churn=1%%", size),
+				1, "delta/churn=1%", NewChurnSampler(base, 100), false},
+			{fmt.Sprintf("AgentTick/dest=%d/shards=%d/mode=delta/steady", size, multi),
+				multi, "delta/steady", FixedSampler(base), false},
+			{fmt.Sprintf("AgentTick/dest=%d/shards=%d/mode=delta/churn=1%%", size, multi),
+				multi, "delta/churn=1%", NewChurnSampler(base, 100), false},
+		}
+		for _, pt := range points {
+			b, err := measureTick(pt.name, size, pt.shards, pt.mode, minTime, pt.sampler, pt.fullRescan)
 			if err != nil {
 				return Snapshot{}, err
 			}
-			name := fmt.Sprintf("AgentTick/dest=%d/shards=%d", size, shards)
-			b, err := Measure(name, minTime, agent.Tick)
-			if err != nil {
-				return Snapshot{}, err
-			}
-			b.Destinations = size
-			b.Shards = shards
 			snap.Benchmarks = append(snap.Benchmarks, b)
-			if err := agent.Close(); err != nil {
-				return Snapshot{}, err
-			}
 		}
 	}
 	progs, err := collectRoutePrograms(minTime)
