@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard examples clean
+.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard fuzz-netlink examples clean
 
 all: check
 
@@ -24,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/guard/... ./internal/linux/... ./internal/fleet/...
+	$(GO) test -race ./internal/core/... ./internal/guard/... ./internal/linux/... ./internal/netlink/... ./internal/fleet/...
 
 race:
 	$(GO) test -race ./internal/core ./internal/kernel .
@@ -36,7 +36,7 @@ bench:
 # full-rescan, delta-steady, and delta-churn modes — plus batched-vs-
 # individual route programming) for PR-over-PR comparison.
 bench-json:
-	$(GO) run ./cmd/riptide-bench -perf-only -perf-json BENCH_6.json -perf-sizes 1000,10000,100000,1000000
+	$(GO) run ./cmd/riptide-bench -perf-only -perf-json BENCH_7.json -perf-sizes 1000,10000,100000,1000000
 
 # Quick-scale markdown report to stdout.
 report:
@@ -56,6 +56,13 @@ fuzz:
 # counter values must never panic it or corrupt its state invariants.
 fuzz-guard:
 	$(GO) test -fuzz=FuzzGovernorObserve -fuzztime=30s ./internal/guard
+
+# Fuzz the netlink wire decoders: raw sock_diag and rtnetlink byte streams
+# (truncated headers, lying lengths, corrupt nested metrics) must never
+# panic or yield structurally invalid observations/routes.
+fuzz-netlink:
+	$(GO) test -fuzz=FuzzParseInetDiagMsg -fuzztime=30s ./internal/netlink
+	$(GO) test -fuzz=FuzzParseRouteMsg -fuzztime=30s ./internal/netlink
 
 examples:
 	$(GO) run ./examples/quickstart

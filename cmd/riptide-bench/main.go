@@ -148,8 +148,26 @@ func writePerfSnapshot(path, sizesCSV string, minTime time.Duration) error {
 	if err != nil {
 		return err
 	}
+	// The backend head-to-head runs at the two sizes that bound a production
+	// host; the exec points double as embedded baselines so the snapshot
+	// records what the netlink backend displaced.
+	backends, err := perf.CollectBackends([]int{1000, 10000}, minTime)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks = append(snap.Benchmarks, backends...)
 	snap.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	snap.Baselines = append(append([]perf.Baseline(nil), prePRBaselines...), bench5Baselines...)
+	for _, b := range backends {
+		if strings.Contains(b.Name, "backend=exec") {
+			snap.Baselines = append(snap.Baselines, perf.Baseline{
+				Name:        "exec-baseline/" + b.Name,
+				NsPerOp:     b.NsPerOp,
+				AllocsPerOp: b.AllocsPerOp,
+				BytesPerOp:  b.BytesPerOp,
+			})
+		}
+	}
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err

@@ -84,9 +84,20 @@ func TestPerfSnapshotWritesJSON(t *testing.T) {
 	if snap.Schema != perf.SnapshotSchema {
 		t.Errorf("schema = %q", snap.Schema)
 	}
-	// 2 sizes x 6 series points + 2 route-programming modes.
-	if len(snap.Benchmarks) != 14 {
-		t.Fatalf("benchmarks = %d, want 14", len(snap.Benchmarks))
+	// 2 sizes x 6 series points + 2 route-programming modes
+	// + backend comparisons (2 sizes x 2 sampler backends + 2 route backends,
+	// exec points skipped when the host lacks cat/true).
+	if n := len(snap.Benchmarks); n < 18 || n > 20 {
+		t.Fatalf("benchmarks = %d, want 18..20", n)
+	}
+	var execBaselines int
+	for _, b := range snap.Baselines {
+		if strings.HasPrefix(b.Name, "exec-baseline/") {
+			execBaselines++
+		}
+	}
+	if execBaselines == 0 {
+		t.Errorf("no exec-baseline entries recorded in snapshot baselines")
 	}
 	if snap.GOMAXPROCS < 1 {
 		t.Errorf("gomaxprocs = %d not stamped", snap.GOMAXPROCS)

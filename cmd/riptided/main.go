@@ -1,11 +1,16 @@
 // Command riptided is the Riptide agent daemon for real Linux hosts: it
-// polls `ss -tin` every update interval, learns per-destination congestion
-// windows, and programs `ip route ... initcwnd` overrides, exactly as
-// described in the paper's Section III.
+// samples the established-connection table every update interval, learns
+// per-destination congestion windows, and programs per-route initcwnd
+// overrides, exactly as described in the paper's Section III.
 //
-// Run with -dry-run to print the ip commands instead of executing them
-// (sampling still uses the real ss). Stopping the daemon (SIGINT/SIGTERM)
-// withdraws every route it installed.
+// The kernel is spoken to through a selectable backend (-backend): netlink
+// (NETLINK_SOCK_DIAG dumps and rtnetlink route batches, no fork/exec on
+// the hot path), exec (`ss -tin` / `ip route` commands), or auto (the
+// default: probe netlink, fall back to exec).
+//
+// Run with -dry-run to print the route changes instead of applying them
+// (sampling still reads the real kernel). Stopping the daemon
+// (SIGINT/SIGTERM) withdraws every route it installed.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"riptide/internal/guard"
 	"riptide/internal/linux"
 	"riptide/internal/metrics"
+	"riptide/internal/netlink"
 )
 
 func main() {
@@ -50,6 +56,86 @@ func (d dryRunRoutes) ClearInitCwnd(prefix netip.Prefix) error {
 	return nil
 }
 
+// backend bundles one host-backend selection: how riptided samples the
+// connection table and programs routes.
+type backend struct {
+	name      string
+	sampler   core.ConnectionSampler
+	routes    riptide.RouteProgrammer // nil in dry-run
+	reconcile func() (int, error)     // nil in dry-run
+	close     func()                  // nil when nothing to release
+}
+
+// buildBackend constructs the selected host backend. "netlink" talks the
+// kernel wire protocols directly (no fork/exec on the hot path), "exec"
+// shells out to ss/ip, and "auto" probes netlink — interface present and
+// privileges sufficient — falling back to exec with a logged reason.
+func buildBackend(kind string, reg *metrics.Registry, rcfg linux.RoutesConfig, dryRun bool, logf func(string, ...any)) (*backend, error) {
+	switch kind {
+	case "netlink":
+		return buildNetlinkBackend(rcfg, dryRun)
+	case "exec":
+		return buildExecBackend(reg, rcfg, dryRun)
+	case "auto":
+		be, err := buildNetlinkBackend(rcfg, dryRun)
+		if err == nil {
+			return be, nil
+		}
+		logf("backend auto: netlink unavailable (%v), falling back to exec", err)
+		return buildExecBackend(reg, rcfg, dryRun)
+	default:
+		return nil, fmt.Errorf("unknown backend %q (want netlink, exec, or auto)", kind)
+	}
+}
+
+func buildNetlinkBackend(rcfg linux.RoutesConfig, dryRun bool) (*backend, error) {
+	s, err := netlink.NewSampler(netlink.SamplerConfig{})
+	if err != nil {
+		return nil, err
+	}
+	if err := core.ProbeBackend(s); err != nil {
+		_ = s.Close()
+		return nil, fmt.Errorf("netlink sampler probe: %w", err)
+	}
+	be := &backend{name: "netlink", sampler: s, close: func() { _ = s.Close() }}
+	if dryRun {
+		return be, nil
+	}
+	r, err := netlink.NewRoutes(netlink.RoutesConfig{RoutesConfig: rcfg})
+	if err != nil {
+		_ = s.Close()
+		return nil, err
+	}
+	if err := core.ProbeBackend(r); err != nil {
+		_ = s.Close()
+		_ = r.Close()
+		return nil, fmt.Errorf("netlink routes probe: %w", err)
+	}
+	be.routes = r
+	be.reconcile = r.Reconcile
+	be.close = func() { _ = s.Close(); _ = r.Close() }
+	return be, nil
+}
+
+func buildExecBackend(reg *metrics.Registry, rcfg linux.RoutesConfig, dryRun bool) (*backend, error) {
+	runner := linux.ExecRunner{Metrics: reg}
+	sampler, err := linux.NewSampler(runner)
+	if err != nil {
+		return nil, err
+	}
+	be := &backend{name: "exec", sampler: sampler}
+	if dryRun {
+		return be, nil
+	}
+	ipRoutes, err := linux.NewRoutes(runner, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	be.routes = ipRoutes
+	be.reconcile = ipRoutes.Reconcile
+	return be, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("riptided", flag.ContinueOnError)
 	var (
@@ -63,6 +149,7 @@ func run(args []string) error {
 		prefixBits = fs.Int("prefix-bits", 32, "destination granularity (32=per host, 24=per /24)")
 		shards     = fs.Int("shards", 0, "lock-striped state shards for the agent hot path (0 = GOMAXPROCS, capped at 16)")
 		initRwnd   = fs.Bool("initrwnd", false, "also set initrwnd on programmed routes")
+		backendSel = fs.String("backend", "auto", "host backend: netlink (speak NETLINK_SOCK_DIAG/rtnetlink directly), exec (shell out to ss/ip), auto (probe netlink, fall back to exec)")
 		dryRun     = fs.Bool("dry-run", false, "print ip commands instead of executing them")
 		combiner   = fs.String("combiner", "average", "combiner: average|max|traffic-weighted")
 		verbose    = fs.Bool("v", false, "log each tick's learned entries")
@@ -122,28 +209,24 @@ func run(args []string) error {
 	// runner, so /metrics and /metrics.json show the whole pipeline.
 	reg := metrics.NewRegistry()
 
-	runner := linux.ExecRunner{Metrics: reg}
-	sampler, err := linux.NewSampler(runner)
+	be, err := buildBackend(*backendSel, reg, linux.RoutesConfig{
+		Device:      *device,
+		Gateway:     *gateway,
+		SetInitRwnd: *initRwnd,
+	}, *dryRun, logger.Printf)
 	if err != nil {
 		return err
 	}
+	sampler := be.sampler
 	var routes riptide.RouteProgrammer
 	if *dryRun {
 		routes = dryRunRoutes{out: logger}
 	} else {
-		ipRoutes, err := linux.NewRoutes(runner, linux.RoutesConfig{
-			Device:      *device,
-			Gateway:     *gateway,
-			SetInitRwnd: *initRwnd,
-		})
-		if err != nil {
-			return err
-		}
 		if *reconcile {
 			// A previous incarnation may have died without
 			// withdrawing its routes; stale aggressive windows must
 			// not outlive their observations (Section III-C).
-			removed, err := ipRoutes.Reconcile()
+			removed, err := be.reconcile()
 			if err != nil {
 				logger.Printf("reconcile: %v", err)
 			}
@@ -151,7 +234,7 @@ func run(args []string) error {
 				logger.Printf("reconcile: withdrew %d stale riptide route(s)", removed)
 			}
 		}
-		routes = ipRoutes
+		routes = be.routes
 	}
 
 	// The retry decorator sits between the agent and the backend: bounded
@@ -274,8 +357,8 @@ func run(args []string) error {
 		}()
 	}
 
-	logger.Printf("started: i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s shards=%d dry-run=%v guard=%v",
-		*interval, *ttl, *alpha, *cmin, *cmax, *combiner, agent.Shards(), *dryRun, *guardOn)
+	logger.Printf("started: backend=%s i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s shards=%d dry-run=%v guard=%v",
+		be.name, *interval, *ttl, *alpha, *cmin, *cmax, *combiner, agent.Shards(), *dryRun, *guardOn)
 
 	if *verbose {
 		go func() {
@@ -303,6 +386,9 @@ func run(args []string) error {
 		<-persistDone
 	}
 	err = agent.Close()
+	if be.close != nil {
+		be.close()
+	}
 	s := agent.Stats()
 	rs := retry.Stats()
 	logger.Printf("stopped: ticks=%d observations=%d routes-set=%d routes-cleared=%d retries=%d fallbacks=%d degraded-ticks=%d",

@@ -19,6 +19,26 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+func TestRunUnknownBackend(t *testing.T) {
+	err := run([]string{"-backend", "quantum"})
+	if err == nil || !strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend accepted: %v", err)
+	}
+}
+
+func TestRunNetlinkBackendDryRun(t *testing.T) {
+	// Exercises the netlink sampler against the real kernel where possible;
+	// on hosts without NETLINK_SOCK_DIAG access the probe failure is the
+	// expected outcome and equally covers the selection path.
+	err := run([]string{"-backend", "netlink", "-dry-run", "-run-for", "120ms", "-interval", "20ms"})
+	if err != nil && !strings.Contains(err.Error(), "probe") {
+		t.Fatalf("netlink dry-run daemon: %v", err)
+	}
+	if err != nil {
+		t.Skipf("netlink unavailable here: %v", err)
+	}
+}
+
 // logCapture satisfies the dry-run printer.
 type logCapture struct{ lines []string }
 

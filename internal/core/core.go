@@ -158,6 +158,24 @@ type BatchRouteProgrammer interface {
 	ProgramRoutes(ops []RouteOp) []error
 }
 
+// Prober is an optional extension of ConnectionSampler and RouteProgrammer:
+// backends that can cheaply verify they will work on this host — right
+// kernel interface present, sufficient privileges — implement it, and the
+// daemon's backend auto-selection calls it at startup instead of discovering
+// a broken backend on the first tick. Probe must not mutate host state.
+type Prober interface {
+	Probe() error
+}
+
+// ProbeBackend probes v when it implements Prober and reports the result;
+// backends without a probe pass trivially.
+func ProbeBackend(v any) error {
+	if p, ok := v.(Prober); ok {
+		return p.Probe()
+	}
+	return nil
+}
+
 // Combiner reduces one destination's observations to a single window value.
 type Combiner interface {
 	Name() string

@@ -1,0 +1,53 @@
+package linux
+
+import (
+	"bytes"
+	"strconv"
+
+	"riptide/internal/core"
+)
+
+// RenderSS renders observations as the `ss -tin` text this package's parser
+// consumes — the inverse of AppendParseSS for the fields an Observation
+// carries. It exists for cross-backend testing: the same socket set can be
+// served to the exec sampler as text and to the netlink sampler as an
+// INET_DIAG binary dump, and the two pipelines compared end to end.
+//
+// Rendering mirrors ss faithfully: IPv6 peers are bracketed, rtt is
+// milliseconds as `srtt/rttvar`, retrans is `inflight/total`. RTT values
+// with sub-microsecond components do not survive the decimal rendering
+// exactly; fixtures wanting byte-identical cross-backend plans should stick
+// to whole-microsecond (ideally whole-millisecond) RTTs, which round-trip.
+func RenderSS(obs []core.Observation) []byte {
+	var b bytes.Buffer
+	b.WriteString("State Recv-Q Send-Q Local Address:Port Peer Address:Port\n")
+	for i := range obs {
+		o := &obs[i]
+		b.WriteString("ESTAB 0 0 10.0.0.5:44312 ")
+		if o.Dst.Is4() {
+			b.WriteString(o.Dst.String())
+		} else {
+			b.WriteByte('[')
+			b.WriteString(o.Dst.String())
+			b.WriteByte(']')
+		}
+		b.WriteString(":443\n")
+		b.WriteString("\t cubic wscale:7,7 rto:204 mss:1448 rtt:")
+		ms := float64(o.RTT.Microseconds()) / 1000
+		b.WriteString(strconv.FormatFloat(ms, 'g', -1, 64))
+		b.WriteByte('/')
+		b.WriteString(strconv.FormatFloat(ms/2, 'g', -1, 64))
+		b.WriteString(" cwnd:")
+		b.WriteString(strconv.Itoa(o.Cwnd))
+		b.WriteString(" bytes_acked:")
+		b.WriteString(strconv.FormatInt(o.BytesAcked, 10))
+		b.WriteString(" segs_out:")
+		b.WriteString(strconv.FormatInt(o.SegsOut, 10))
+		b.WriteString(" retrans:0/")
+		b.WriteString(strconv.FormatInt(o.Retrans, 10))
+		b.WriteString(" lost:")
+		b.WriteString(strconv.FormatInt(o.Lost, 10))
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}

@@ -1,0 +1,88 @@
+package linux
+
+import (
+	"errors"
+	"net/netip"
+	"os/exec"
+	"reflect"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/metrics"
+)
+
+func TestRenderSSRoundTrip(t *testing.T) {
+	want := []core.Observation{
+		{Dst: netip.MustParseAddr("10.1.2.3"), Cwnd: 42, RTT: 15 * time.Millisecond,
+			BytesAcked: 123456, Retrans: 3, Lost: 1, SegsOut: 900},
+		{Dst: netip.MustParseAddr("::ffff:172.16.0.8"), Cwnd: 77, RTT: 30 * time.Millisecond,
+			BytesAcked: 999, Retrans: 1, SegsOut: 50},
+		{Dst: netip.MustParseAddr("2001:db8::5"), Cwnd: 33, RTT: 95 * time.Millisecond,
+			BytesAcked: 4242, Lost: 2, SegsOut: 777},
+	}
+	got, err := ParseSS(RenderSS(want))
+	if err != nil {
+		t.Fatalf("ParseSS: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("render/parse round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestRenderSSFractionalRTT(t *testing.T) {
+	// Sub-millisecond RTTs render as decimal milliseconds and must survive
+	// the round trip at microsecond granularity.
+	want := []core.Observation{
+		{Dst: netip.MustParseAddr("10.0.0.9"), Cwnd: 10, RTT: 1500 * time.Microsecond},
+	}
+	got, err := ParseSS(RenderSS(want))
+	if err != nil {
+		t.Fatalf("ParseSS: %v", err)
+	}
+	if len(got) != 1 || got[0].RTT != want[0].RTT {
+		t.Fatalf("fractional RTT mangled: got %+v want %+v", got, want)
+	}
+}
+
+func TestExecRunnerClassifiesTimeouts(t *testing.T) {
+	if _, err := exec.LookPath("sleep"); err != nil {
+		t.Skip("sleep not available")
+	}
+	reg := metrics.NewRegistry()
+	r := ExecRunner{Timeout: 30 * time.Millisecond, Metrics: reg}
+	_, err := r.Run("sleep", "5")
+	if err == nil {
+		t.Fatal("want error from deadline kill")
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("deadline kill must wrap ErrTimeout, got %v", err)
+	}
+	if got := reg.Counter("exec_timeouts_sleep").Value(); got != 1 {
+		t.Fatalf("exec_timeouts_sleep = %d, want 1", got)
+	}
+	if got := reg.Counter("exec_errors_sleep").Value(); got != 0 {
+		t.Fatalf("exec_errors_sleep = %d, want 0 (timeouts are classified separately)", got)
+	}
+}
+
+func TestExecRunnerGenericFailureIsNotTimeout(t *testing.T) {
+	if _, err := exec.LookPath("false"); err != nil {
+		t.Skip("false not available")
+	}
+	reg := metrics.NewRegistry()
+	r := ExecRunner{Metrics: reg}
+	_, err := r.Run("false")
+	if err == nil {
+		t.Fatal("want error from failing command")
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("exit-status failure must not read as a timeout: %v", err)
+	}
+	if got := reg.Counter("exec_errors_false").Value(); got != 1 {
+		t.Fatalf("exec_errors_false = %d, want 1", got)
+	}
+	if got := reg.Counter("exec_timeouts_false").Value(); got != 0 {
+		t.Fatalf("exec_timeouts_false = %d, want 0", got)
+	}
+}

@@ -27,6 +27,12 @@ import (
 	"riptide/internal/metrics"
 )
 
+// ErrTimeout marks a command killed by the ExecRunner deadline, as opposed
+// to one that ran and failed. Callers distinguish the two with errors.Is:
+// timeouts usually mean the host is overloaded (retry later, or fall back),
+// while genuine failures mean the command or its arguments are wrong.
+var ErrTimeout = errors.New("linux: command timed out")
+
 // Runner executes an external command and returns its combined stdout.
 type Runner interface {
 	Run(name string, args ...string) ([]byte, error)
@@ -45,7 +51,10 @@ type ExecRunner struct {
 	// Timeout bounds each command; defaults to 5s when zero.
 	Timeout time.Duration
 	// Metrics, when set, receives per-command latency histograms
-	// (exec_duration_<cmd>) and failure counters (exec_errors_<cmd>).
+	// (exec_duration_<cmd>) and failure counters: deadline kills count in
+	// exec_timeouts_<cmd>, every other failure in exec_errors_<cmd>. The
+	// two are disjoint so a dashboard can tell "host too slow" from
+	// "command broken" at a glance.
 	Metrics *metrics.Registry
 }
 
@@ -68,7 +77,10 @@ func (r ExecRunner) run(input []byte, name string, args ...string) (out []byte, 
 		start := time.Now()
 		defer func() {
 			r.Metrics.Histogram("exec_duration_" + name).Observe(time.Since(start))
-			if err != nil {
+			switch {
+			case errors.Is(err, ErrTimeout):
+				r.Metrics.Counter("exec_timeouts_" + name).Inc()
+			case err != nil:
 				r.Metrics.Counter("exec_errors_" + name).Inc()
 			}
 		}()
@@ -81,6 +93,13 @@ func (r ExecRunner) run(input []byte, name string, args ...string) (out []byte, 
 	}
 	out, err = cmd.Output()
 	if err != nil {
+		// A deadline kill surfaces as "signal: killed" from the child, which
+		// looks identical to an OOM kill; the context verdict is what tells
+		// them apart, so classify on it rather than the exec error.
+		if ctx.Err() == context.DeadlineExceeded {
+			return nil, fmt.Errorf("linux: %s %s: %w after %v",
+				name, strings.Join(args, " "), ErrTimeout, timeout)
+		}
 		var exitErr *exec.ExitError
 		if errors.As(err, &exitErr) {
 			return nil, fmt.Errorf("linux: %s %s: %w (stderr: %s)",

@@ -1,0 +1,17 @@
+package netlink
+
+// Conn is one netlink socket conversation. Send writes one request datagram
+// (which may carry several messages, as a batched route program does);
+// Receive reads the next response datagram into p and returns its byte
+// count. Implementations: the Linux netlink socket (Dial, conn_linux.go)
+// and the in-memory MemConn used by tests and benchmarks.
+type Conn interface {
+	Send(req []byte) error
+	Receive(p []byte) (int, error)
+	Close() error
+}
+
+// DialFunc opens a netlink conversation for the given protocol (ProtoRoute
+// or ProtoSockDiag). The zero value of the Sampler/Routes configs means the
+// platform Dial; tests and benchmarks inject MemConn.Dialer().
+type DialFunc func(proto int) (Conn, error)

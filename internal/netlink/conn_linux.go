@@ -1,0 +1,61 @@
+//go:build linux
+
+package netlink
+
+import (
+	"fmt"
+	"syscall"
+	"time"
+)
+
+// dialTimeout bounds each blocking netlink send/receive so a wedged kernel
+// conversation surfaces as an error (and a backend fallback) instead of a
+// hung tick. Generous relative to real dump latency (microseconds to low
+// milliseconds).
+const dialTimeout = 3 * time.Second
+
+// Dial opens a netlink socket of the given protocol (ProtoSockDiag or
+// ProtoRoute) bound to this process, with send/receive timeouts applied.
+func Dial(proto int) (Conn, error) {
+	fd, err := syscall.Socket(syscall.AF_NETLINK, syscall.SOCK_RAW|syscall.SOCK_CLOEXEC, proto)
+	if err != nil {
+		return nil, fmt.Errorf("netlink: socket(AF_NETLINK, proto %d): %w", proto, err)
+	}
+	if err := syscall.Bind(fd, &syscall.SockaddrNetlink{Family: syscall.AF_NETLINK}); err != nil {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("netlink: bind(proto %d): %w", proto, err)
+	}
+	tv := syscall.NsecToTimeval(int64(dialTimeout))
+	// Timeouts are best-effort; a kernel that rejects them still works, it
+	// just blocks indefinitely on a wedged conversation.
+	_ = syscall.SetsockoptTimeval(fd, syscall.SOL_SOCKET, syscall.SO_RCVTIMEO, &tv)
+	_ = syscall.SetsockoptTimeval(fd, syscall.SOL_SOCKET, syscall.SO_SNDTIMEO, &tv)
+	return &socketConn{fd: fd}, nil
+}
+
+// socketConn is the real netlink socket. Calls block the OS thread (raw fd,
+// not runtime-poller integrated), bounded by the socket timeouts; the agent
+// issues at most one sampler and one programmer conversation per tick, so
+// this costs one thread, not one per destination.
+type socketConn struct {
+	fd int
+}
+
+// Send implements Conn.
+func (c *socketConn) Send(req []byte) error {
+	return syscall.Sendto(c.fd, req, 0, &syscall.SockaddrNetlink{Family: syscall.AF_NETLINK})
+}
+
+// Receive implements Conn.
+func (c *socketConn) Receive(p []byte) (int, error) {
+	n, _, err := syscall.Recvfrom(c.fd, p, 0)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Close implements Conn.
+func (c *socketConn) Close() error {
+	return syscall.Close(c.fd)
+}

@@ -1,0 +1,158 @@
+package perf
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/linux"
+	"riptide/internal/netlink"
+)
+
+// catRunner backs the exec-sampler benchmark: it satisfies linux.Runner by
+// really forking a process per sample — `cat <fixture>` standing in for
+// `ss -tin` — so the measurement carries the exec backend's true per-tick
+// cost (fork/exec, pipe copy, text parse) against a deterministic fixture.
+type catRunner struct {
+	runner linux.ExecRunner
+	path   string
+}
+
+func (c catRunner) Run(name string, args ...string) ([]byte, error) {
+	return c.runner.Run("cat", c.path)
+}
+
+// trueRunner backs the exec route-programming benchmark: a BatchRunner that
+// forks `true` in place of `ip -force -batch -`, keeping the full exec cost
+// (fork/exec plus batch-script rendering and stdin pipe) while programming
+// nothing.
+type trueRunner struct {
+	runner linux.ExecRunner
+}
+
+func (t trueRunner) Run(name string, args ...string) ([]byte, error) {
+	return t.runner.Run("true")
+}
+
+func (t trueRunner) RunInput(input []byte, name string, args ...string) ([]byte, error) {
+	return t.runner.RunInput(input, "true")
+}
+
+// CollectBackends measures the sampling and route-programming backends
+// head to head: the netlink backend against an in-memory kernel serving
+// canned INET_DIAG dumps, the exec backend forking a real process per
+// operation over the equivalent text fixture. The exec points are skipped
+// (not failed) on hosts without the stand-in binaries.
+func CollectBackends(sizes []int, minTime time.Duration) ([]Benchmark, error) {
+	var out []Benchmark
+	haveCat := commandAvailable("cat")
+	haveTrue := commandAvailable("true")
+	for _, size := range sizes {
+		obs := SyntheticObservations(size)
+
+		mem := &netlink.MemConn{Sockets: obs}
+		nlSampler, err := netlink.NewSampler(netlink.SamplerConfig{Dial: mem.Dialer()})
+		if err != nil {
+			return nil, err
+		}
+		var buf []core.Observation
+		b, err := Measure(fmt.Sprintf("SamplerBackend/socks=%d/backend=netlink", size), minTime, func() error {
+			buf, err = nlSampler.SampleConnections(buf[:0])
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		b.Destinations = size
+		out = append(out, b)
+
+		if !haveCat {
+			continue
+		}
+		dir, err := os.MkdirTemp("", "riptide-bench")
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, "ss.txt")
+		if err := os.WriteFile(path, linux.RenderSS(obs), 0o644); err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		execSampler, err := linux.NewSampler(catRunner{path: path})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, err
+		}
+		b, err = Measure(fmt.Sprintf("SamplerBackend/socks=%d/backend=exec", size), minTime, func() error {
+			buf, err = execSampler.SampleConnections(buf[:0])
+			return err
+		})
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, err
+		}
+		b.Destinations = size
+		out = append(out, b)
+	}
+
+	ops := syntheticRouteOps(routeProgramOps)
+	mem := &netlink.MemConn{DiscardRoutes: true}
+	nlRoutes, err := netlink.NewRoutes(netlink.RoutesConfig{
+		Dial: mem.Dialer(),
+		RoutesConfig: linux.RoutesConfig{
+			Gateway: "10.0.0.1",
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	b, err := Measure(fmt.Sprintf("RouteProgramBackend/ops=%d/backend=netlink", routeProgramOps), minTime, func() error {
+		if errs := nlRoutes.ProgramRoutes(ops); errs != nil {
+			return fmt.Errorf("perf: netlink route errors: %v", errs)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, b)
+
+	if haveTrue {
+		execRoutes, err := linux.NewRoutes(trueRunner{}, linux.RoutesConfig{Gateway: "10.0.0.1"})
+		if err != nil {
+			return nil, err
+		}
+		b, err := Measure(fmt.Sprintf("RouteProgramBackend/ops=%d/backend=exec", routeProgramOps), minTime, func() error {
+			if errs := execRoutes.ProgramRoutes(ops); errs != nil {
+				return fmt.Errorf("perf: exec route errors: %v", errs)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// syntheticRouteOps builds n install ops over distinct /24s.
+func syntheticRouteOps(n int) []core.RouteOp {
+	ops := make([]core.RouteOp, n)
+	for i := range ops {
+		ops[i] = core.RouteOp{
+			Prefix: netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i / 250), byte(i % 250), 0}), 24),
+			Window: 10 + i%90,
+		}
+	}
+	return ops
+}
+
+func commandAvailable(name string) bool {
+	_, err := exec.LookPath(name)
+	return err == nil
+}
