@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard fuzz-netlink examples clean
+.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard fuzz-netlink fuzz-scenario scenarios examples clean
 
 all: check
 
@@ -63,6 +63,17 @@ fuzz-guard:
 fuzz-netlink:
 	$(GO) test -fuzz=FuzzParseInetDiagMsg -fuzztime=30s ./internal/netlink
 	$(GO) test -fuzz=FuzzParseRouteMsg -fuzztime=30s ./internal/netlink
+
+# Fuzz the scenario engine: the YAML-subset decoder and the schema layer
+# must never panic, and whatever they accept must round-trip.
+fuzz-scenario:
+	$(GO) test -fuzz=FuzzDecodeYAML -fuzztime=30s ./internal/scenario
+	$(GO) test -fuzz=FuzzParseScenario -fuzztime=30s ./internal/scenario
+
+# Validate and execute the committed scenario library.
+scenarios:
+	$(GO) run ./cmd/riptide-sim validate scenarios/*.yaml
+	$(GO) run ./cmd/riptide-sim run scenarios/*.yaml
 
 examples:
 	$(GO) run ./examples/quickstart

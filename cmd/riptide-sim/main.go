@@ -5,6 +5,11 @@
 //
 //	riptide-sim -exp all -scale quick
 //	riptide-sim -exp fig10 -duration 30m -seed 3
+//
+// It also executes declarative YAML scenarios (see docs/scenarios.md):
+//
+//	riptide-sim run scenarios/guard-capacity-cut.yaml
+//	riptide-sim validate scenarios/*.yaml
 package main
 
 import (
@@ -12,10 +17,13 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
 	"riptide/internal/cdn"
 	"riptide/internal/experiments"
+	"riptide/internal/scenario"
 	"riptide/internal/trace"
 	"riptide/internal/workload"
 )
@@ -27,6 +35,68 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "run":
+			return runScenarios(args[1:], true)
+		case "validate":
+			return runScenarios(args[1:], false)
+		}
+	}
+	return runExperiments(args)
+}
+
+// runScenarios parses (and with execute set, runs) each scenario file. The
+// report JSON goes to stdout; any parse error or failed assertion makes the
+// command exit non-zero.
+func runScenarios(paths []string, execute bool) error {
+	if len(paths) == 0 {
+		verb := "validate"
+		if execute {
+			verb = "run"
+		}
+		return fmt.Errorf("usage: riptide-sim %s <scenario.yaml> [more.yaml ...]", verb)
+	}
+	failed := false
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		sp, err := scenario.Parse(src)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if !execute {
+			fmt.Fprintf(os.Stderr, "%s: ok (%s: %d events, %d assertions)\n",
+				path, sp.Name, len(sp.Events), len(sp.Assertions))
+			continue
+		}
+		start := time.Now()
+		rep, err := sp.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		b, err := rep.Encode()
+		if err != nil {
+			return err
+		}
+		if _, err := os.Stdout.Write(b); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%s finished in %v\n", sp.Name, time.Since(start).Round(time.Millisecond))
+		if !rep.Pass {
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: assertions FAILED\n", path)
+		}
+	}
+	if failed {
+		return fmt.Errorf("one or more scenarios failed their assertions")
+	}
+	return nil
+}
+
+func runExperiments(args []string) error {
 	fs := flag.NewFlagSet("riptide-sim", flag.ContinueOnError)
 	var (
 		exp      = fs.String("exp", "all", "experiment: table2|fig10|fig11|fig12|fig13|fig14|fig15|fig16|edge|headline|all")
@@ -110,7 +180,13 @@ func run(args []string) error {
 	selected := order
 	if *exp != "all" {
 		if _, ok := runners[*exp]; !ok {
-			return fmt.Errorf("unknown experiment %q", *exp)
+			valid := make([]string, 0, len(runners)+1)
+			for name := range runners {
+				valid = append(valid, name)
+			}
+			valid = append(valid, "all")
+			sort.Strings(valid)
+			return fmt.Errorf("unknown experiment %q (valid: %s)", *exp, strings.Join(valid, " "))
 		}
 		selected = []string{*exp}
 	}

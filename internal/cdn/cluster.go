@@ -170,6 +170,15 @@ type ProbeRecord struct {
 	At time.Duration
 }
 
+// ProbeFailure records one probe that could not even open its connection —
+// the fingerprint of a partition or a torn-down path.
+type ProbeFailure struct {
+	// Src and Dst are PoP names.
+	Src, Dst string
+	// At is the simulated time the open failed.
+	At time.Duration
+}
+
 // CwndSample is one periodic `ss` observation of a live connection.
 type CwndSample struct {
 	// Src is the sampling machine's PoP; Host its address.
@@ -199,14 +208,18 @@ type Cluster struct {
 	pools map[poolKey][]*pooledConn
 
 	probes      []ProbeRecord
+	probeFailed []ProbeFailure
 	cwndSamples []CwndSample
 	epoch       time.Duration
 }
 
 // agentSlot indirects agent access so a PoP reboot can swap in a fresh
-// agent while the per-host ticker keeps firing.
+// agent while the per-host ticker keeps firing. gov is the agent's safety
+// governor when RiptideOptions.Guard is set (nil otherwise); it is rebuilt
+// together with the agent on reboot.
 type agentSlot struct {
 	agent *core.Agent
+	gov   *guard.Governor
 }
 
 type poolKey struct{ src, dst netip.Addr }
@@ -333,20 +346,23 @@ func hostAddr(p PoP, i int) (netip.Addr, error) {
 	return netip.AddrFrom4(b), nil
 }
 
-// newAgentForHost builds a Riptide agent bound to one simulated machine.
-func (c *Cluster) newAgentForHost(h *kernel.Host) (*core.Agent, error) {
+// newAgentForHost builds a Riptide agent bound to one simulated machine,
+// returning the agent and its governor (nil when guarding is off).
+func (c *Cluster) newAgentForHost(h *kernel.Host) (*core.Agent, *guard.Governor, error) {
 	r := c.cfg.Riptide
+	var g *guard.Governor
 	var gov core.Governor
 	if r.Guard != nil {
 		gcfg := *r.Guard
 		gcfg.Clock = c.engine.Now
-		g, err := guard.New(gcfg)
+		var err error
+		g, err = guard.New(gcfg)
 		if err != nil {
-			return nil, fmt.Errorf("cdn: guard for %v: %w", h.Addr(), err)
+			return nil, nil, fmt.Errorf("cdn: guard for %v: %w", h.Addr(), err)
 		}
 		gov = g
 	}
-	return core.New(core.Config{
+	agent, err := core.New(core.Config{
 		Guard:          gov,
 		Sampler:        &hostSampler{host: h},
 		Routes:         &hostRoutes{host: h},
@@ -360,6 +376,10 @@ func (c *Cluster) newAgentForHost(h *kernel.Host) (*core.Agent, error) {
 		Combiner:       r.Combiner,
 		History:        r.History,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return agent, g, nil
 }
 
 func (c *Cluster) startRiptide() error {
@@ -368,11 +388,11 @@ func (c *Cluster) startRiptide() error {
 	// irreproducible across identical seeds.
 	for _, p := range c.pops {
 		for _, h := range c.hosts[p.Name] {
-			agent, err := c.newAgentForHost(h)
+			agent, gov, err := c.newAgentForHost(h)
 			if err != nil {
 				return fmt.Errorf("cdn: riptide agent for %s/%v: %w", p.Name, h.Addr(), err)
 			}
-			slot := &agentSlot{agent: agent}
+			slot := &agentSlot{agent: agent, gov: gov}
 			c.agents[h.Addr()] = slot
 			interval := agent.Config().UpdateInterval
 			tk, err := eventsim.NewTicker(c.engine, interval, func(time.Duration) {
@@ -410,11 +430,12 @@ func (c *Cluster) RebootPoP(name string) (int, error) {
 		}
 		if slot, ok := c.agents[h.Addr()]; ok {
 			_ = slot.agent.Close()
-			fresh, err := c.newAgentForHost(h)
+			fresh, gov, err := c.newAgentForHost(h)
 			if err != nil {
 				return closed, fmt.Errorf("cdn: restart agent for %s/%v: %w", name, h.Addr(), err)
 			}
 			slot.agent = fresh
+			slot.gov = gov
 		}
 	}
 	return closed, nil
@@ -464,6 +485,9 @@ func (c *Cluster) pickHost(p PoP) *kernel.Host {
 func (c *Cluster) sendProbe(src PoP, srcHost *kernel.Host, dst PoP, dstHost *kernel.Host, size int) {
 	conn, fresh, err := c.grabConn(srcHost.Addr(), dstHost.Addr())
 	if err != nil {
+		c.probeFailed = append(c.probeFailed, ProbeFailure{
+			Src: src.Name, Dst: dst.Name, At: c.engine.Now(),
+		})
 		return
 	}
 	rtt, _ := c.net.PathRTT(srcHost.Addr(), dstHost.Addr())
@@ -702,4 +726,44 @@ func (c *Cluster) CwndSamples() []CwndSample {
 	out := make([]CwndSample, len(c.cwndSamples))
 	copy(out, c.cwndSamples)
 	return out
+}
+
+// ProbeFailures returns every probe that failed to open a connection so far.
+func (c *Cluster) ProbeFailures() []ProbeFailure {
+	out := make([]ProbeFailure, len(c.probeFailed))
+	copy(out, c.probeFailed)
+	return out
+}
+
+// TotalRetransmits reports the cumulative segments retransmitted across the
+// whole network since construction. Sampled at phase boundaries it yields a
+// deterministic per-window retransmit count.
+func (c *Cluster) TotalRetransmits() int64 { return c.net.Retransmitted() }
+
+// TotalRoutes sums the learned route entries of every live agent, in
+// topology order — the fleet's programmed-route footprint.
+func (c *Cluster) TotalRoutes() int {
+	n := 0
+	for _, p := range c.pops {
+		for _, h := range c.hosts[p.Name] {
+			if slot, ok := c.agents[h.Addr()]; ok && slot.agent != nil {
+				n += len(slot.agent.Entries())
+			}
+		}
+	}
+	return n
+}
+
+// QuarantineCount sums the currently quarantined destinations across every
+// agent's safety governor. It is zero when RiptideOptions.Guard is unset.
+func (c *Cluster) QuarantineCount() int {
+	n := 0
+	for _, p := range c.pops {
+		for _, h := range c.hosts[p.Name] {
+			if slot, ok := c.agents[h.Addr()]; ok && slot.gov != nil {
+				n += len(slot.gov.Quarantines())
+			}
+		}
+	}
+	return n
 }

@@ -83,11 +83,12 @@ func (c *Cluster) RebootHost(name string, idx int) (int, error) {
 	}
 	if slot, ok := c.agents[h.Addr()]; ok {
 		_ = slot.agent.Close()
-		fresh, err := c.newAgentForHost(h)
+		fresh, gov, err := c.newAgentForHost(h)
 		if err != nil {
 			return closed, fmt.Errorf("cdn: restart agent for %s[%d]: %w", name, idx, err)
 		}
 		slot.agent = fresh
+		slot.gov = gov
 	}
 	return closed, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"riptide/internal/kernel"
 	"riptide/internal/netsim"
 )
 
@@ -35,6 +36,127 @@ func (c *Cluster) SetPoPPathLoss(name string, lossRate float64) error {
 		}
 	}
 	return nil
+}
+
+// SetPoPPathCapacity sets the bottleneck capacity (segments per RTT, 0 =
+// unlimited) on every path into and out of the named PoP — a capacity cut
+// with site-wide blast radius, such as a backbone failure at the site's edge.
+func (c *Cluster) SetPoPPathCapacity(name string, segments int) error {
+	hs, ok := c.hosts[name]
+	if !ok {
+		return fmt.Errorf("cdn: unknown PoP %q", name)
+	}
+	for _, other := range c.pops {
+		if other.Name == name {
+			continue
+		}
+		for _, h := range hs {
+			for _, oh := range c.hosts[other.Name] {
+				if err := c.net.SetPathCapacity(h.Addr(), oh.Addr(), segments); err != nil {
+					return err
+				}
+				if err := c.net.SetPathCapacity(oh.Addr(), h.Addr(), segments); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// pairHosts resolves two distinct PoPs to their machine lists.
+func (c *Cluster) pairHosts(a, b string) (ha, hb []*kernel.Host, err error) {
+	ha, ok := c.hosts[a]
+	if !ok {
+		return nil, nil, fmt.Errorf("cdn: unknown PoP %q", a)
+	}
+	hb, ok = c.hosts[b]
+	if !ok {
+		return nil, nil, fmt.Errorf("cdn: unknown PoP %q", b)
+	}
+	if a == b {
+		return nil, nil, fmt.Errorf("cdn: PoP pair needs two distinct PoPs, got %q twice", a)
+	}
+	return ha, hb, nil
+}
+
+// SetPoPPairCapacity sets the bottleneck capacity on every path between two
+// PoPs, in both directions — a cut confined to one inter-site link.
+func (c *Cluster) SetPoPPairCapacity(a, b string, segments int) error {
+	ha, hb, err := c.pairHosts(a, b)
+	if err != nil {
+		return err
+	}
+	for _, x := range ha {
+		for _, y := range hb {
+			if err := c.net.SetPathCapacity(x.Addr(), y.Addr(), segments); err != nil {
+				return err
+			}
+			if err := c.net.SetPathCapacity(y.Addr(), x.Addr(), segments); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SetPoPPairRTT sets the round-trip time on every path between two PoPs, in
+// both directions — a route flap onto a longer (or shorter) backbone path.
+func (c *Cluster) SetPoPPairRTT(a, b string, rtt time.Duration) error {
+	ha, hb, err := c.pairHosts(a, b)
+	if err != nil {
+		return err
+	}
+	for _, x := range ha {
+		for _, y := range hb {
+			if err := c.net.SetPathRTT(x.Addr(), y.Addr(), rtt); err != nil {
+				return err
+			}
+			if err := c.net.SetPathRTT(y.Addr(), x.Addr(), rtt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// BaselinePairRTT returns the topology-derived RTT between two PoPs — the
+// value paths between them were built with, and the one flaps restore.
+func (c *Cluster) BaselinePairRTT(a, b string) (time.Duration, error) {
+	pa, ok := c.byName[a]
+	if !ok {
+		return 0, fmt.Errorf("cdn: unknown PoP %q", a)
+	}
+	pb, ok := c.byName[b]
+	if !ok {
+		return 0, fmt.Errorf("cdn: unknown PoP %q", b)
+	}
+	return RTTBetween(pa, pb), nil
+}
+
+// PartitionPoPs blocks (or unblocks) every path between two PoPs. Blocking
+// also force-closes the connections currently crossing the partition, like a
+// real split kills established flows; it returns how many closed.
+func (c *Cluster) PartitionPoPs(a, b string, blocked bool) (int, error) {
+	ha, hb, err := c.pairHosts(a, b)
+	if err != nil {
+		return 0, err
+	}
+	closed := 0
+	for _, x := range ha {
+		for _, y := range hb {
+			if err := c.net.SetPathBlocked(x.Addr(), y.Addr(), blocked); err != nil {
+				return closed, err
+			}
+			if err := c.net.SetPathBlocked(y.Addr(), x.Addr(), blocked); err != nil {
+				return closed, err
+			}
+			if blocked {
+				closed += c.net.CloseConnsBetween(x.Addr(), y.Addr())
+			}
+		}
+	}
+	return closed, nil
 }
 
 // InjectTransfer sends one application transfer between PoPs through the
@@ -120,6 +242,12 @@ func (f FlashCrowd) Apply(c *Cluster) error {
 	}
 	if f.RatePerPoP <= 0 || f.For <= 0 {
 		return fmt.Errorf("cdn: flash crowd needs positive rate and duration")
+	}
+	if f.At < 0 {
+		return fmt.Errorf("cdn: flash crowd start %v must not be negative", f.At)
+	}
+	if f.SizeBytes < 0 {
+		return fmt.Errorf("cdn: flash crowd size %d bytes must not be negative", f.SizeBytes)
 	}
 	size := f.SizeBytes
 	if size == 0 {
@@ -235,8 +363,172 @@ func (r RollingReboots) Apply(c *Cluster) error {
 	return nil
 }
 
+// CapacityCut collapses the bottleneck capacity of the WAN paths touching
+// one PoP — the mid-run event the safety governor exists for. With From set
+// the cut is confined to the From<->PoP pair; otherwise every path in and out
+// of the PoP shrinks. A zero For makes the cut permanent.
+type CapacityCut struct {
+	// PoP is the site whose paths are cut.
+	PoP string
+	// From, when non-empty, restricts the cut to the From<->PoP pair.
+	From string
+	// At is when capacity collapses; For is how long (0 = permanent).
+	At, For time.Duration
+	// Segments is the post-cut capacity (segments per RTT, >= 1).
+	Segments int
+	// RestoreSegments is reinstated at At+For when For > 0 (0 = unlimited).
+	RestoreSegments int
+}
+
+// Name implements Scenario.
+func (cc CapacityCut) Name() string { return "capacity-cut" }
+
+// Window implements Scenario.
+func (cc CapacityCut) Window() (time.Duration, time.Duration) { return cc.At, cc.At + cc.For }
+
+// AffectedPoPs implements Scenario.
+func (cc CapacityCut) AffectedPoPs() []string {
+	if cc.From != "" {
+		return []string{cc.PoP, cc.From}
+	}
+	return []string{cc.PoP}
+}
+
+func (cc CapacityCut) set(c *Cluster, segments int) error {
+	if cc.From != "" {
+		return c.SetPoPPairCapacity(cc.From, cc.PoP, segments)
+	}
+	return c.SetPoPPathCapacity(cc.PoP, segments)
+}
+
+// Apply implements Scenario.
+func (cc CapacityCut) Apply(c *Cluster) error {
+	if _, ok := c.byName[cc.PoP]; !ok {
+		return fmt.Errorf("cdn: capacity cut PoP %q unknown", cc.PoP)
+	}
+	if cc.From != "" {
+		if _, ok := c.byName[cc.From]; !ok {
+			return fmt.Errorf("cdn: capacity cut PoP %q unknown", cc.From)
+		}
+		if cc.From == cc.PoP {
+			return fmt.Errorf("cdn: capacity cut pair needs two distinct PoPs, got %q twice", cc.PoP)
+		}
+	}
+	if cc.At < 0 || cc.For < 0 {
+		return fmt.Errorf("cdn: capacity cut times must not be negative")
+	}
+	if cc.Segments < 1 {
+		return fmt.Errorf("cdn: capacity cut to %d segments/RTT must be >= 1", cc.Segments)
+	}
+	if cc.RestoreSegments < 0 {
+		return fmt.Errorf("cdn: capacity restore %d segments/RTT must be >= 0", cc.RestoreSegments)
+	}
+	if err := c.ScheduleAt(cc.At, func() {
+		_ = cc.set(c, cc.Segments)
+	}); err != nil {
+		return err
+	}
+	if cc.For == 0 {
+		return nil
+	}
+	return c.ScheduleAt(cc.At+cc.For, func() {
+		_ = cc.set(c, cc.RestoreSegments)
+	})
+}
+
+// PathFlap models a route change between two PoPs: for a window, the paths
+// between them run at a multiple of their topology RTT (traffic detoured onto
+// a longer backbone route), then snap back.
+type PathFlap struct {
+	// A and B are the PoPs whose interconnect flaps.
+	A, B string
+	// At / For bound the episode.
+	At, For time.Duration
+	// RTTScale multiplies the pair's baseline RTT during the window
+	// (e.g. 2.0 = detour twice as long). Must be positive.
+	RTTScale float64
+}
+
+// Name implements Scenario.
+func (f PathFlap) Name() string { return "path-flap" }
+
+// Window implements Scenario.
+func (f PathFlap) Window() (time.Duration, time.Duration) { return f.At, f.At + f.For }
+
+// AffectedPoPs implements Scenario.
+func (f PathFlap) AffectedPoPs() []string { return []string{f.A, f.B} }
+
+// Apply implements Scenario.
+func (f PathFlap) Apply(c *Cluster) error {
+	base, err := c.BaselinePairRTT(f.A, f.B)
+	if err != nil {
+		return err
+	}
+	if f.A == f.B {
+		return fmt.Errorf("cdn: path flap needs two distinct PoPs, got %q twice", f.A)
+	}
+	if f.At < 0 || f.For <= 0 {
+		return fmt.Errorf("cdn: path flap needs a non-negative start and positive duration")
+	}
+	if f.RTTScale <= 0 {
+		return fmt.Errorf("cdn: path flap RTT scale %v must be positive", f.RTTScale)
+	}
+	flapped := time.Duration(float64(base) * f.RTTScale)
+	if flapped <= 0 {
+		return fmt.Errorf("cdn: path flap RTT scale %v underflows the %v baseline", f.RTTScale, base)
+	}
+	if err := c.ScheduleAt(f.At, func() {
+		_ = c.SetPoPPairRTT(f.A, f.B, flapped)
+	}); err != nil {
+		return err
+	}
+	return c.ScheduleAt(f.At+f.For, func() {
+		_ = c.SetPoPPairRTT(f.A, f.B, base)
+	})
+}
+
+// PeerPartition severs connectivity between two PoPs for a window: existing
+// connections between them die, new opens fail, and traffic resumes when the
+// partition heals.
+type PeerPartition struct {
+	// A and B are the partitioned PoPs.
+	A, B string
+	// At / For bound the partition.
+	At, For time.Duration
+}
+
+// Name implements Scenario.
+func (p PeerPartition) Name() string { return "peer-partition" }
+
+// Window implements Scenario.
+func (p PeerPartition) Window() (time.Duration, time.Duration) { return p.At, p.At + p.For }
+
+// AffectedPoPs implements Scenario.
+func (p PeerPartition) AffectedPoPs() []string { return []string{p.A, p.B} }
+
+// Apply implements Scenario.
+func (p PeerPartition) Apply(c *Cluster) error {
+	if _, _, err := c.pairHosts(p.A, p.B); err != nil {
+		return err
+	}
+	if p.At < 0 || p.For <= 0 {
+		return fmt.Errorf("cdn: peer partition needs a non-negative start and positive duration")
+	}
+	if err := c.ScheduleAt(p.At, func() {
+		_, _ = c.PartitionPoPs(p.A, p.B, true)
+	}); err != nil {
+		return err
+	}
+	return c.ScheduleAt(p.At+p.For, func() {
+		_, _ = c.PartitionPoPs(p.A, p.B, false)
+	})
+}
+
 var (
 	_ Scenario = FlashCrowd{}
 	_ Scenario = RegionalDegradation{}
 	_ Scenario = RollingReboots{}
+	_ Scenario = CapacityCut{}
+	_ Scenario = PathFlap{}
+	_ Scenario = PeerPartition{}
 )

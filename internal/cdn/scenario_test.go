@@ -228,3 +228,197 @@ func TestRTTBucketString(t *testing.T) {
 		t.Error("unknown bucket empty")
 	}
 }
+
+func TestCapacityCutScenario(t *testing.T) {
+	c, err := NewCluster(Config{
+		PoPs:             smallTopology(),
+		Seed:             47,
+		CapacitySegments: 400,
+		Riptide:          RiptideOptions{Enabled: false},
+		Traffic:          TrafficOptions{ProbeInterval: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := CapacityCut{
+		PoP:             "nrt",
+		From:            "lhr",
+		At:              10 * time.Second,
+		For:             time.Minute,
+		Segments:        5,
+		RestoreSegments: 400,
+	}
+	if err := cut.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	var during, after netsim.TransferResult
+	_ = c.ScheduleAt(20*time.Second, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 512*1024, func(r netsim.TransferResult) { during = r })
+	})
+	_ = c.ScheduleAt(2*time.Minute, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 512*1024, func(r netsim.TransferResult) { after = r })
+	})
+	c.Run(4 * time.Minute)
+	c.Stop()
+	if during.Retransmits == 0 {
+		t.Error("no retransmits through the capacity cut")
+	}
+	if after.Retransmits >= during.Retransmits {
+		t.Errorf("post-restore retransmits %d >= during %d", after.Retransmits, during.Retransmits)
+	}
+
+	if err := (CapacityCut{PoP: "nope", Segments: 10}).Apply(c); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+	if err := (CapacityCut{PoP: "nrt", From: "nope", Segments: 10}).Apply(c); err == nil {
+		t.Error("unknown From accepted")
+	}
+	if err := (CapacityCut{PoP: "nrt", From: "nrt", Segments: 10}).Apply(c); err == nil {
+		t.Error("self pair accepted")
+	}
+	if err := (CapacityCut{PoP: "nrt", Segments: 0}).Apply(c); err == nil {
+		t.Error("zero segments accepted")
+	}
+	if err := (CapacityCut{PoP: "nrt", Segments: 10, At: -time.Second}).Apply(c); err == nil {
+		t.Error("negative start accepted")
+	}
+}
+
+func TestPathFlapScenario(t *testing.T) {
+	c := newSmallCluster(t, false, 48)
+	base, err := c.BaselinePairRTT("lhr", "nrt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	flap := PathFlap{A: "lhr", B: "nrt", At: 10 * time.Second, For: time.Minute, RTTScale: 3}
+	if err := flap.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	var during, after netsim.TransferResult
+	_ = c.ScheduleAt(20*time.Second, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 1000, func(r netsim.TransferResult) { during = r })
+	})
+	_ = c.ScheduleAt(2*time.Minute, func() {
+		_ = c.InjectTransfer("lhr", "nrt", 1000, func(r netsim.TransferResult) { after = r })
+	})
+	c.Run(4 * time.Minute)
+	c.Stop()
+	// A one-round transfer's elapsed time is one (possibly flapped) RTT.
+	if during.Elapsed < time.Duration(2.9*float64(base)) {
+		t.Errorf("during-flap transfer %v not slowed (baseline %v)", during.Elapsed, base)
+	}
+	if after.Elapsed != base {
+		t.Errorf("post-flap transfer %v, want baseline %v", after.Elapsed, base)
+	}
+
+	if err := (PathFlap{A: "lhr", B: "nope", For: time.Second, RTTScale: 2}).Apply(c); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+	if err := (PathFlap{A: "lhr", B: "lhr", For: time.Second, RTTScale: 2}).Apply(c); err == nil {
+		t.Error("self flap accepted")
+	}
+	if err := (PathFlap{A: "lhr", B: "nrt", For: time.Second, RTTScale: 0}).Apply(c); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestPeerPartitionScenario(t *testing.T) {
+	c := newSmallCluster(t, false, 49)
+	part := PeerPartition{A: "lhr", B: "nrt", At: 45 * time.Second, For: 90 * time.Second}
+	if err := part.Apply(c); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-partition, transfers between the pair cannot open; unrelated
+	// pairs are fine; afterwards the pair heals.
+	var midErr, otherErr, afterErr error
+	ran := false
+	_ = c.ScheduleAt(time.Minute, func() {
+		midErr = c.InjectTransfer("lhr", "nrt", 1000, nil)
+		otherErr = c.InjectTransfer("lhr", "fra", 1000, nil)
+	})
+	_ = c.ScheduleAt(3*time.Minute, func() {
+		afterErr = c.InjectTransfer("lhr", "nrt", 1000, nil)
+		ran = true
+	})
+	c.Run(4 * time.Minute)
+	c.Stop()
+	if !ran {
+		t.Fatal("schedule did not run")
+	}
+	if midErr == nil {
+		t.Error("transfer across the partition succeeded")
+	}
+	if otherErr != nil {
+		t.Errorf("unrelated pair failed: %v", otherErr)
+	}
+	if afterErr != nil {
+		t.Errorf("post-heal transfer failed: %v", afterErr)
+	}
+	// Probes across the partition were recorded as failures.
+	failed := false
+	for _, f := range c.ProbeFailures() {
+		pair := (f.Src == "lhr" && f.Dst == "nrt") || (f.Src == "nrt" && f.Dst == "lhr")
+		if pair {
+			failed = true
+			if f.At < 45*time.Second || f.At >= 135*time.Second {
+				t.Errorf("failure at %v outside the partition window", f.At)
+			}
+		}
+	}
+	if !failed {
+		t.Error("no probe failures recorded across the partition")
+	}
+
+	if err := (PeerPartition{A: "lhr", B: "nope", For: time.Second}).Apply(c); err == nil {
+		t.Error("unknown PoP accepted")
+	}
+	if err := (PeerPartition{A: "lhr", B: "lhr", For: time.Second}).Apply(c); err == nil {
+		t.Error("self partition accepted")
+	}
+	if err := (PeerPartition{A: "lhr", B: "nrt", For: 0}).Apply(c); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestFlashCrowdRejectsNegativeParams(t *testing.T) {
+	c := newSmallCluster(t, false, 50)
+	defer c.Stop()
+	if err := (FlashCrowd{Target: "lhr", For: time.Second, RatePerPoP: 1, At: -time.Second}).Apply(c); err == nil {
+		t.Error("negative At accepted")
+	}
+	if err := (FlashCrowd{Target: "lhr", For: time.Second, RatePerPoP: 1, SizeBytes: -1}).Apply(c); err == nil {
+		t.Error("negative SizeBytes accepted")
+	}
+	// Zero size still defaults to 100 KB.
+	if err := (FlashCrowd{Target: "lhr", For: time.Second, RatePerPoP: 1, SizeBytes: 0}).Apply(c); err != nil {
+		t.Errorf("zero size rejected: %v", err)
+	}
+}
+
+func TestClusterCountersAndQuarantineAccessors(t *testing.T) {
+	c, err := NewCluster(Config{
+		PoPs:     smallTopology(),
+		Seed:     51,
+		LossRate: 0.05,
+		Riptide:  RiptideOptions{Enabled: true},
+		Traffic: TrafficOptions{
+			ProbeInterval: 20 * time.Second,
+			OrganicRates:  map[string]float64{"lhr": 2},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run(2 * time.Minute)
+	defer c.Stop()
+	if c.TotalRetransmits() == 0 {
+		t.Error("lossy cluster recorded no retransmits")
+	}
+	if c.TotalRoutes() == 0 {
+		t.Error("riptide cluster learned no routes")
+	}
+	// No guard configured: quarantine count is zero by definition.
+	if got := c.QuarantineCount(); got != 0 {
+		t.Errorf("guardless QuarantineCount = %d", got)
+	}
+}

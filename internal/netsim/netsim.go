@@ -90,6 +90,9 @@ type pathKey struct{ src, dst netip.Addr }
 type path struct {
 	cfg  PathConfig
 	load int // segments currently inside one RTT window
+	// blocked marks the path administratively down (a peer partition):
+	// Open fails and in-flight rounds lose every segment.
+	blocked bool
 }
 
 // extraCongestionLoss returns the additional loss probability the current
@@ -141,8 +144,9 @@ type Network struct {
 
 	disableIdleRestart bool
 
-	opened    uint64
-	completed uint64
+	opened        uint64
+	completed     uint64
+	retransmitted int64
 }
 
 // NewNetwork constructs an empty Network.
@@ -255,6 +259,36 @@ func (n *Network) SetPathCapacity(src, dst netip.Addr, segments int) error {
 	return nil
 }
 
+// SetPathRTT changes the round-trip time of the live path src -> dst,
+// affecting existing connections as well as future ones — a route flap that
+// moves traffic onto a longer (or shorter) backbone path. Rounds already in
+// flight complete at the old RTT; the next round uses the new one.
+func (n *Network) SetPathRTT(src, dst netip.Addr, rtt time.Duration) error {
+	if rtt <= 0 {
+		return fmt.Errorf("netsim: path RTT %v must be positive", rtt)
+	}
+	p, ok := n.paths[pathKey{src, dst}]
+	if !ok {
+		return fmt.Errorf("%w: %v -> %v", ErrNoPath, src, dst)
+	}
+	p.cfg.RTT = rtt
+	return nil
+}
+
+// SetPathBlocked marks the live path src -> dst administratively down (or up
+// again) — a peer partition. While blocked, Open fails with ErrNoPath and any
+// round sent over the path loses every segment. Existing connections are left
+// to the caller (see CloseConnsBetween), matching how a real partition kills
+// some flows instantly and leaves others to time out.
+func (n *Network) SetPathBlocked(src, dst netip.Addr, blocked bool) error {
+	p, ok := n.paths[pathKey{src, dst}]
+	if !ok {
+		return fmt.Errorf("%w: %v -> %v", ErrNoPath, src, dst)
+	}
+	p.blocked = blocked
+	return nil
+}
+
 // PathRTT reports the configured RTT from src to dst.
 func (n *Network) PathRTT(src, dst netip.Addr) (time.Duration, error) {
 	p, ok := n.paths[pathKey{src, dst}]
@@ -269,6 +303,12 @@ func (n *Network) Opened() uint64 { return n.opened }
 
 // CompletedTransfers reports how many transfers have finished.
 func (n *Network) CompletedTransfers() uint64 { return n.completed }
+
+// Retransmitted reports the cumulative number of segments retransmitted
+// across every connection since the network was built. Sampling it at phase
+// boundaries gives a deterministic per-window retransmit count — the scenario
+// engine's loss ledger.
+func (n *Network) Retransmitted() int64 { return n.retransmitted }
 
 // TransferResult describes one finished transfer.
 type TransferResult struct {
@@ -336,6 +376,9 @@ func (n *Network) Open(src, dst netip.Addr) (*Conn, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %v -> %v", ErrNoPath, src, dst)
 	}
+	if p.blocked {
+		return nil, fmt.Errorf("%w: %v -> %v (partitioned)", ErrNoPath, src, dst)
+	}
 	iw := srcHost.InitCwndFor(dst)
 	win, err := tcpsim.NewWindow(tcpsim.Config{InitCwnd: iw, Algorithm: n.alg})
 	if err != nil {
@@ -373,6 +416,20 @@ func (n *Network) CloseConnsInvolving(addr netip.Addr) int {
 	closed := 0
 	for c := range n.conns {
 		if c.src == addr || c.dst == addr {
+			c.Close()
+			closed++
+		}
+	}
+	return closed
+}
+
+// CloseConnsBetween force-closes every connection between a and b, in either
+// direction — the flows a peer partition kills outright. It returns how many
+// connections closed.
+func (n *Network) CloseConnsBetween(a, b netip.Addr) int {
+	closed := 0
+	for c := range n.conns {
+		if (c.src == a && c.dst == b) || (c.src == b && c.dst == a) {
 			c.Close()
 			closed++
 		}
@@ -508,7 +565,9 @@ func (c *Conn) round(t *transfer) {
 	c.segsOut += send
 	lossProb := p.cfg.LossRate + p.extraCongestionLoss()
 	lost := int64(0)
-	if lossProb > 0 {
+	if p.blocked {
+		lost = send // a partitioned path delivers nothing
+	} else if lossProb > 0 {
 		for i := int64(0); i < send; i++ {
 			if c.network.rng.Float64() < lossProb {
 				lost++
@@ -529,6 +588,7 @@ func (c *Conn) round(t *transfer) {
 		t.rounds++
 		t.retrans += lost
 		c.retrans += lost
+		c.network.retransmitted += lost
 		c.lastLost = lost
 		c.bytesAcked += delivered * int64(c.network.mss)
 		if lost > 0 {

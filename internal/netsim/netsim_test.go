@@ -644,3 +644,124 @@ func TestCloseMidTransferStopsRounds(t *testing.T) {
 		t.Errorf("Transfer after close = %v, want ErrConnClosed", err)
 	}
 }
+
+func TestSetPathRTTAffectsLiveConn(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 100 * time.Millisecond})
+	conn, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first time.Duration
+	if err := conn.Transfer(1000, func(r TransferResult) { first = r.Elapsed }); err != nil {
+		t.Fatal(err)
+	}
+	n.Engine().Run()
+	if first != 100*time.Millisecond {
+		t.Fatalf("one-round transfer took %v, want 100ms", first)
+	}
+	if err := n.SetPathRTT(hostA, hostB, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var second time.Duration
+	// Disable idle restart effects by transferring immediately; one round
+	// still fits the initial window.
+	if err := conn.Transfer(1000, func(r TransferResult) { second = r.Elapsed }); err != nil {
+		t.Fatal(err)
+	}
+	n.Engine().Run()
+	if second != 300*time.Millisecond {
+		t.Fatalf("post-flap transfer took %v, want 300ms", second)
+	}
+	if err := n.SetPathRTT(hostA, hostB, 0); err == nil {
+		t.Error("zero RTT accepted")
+	}
+	if err := n.SetPathRTT(hostA, netip.MustParseAddr("10.9.9.9"), time.Second); err == nil {
+		t.Error("unknown path accepted")
+	}
+}
+
+func TestSetPathBlockedPartition(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 50 * time.Millisecond})
+	conn, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetPathBlocked(hostA, hostB, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Open(hostA, hostB); err == nil {
+		t.Fatal("open over a blocked path succeeded")
+	}
+	// The reverse direction is untouched.
+	if c, err := n.Open(hostB, hostA); err != nil {
+		t.Fatalf("reverse open failed: %v", err)
+	} else {
+		c.Close()
+	}
+	// A transfer over the blocked path makes no progress: every segment is
+	// lost and retransmitted.
+	done := false
+	if err := conn.Transfer(2000, func(TransferResult) { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	n.Engine().RunUntil(n.Engine().Now() + 2*time.Second)
+	if done {
+		t.Fatal("transfer completed over a blocked path")
+	}
+	if n.Retransmitted() == 0 {
+		t.Fatal("blocked path produced no retransmits")
+	}
+	// Unblock: the stalled transfer eventually completes.
+	if err := n.SetPathBlocked(hostA, hostB, false); err != nil {
+		t.Fatal(err)
+	}
+	n.Engine().RunUntil(n.Engine().Now() + 30*time.Second)
+	if !done {
+		t.Fatal("transfer did not complete after unblocking")
+	}
+	if err := n.SetPathBlocked(hostA, netip.MustParseAddr("10.9.9.9"), true); err == nil {
+		t.Error("unknown path accepted")
+	}
+}
+
+func TestCloseConnsBetween(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 50 * time.Millisecond})
+	c1, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Open(hostB, hostA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.CloseConnsBetween(hostA, hostB); got != 2 {
+		t.Fatalf("closed %d conns, want 2", got)
+	}
+	if !c1.Closed() || !c2.Closed() {
+		t.Fatal("connections not closed")
+	}
+	if got := n.CloseConnsBetween(hostA, hostB); got != 0 {
+		t.Fatalf("second close reported %d conns", got)
+	}
+}
+
+func TestRetransmittedCounterMatchesTransferResults(t *testing.T) {
+	n := twoHosts(t, PathConfig{RTT: 50 * time.Millisecond, LossRate: 0.2})
+	conn, err := n.Open(hostA, hostB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for i := 0; i < 5; i++ {
+		if err := conn.Transfer(50_000, func(r TransferResult) { total += r.Retransmits }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Engine().Run()
+	if total == 0 {
+		t.Fatal("lossy path produced no retransmits")
+	}
+	if n.Retransmitted() != total {
+		t.Fatalf("network counter %d != sum of transfer results %d", n.Retransmitted(), total)
+	}
+}

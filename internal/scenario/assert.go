@@ -1,0 +1,286 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Assertion is one parsed comparison from the assertions block:
+//
+//	term [arith term] cmp term [arith term]
+//
+// where a term is a metric name (run-qualified dotted path, e.g.
+// riptide.probe_ms.p99.during) or a numeric literal, arith is one of
+// + - * /, and cmp is one of <= < >= > ==. The grammar covers the phase
+// ratios the format exists for (p99_during / p99_before <= 1.5) without
+// growing into a calculator.
+type Assertion struct {
+	// Source is the assertion as written.
+	Source string
+	// Line is where it appears in the file.
+	Line int
+
+	lhs, rhs expr
+	cmp      string
+}
+
+type expr struct {
+	// terms has one or two entries; op joins them when there are two.
+	terms []term
+	op    string
+}
+
+type term struct {
+	metric  string
+	literal float64
+}
+
+var cmpOps = []string{"<=", ">=", "==", "<", ">"} // two-char ops first
+var arithOps = "+-*/"
+
+// parseAssertions decodes the assertions block.
+func parseAssertions(n *Node) ([]Assertion, error) {
+	if n.Kind != SeqNode {
+		return nil, fmt.Errorf("line %d: assertions must be a sequence", n.Line)
+	}
+	var out []Assertion
+	for _, it := range n.Items {
+		src, err := it.Str()
+		if err != nil {
+			return nil, err
+		}
+		a, err := ParseAssertion(src)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", it.Line, err)
+		}
+		a.Line = it.Line
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ParseAssertion parses one assertion expression.
+func ParseAssertion(src string) (Assertion, error) {
+	a := Assertion{Source: src}
+	lhsText, rhsText := "", ""
+	for _, op := range cmpOps {
+		if i := strings.Index(src, op); i >= 0 {
+			lhsText, rhsText = src[:i], src[i+len(op):]
+			a.cmp = op
+			break
+		}
+	}
+	if a.cmp == "" {
+		return a, fmt.Errorf("assertion %q has no comparison (valid: %s)", src, strings.Join(cmpOps, " "))
+	}
+	if strings.ContainsAny(rhsText, "<>=") {
+		return a, fmt.Errorf("assertion %q has more than one comparison", src)
+	}
+	var err error
+	if a.lhs, err = parseExpr(lhsText, src); err != nil {
+		return a, err
+	}
+	if a.rhs, err = parseExpr(rhsText, src); err != nil {
+		return a, err
+	}
+	return a, nil
+}
+
+func parseExpr(text, src string) (expr, error) {
+	var e expr
+	fields := strings.Fields(text)
+	var parts []string
+	// Accept both "a / b" and "a/b" by re-splitting around arith operators.
+	for _, f := range fields {
+		parts = append(parts, splitArith(f)...)
+	}
+	switch len(parts) {
+	case 1:
+		t, err := parseTerm(parts[0], src)
+		if err != nil {
+			return e, err
+		}
+		e.terms = []term{t}
+		return e, nil
+	case 3:
+		if len(parts[1]) != 1 || !strings.Contains(arithOps, parts[1]) {
+			return e, fmt.Errorf("assertion %q: %q is not an operator (valid: + - * /)", src, parts[1])
+		}
+		t1, err := parseTerm(parts[0], src)
+		if err != nil {
+			return e, err
+		}
+		t2, err := parseTerm(parts[2], src)
+		if err != nil {
+			return e, err
+		}
+		e.terms = []term{t1, t2}
+		e.op = parts[1]
+		return e, nil
+	}
+	return e, fmt.Errorf("assertion %q: expected \"term\" or \"term op term\", got %q", src, strings.TrimSpace(text))
+}
+
+// splitArith splits a token like "a/b" at arithmetic operators, keeping the
+// operators. A leading '-' sticks to its number ("-1.5").
+func splitArith(tok string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(tok); i++ {
+		if strings.ContainsRune(arithOps, rune(tok[i])) {
+			if tok[i] == '-' && i == start && (i == 0 || out != nil && len(out)%2 == 1) {
+				continue // sign, not operator
+			}
+			if i > start {
+				out = append(out, tok[start:i])
+			}
+			out = append(out, string(tok[i]))
+			start = i + 1
+		}
+	}
+	if start < len(tok) {
+		out = append(out, tok[start:])
+	}
+	if len(out) == 0 {
+		out = append(out, tok)
+	}
+	return out
+}
+
+func parseTerm(tok, src string) (term, error) {
+	if v, err := strconv.ParseFloat(tok, 64); err == nil {
+		return term{literal: v, metric: ""}, nil
+	}
+	for _, r := range tok {
+		if !(r == '.' || r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')) {
+			return term{}, fmt.Errorf("assertion %q: %q is neither a number nor a metric name", src, tok)
+		}
+	}
+	if !strings.Contains(tok, ".") {
+		return term{}, fmt.Errorf("assertion %q: metric %q must be run-qualified (e.g. riptide.%s)", src, tok, tok)
+	}
+	return term{metric: tok}, nil
+}
+
+// Metrics returns every metric name the assertion references.
+func (a Assertion) Metrics() []string {
+	var out []string
+	for _, e := range []expr{a.lhs, a.rhs} {
+		for _, t := range e.terms {
+			if t.metric != "" {
+				out = append(out, t.metric)
+			}
+		}
+	}
+	return out
+}
+
+// Eval computes both sides against the metric map and compares them. A
+// missing metric or a division by zero fails the assertion with an
+// explanatory detail rather than erroring the whole run.
+func (a Assertion) Eval(metrics map[string]float64) AssertionResult {
+	res := AssertionResult{Source: a.Source}
+	lhs, err := a.lhs.eval(metrics)
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	rhs, err := a.rhs.eval(metrics)
+	if err != nil {
+		res.Detail = err.Error()
+		return res
+	}
+	res.LHS, res.RHS = lhs, rhs
+	switch a.cmp {
+	case "<":
+		res.Pass = lhs < rhs
+	case "<=":
+		res.Pass = lhs <= rhs
+	case ">":
+		res.Pass = lhs > rhs
+	case ">=":
+		res.Pass = lhs >= rhs
+	case "==":
+		res.Pass = lhs == rhs
+	}
+	if !res.Pass && res.Detail == "" {
+		res.Detail = fmt.Sprintf("%s: %v %s %v is false", a.Source, lhs, a.cmp, rhs)
+	}
+	return res
+}
+
+func (e expr) eval(metrics map[string]float64) (float64, error) {
+	vals := make([]float64, len(e.terms))
+	for i, t := range e.terms {
+		if t.metric == "" {
+			vals[i] = t.literal
+			continue
+		}
+		v, ok := metrics[t.metric]
+		if !ok {
+			return 0, fmt.Errorf("metric %q not produced by this run (close: %s)", t.metric, closestMetrics(t.metric, metrics))
+		}
+		vals[i] = v
+	}
+	if len(vals) == 1 {
+		return vals[0], nil
+	}
+	switch e.op {
+	case "+":
+		return vals[0] + vals[1], nil
+	case "-":
+		return vals[0] - vals[1], nil
+	case "*":
+		return vals[0] * vals[1], nil
+	case "/":
+		if vals[1] == 0 {
+			return math.NaN(), fmt.Errorf("division by zero evaluating %v / %v", vals[0], vals[1])
+		}
+		return vals[0] / vals[1], nil
+	}
+	return 0, fmt.Errorf("unknown operator %q", e.op)
+}
+
+// closestMetrics suggests up to three produced metrics sharing the longest
+// prefix with the missing one.
+func closestMetrics(want string, metrics map[string]float64) string {
+	names := make([]string, 0, len(metrics))
+	for k := range metrics {
+		names = append(names, k)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		pi, pj := commonPrefix(want, names[i]), commonPrefix(want, names[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return names[i] < names[j]
+	})
+	if len(names) > 3 {
+		names = names[:3]
+	}
+	return strings.Join(names, " ")
+}
+
+func commonPrefix(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}
+
+// AssertionResult is one evaluated assertion in the report.
+type AssertionResult struct {
+	// Source is the assertion as written.
+	Source string `json:"source"`
+	// LHS and RHS are the evaluated sides.
+	LHS float64 `json:"lhs"`
+	RHS float64 `json:"rhs"`
+	// Pass reports whether the comparison held.
+	Pass bool `json:"pass"`
+	// Detail explains a failure (empty on pass).
+	Detail string `json:"detail,omitempty"`
+}

@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// ReportSchema versions the report format for downstream tooling.
+const ReportSchema = "riptide/scenario-report/v1"
+
+// Report is the machine-readable outcome of one scenario execution. It is
+// built only from structs and sorted slices — never maps — so encoding it is
+// byte-for-byte deterministic for a given spec and seed.
+type Report struct {
+	Schema      string `json:"schema"`
+	Scenario    string `json:"scenario"`
+	Description string `json:"description,omitempty"`
+	Seed        int64  `json:"seed"`
+	// Duration is the simulated run length.
+	Duration string `json:"duration"`
+	// Phases spells out the before/during/after boundaries used by the
+	// phase metrics.
+	Phases PhaseBounds `json:"phases"`
+	// Runs holds each executed run's metrics: the main run first, then the
+	// control run when the scenario has a compare block.
+	Runs []RunReport `json:"runs"`
+	// Assertions are the evaluated checks, in file order.
+	Assertions []AssertionResult `json:"assertions,omitempty"`
+	// Pass is true when every assertion held.
+	Pass bool `json:"pass"`
+}
+
+// PhaseBounds renders each phase as "start..end".
+type PhaseBounds struct {
+	Before string `json:"before"`
+	During string `json:"during"`
+	After  string `json:"after"`
+}
+
+func phaseSpan(start, end time.Duration) string {
+	return fmt.Sprintf("%v..%v", start, end)
+}
+
+// RunReport is one run's flat metric list, sorted by name.
+type RunReport struct {
+	Name    string   `json:"name"`
+	Metrics []Metric `json:"metrics"`
+}
+
+// Metric is one named measurement.
+type Metric struct {
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+// sortMetrics flattens a run's metric map into a name-sorted slice and also
+// registers each metric under "<run>.<name>" in the combined map the
+// assertions evaluate against.
+func sortMetrics(run string, m map[string]float64, combined map[string]float64) []Metric {
+	out := make([]Metric, 0, len(m))
+	for k, v := range m {
+		out = append(out, Metric{Name: k, Value: v})
+		combined[run+"."+k] = v
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
