@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard fuzz-netlink fuzz-scenario scenarios examples clean
+.PHONY: all check build vet test test-short test-race race bench bench-json report report-full fuzz fuzz-guard fuzz-gossip fuzz-netlink fuzz-scenario scenarios examples clean
 
 all: check
 
@@ -24,7 +24,7 @@ test-short:
 	$(GO) test -short ./...
 
 test-race:
-	$(GO) test -race ./internal/core/... ./internal/guard/... ./internal/linux/... ./internal/netlink/... ./internal/fleet/...
+	$(GO) test -race ./internal/core/... ./internal/guard/... ./internal/linux/... ./internal/netlink/... ./internal/fleet/... ./internal/gossip/...
 
 race:
 	$(GO) test -race ./internal/core ./internal/kernel .
@@ -56,6 +56,13 @@ fuzz:
 # counter values must never panic it or corrupt its state invariants.
 fuzz-guard:
 	$(GO) test -fuzz=FuzzGovernorObserve -fuzztime=30s ./internal/guard
+
+# Fuzz the gossip wire decoders: arbitrary digest/delta payloads (the
+# bytes a fleet peer hands us) must never panic, and whatever decodes must
+# re-encode to an equivalent message.
+fuzz-gossip:
+	$(GO) test -fuzz=FuzzDecodeDigest -fuzztime=30s ./internal/gossip
+	$(GO) test -fuzz=FuzzDecodeDelta -fuzztime=30s ./internal/gossip
 
 # Fuzz the netlink wire decoders: raw sock_diag and rtnetlink byte streams
 # (truncated headers, lying lengths, corrupt nested metrics) must never

@@ -10,10 +10,11 @@ import (
 )
 
 // fleetState carries the daemon's fleet-sharing wiring: the snapshot source
-// label, the optional peer puller (with its health state for /status), and
-// the optional on-disk persister.
+// label, this run's gossip instance identity, the optional peer puller
+// (with its health state for /status), and the optional on-disk persister.
 type fleetState struct {
 	Source    string
+	Instance  string
 	Puller    *fleet.Puller
 	Persister *fleet.Persister
 }

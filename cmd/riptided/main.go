@@ -175,6 +175,8 @@ func run(args []string) error {
 		peerInterval     = fs.Duration("peer-interval", 30*time.Second, "how often to pull peer snapshots")
 		peerTimeout      = fs.Duration("peer-timeout", 5*time.Second, "timeout per peer snapshot request")
 		fleetMaxAge      = fs.Duration("fleet-max-age", 0, "reject snapshot entries older than this (0 = the TTL)")
+		gossipOn         = fs.Bool("gossip", false, "sync peers via the anti-entropy digest/delta ladder instead of full snapshot pulls (falls back per round when a peer lacks the gossip endpoints)")
+		gossipInterval   = fs.Duration("gossip-interval", 0, "peer sync cadence when -gossip is on (0 = -peer-interval); digests are cheap, so this can be much shorter")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -302,7 +304,11 @@ func run(args []string) error {
 	// background. All of it is optional and advisory — fleet trouble never
 	// touches the local learn/program loop.
 	source, _ := os.Hostname()
-	fl := &fleetState{Source: source}
+	// The instance identity is fresh per boot: peers use it to notice a
+	// restart (version counter reset) and resync divergent digest buckets
+	// instead of trusting a stale delta cursor.
+	instance := fmt.Sprintf("%s-%d", source, time.Now().UnixNano())
+	fl := &fleetState{Source: source, Instance: instance}
 	if *snapshotFile != "" {
 		stats, err := warmStart(agent, *snapshotFile, *fleetMaxAge, time.Now())
 		if err != nil {
@@ -319,12 +325,17 @@ func run(args []string) error {
 		}
 	}
 	if *peerSpec != "" {
+		pullEvery := *peerInterval
+		if *gossipOn && *gossipInterval > 0 {
+			pullEvery = *gossipInterval
+		}
 		fl.Puller, err = fleet.NewPuller(fleet.PullerConfig{
 			Agent:    agent,
 			Peers:    strings.Split(*peerSpec, ","),
-			Interval: *peerInterval,
+			Interval: pullEvery,
 			Timeout:  *peerTimeout,
 			Policy:   core.MergePolicy{MaxAge: *fleetMaxAge},
+			Gossip:   *gossipOn,
 			Logf:     logger.Printf,
 		})
 		if err != nil {
@@ -357,8 +368,8 @@ func run(args []string) error {
 		}()
 	}
 
-	logger.Printf("started: backend=%s i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s shards=%d dry-run=%v guard=%v",
-		be.name, *interval, *ttl, *alpha, *cmin, *cmax, *combiner, agent.Shards(), *dryRun, *guardOn)
+	logger.Printf("started: backend=%s i_u=%v ttl=%v alpha=%v window=[%d,%d] combiner=%s shards=%d dry-run=%v guard=%v gossip=%v",
+		be.name, *interval, *ttl, *alpha, *cmin, *cmax, *combiner, agent.Shards(), *dryRun, *guardOn, *gossipOn)
 
 	if *verbose {
 		go func() {

@@ -79,9 +79,10 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 		s := retry.Stats()
 		return &s
 	}
-	source := ""
+	source, instance := "", ""
 	if fl != nil {
 		source = fl.Source
+		instance = fl.Instance
 	}
 	fleetStatus := func() *fleetPayload {
 		if fl == nil || fl.Puller == nil {
@@ -103,7 +104,9 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 		return p
 	}
 	mux := http.NewServeMux()
-	mux.Handle(fleet.SnapshotPath, fleet.Handler(agent, source, nil))
+	mux.Handle(fleet.SnapshotPath, fleet.Handler(agent, source, instance, nil))
+	mux.Handle(fleet.DigestPath, fleet.DigestHandler(agent, source, instance))
+	mux.Handle(fleet.DeltaPath, fleet.DeltaHandler(agent, source, instance))
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

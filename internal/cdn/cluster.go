@@ -205,6 +205,12 @@ type Cluster struct {
 	agents  map[netip.Addr]*agentSlot
 	tickers []*eventsim.Ticker
 
+	// Gossip sharing state (EnableGossipSharing): per-edge sync cursors,
+	// cumulative wire accounting, and the boot-identity counter.
+	gossipCursors map[gossipPair]gossipCursor
+	gossipStats   GossipStats
+	instanceSeq   int
+
 	pools map[poolKey][]*pooledConn
 
 	probes      []ProbeRecord
@@ -216,10 +222,12 @@ type Cluster struct {
 // agentSlot indirects agent access so a PoP reboot can swap in a fresh
 // agent while the per-host ticker keeps firing. gov is the agent's safety
 // governor when RiptideOptions.Guard is set (nil otherwise); it is rebuilt
-// together with the agent on reboot.
+// together with the agent on reboot. instance is the gossip boot identity,
+// reminted on reboot so peers notice the version-counter reset.
 type agentSlot struct {
-	agent *core.Agent
-	gov   *guard.Governor
+	agent    *core.Agent
+	gov      *guard.Governor
+	instance string
 }
 
 type poolKey struct{ src, dst netip.Addr }
@@ -281,6 +289,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		hosts:  make(map[string][]*kernel.Host, len(cfg.PoPs)),
 		agents: make(map[netip.Addr]*agentSlot),
 		pools:  make(map[poolKey][]*pooledConn),
+
+		gossipCursors: make(map[gossipPair]gossipCursor),
 	}
 
 	for _, p := range cfg.PoPs {
@@ -392,7 +402,7 @@ func (c *Cluster) startRiptide() error {
 			if err != nil {
 				return fmt.Errorf("cdn: riptide agent for %s/%v: %w", p.Name, h.Addr(), err)
 			}
-			slot := &agentSlot{agent: agent, gov: gov}
+			slot := &agentSlot{agent: agent, gov: gov, instance: c.nextInstance(h.Addr())}
 			c.agents[h.Addr()] = slot
 			interval := agent.Config().UpdateInterval
 			tk, err := eventsim.NewTicker(c.engine, interval, func(time.Duration) {
@@ -436,6 +446,8 @@ func (c *Cluster) RebootPoP(name string) (int, error) {
 			}
 			slot.agent = fresh
 			slot.gov = gov
+			slot.instance = c.nextInstance(h.Addr())
+			c.dropGossipCursors(h.Addr())
 		}
 	}
 	return closed, nil

@@ -89,6 +89,8 @@ func (c *Cluster) RebootHost(name string, idx int) (int, error) {
 		}
 		slot.agent = fresh
 		slot.gov = gov
+		slot.instance = c.nextInstance(h.Addr())
+		c.dropGossipCursors(h.Addr())
 	}
 	return closed, nil
 }

@@ -37,6 +37,7 @@ import (
 	"net/netip"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"riptide/internal/metrics"
@@ -531,6 +532,12 @@ type entry struct {
 	lastObs  int           // observations in the most recent round that refreshed it
 	samples  uint64        // cumulative observations folded into the entry
 	programs uint64
+	// version is the agent table version at the entry's last commit (a
+	// program or a fleet merge). Delta exports send only entries whose
+	// version is newer than the peer's last-seen table version, so it is
+	// stamped only when the exported content actually changes — TTL
+	// refreshes and lazy sample credit do not touch it.
+	version uint64
 	// merged marks an entry seeded from a fleet snapshot that has not yet
 	// been confirmed by a local observation; local observations always
 	// override it.
@@ -635,6 +642,14 @@ type Agent struct {
 	shards []*shard
 	closed bool
 	stats  Stats
+
+	// tableVer is the monotone table version: bumped on every commit that
+	// changes exported content (route programs, fleet merges, withdrawals)
+	// and never on refresh-only paths. Atomic so exports can read it
+	// without tickMu; it is read BEFORE an export scans the shards, so a
+	// concurrent commit can only make the reported version conservative
+	// (the entry is re-sent on the next delta, never lost).
+	tableVer atomic.Uint64
 
 	// Sampler circuit-breaker state; touched only under tickMu.
 	sampleFailures int

@@ -342,7 +342,10 @@ func (a *Agent) forgetHistory(sh *shard, key netip.Prefix) {
 
 // dropInstalled removes dst's state (and any external history) after its
 // route was withdrawn, under the shard lock. It reports whether a live
-// entry existed.
+// entry existed. A successful drop bumps the table version: the entry
+// vanishes from exports, so peers comparing digests see the change even
+// though no entry carries the new version (fleet sharing has no tombstones —
+// receivers age the entry out via its TTL).
 func (sh *shard) dropInstalled(a *Agent, dst netip.Prefix) bool {
 	st, ok := sh.states[dst]
 	if !ok || !st.installed {
@@ -350,6 +353,7 @@ func (sh *shard) dropInstalled(a *Agent, dst netip.Prefix) bool {
 	}
 	sh.installed--
 	a.dropState(sh, dst)
+	a.bumpVersion()
 	return true
 }
 

@@ -46,6 +46,13 @@ type SnapshotEntry struct {
 	// withdrawn after a loss regression. Quarantine markers carry no
 	// window (Window is 0); peers must not warm-start the prefix.
 	Quarantined bool
+	// Version is the source agent's table version at the entry's last
+	// commit. Peers that track the source's table version can ask for
+	// "entries newer than V" (ExportDelta) instead of the whole table.
+	// Quarantine markers are unversioned (Version 0): they ride along on
+	// every delta because the governor's state is not part of the
+	// versioned entry table.
+	Version uint64
 }
 
 // MergePolicy tunes MergeSnapshot. The zero value gives TTL-derived
@@ -99,18 +106,48 @@ type MergeStats struct {
 	Errors int `json:"errors"`
 }
 
+// TableVersion returns the agent's monotone table version: it advances on
+// every commit that changes exported content (route programs, fleet merges,
+// withdrawals) and holds still across refresh-only rounds. It is the `since`
+// cursor peers pass to ExportDelta.
+func (a *Agent) TableVersion() uint64 {
+	return a.tableVer.Load()
+}
+
+// bumpVersion advances the table version and returns the new value.
+func (a *Agent) bumpVersion() uint64 {
+	return a.tableVer.Add(1)
+}
+
 // ExportSnapshot returns the agent's learned table as fleet snapshot
 // entries, sorted by prefix. Ages are measured against the agent's clock; an
 // entry that was itself merged from a peer exports its local age plus the
 // age it carried when merged, so staleness accumulates across hops instead
 // of resetting.
 func (a *Agent) ExportSnapshot() []SnapshotEntry {
+	entries, _ := a.ExportDelta(0)
+	return entries
+}
+
+// ExportDelta returns the entries committed after table version `since`,
+// plus every current quarantine marker (markers are unversioned and cheap),
+// sorted by prefix, together with the table version the delta is current
+// through. since 0 returns the full table. The version is read before the
+// scan, so an entry committed mid-scan may be included yet not covered by
+// the returned version — the peer simply re-receives it on its next delta;
+// nothing is ever skipped.
+func (a *Agent) ExportDelta(since uint64) ([]SnapshotEntry, uint64) {
+	version := a.tableVer.Load()
 	now := a.cfg.Clock()
-	out := make([]SnapshotEntry, 0, a.entryCount())
+	var capHint int
+	if since == 0 {
+		capHint = a.entryCount()
+	}
+	out := make([]SnapshotEntry, 0, capHint)
 	for _, sh := range a.shards {
 		sh.mu.Lock()
 		for p, st := range sh.states {
-			if !st.installed {
+			if !st.installed || st.version <= since {
 				continue
 			}
 			a.materializeLocked(sh, st)
@@ -123,6 +160,7 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 				Window:  st.window,
 				Samples: st.samples,
 				Age:     age + st.mergedAge,
+				Version: st.version,
 			})
 		}
 		sh.mu.Unlock()
@@ -155,7 +193,7 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return lessPrefix(out[i].Prefix, out[j].Prefix) })
-	return out
+	return out, version
 }
 
 // discountWindow ages a remote window toward the agent's CMin: the excess
@@ -342,6 +380,7 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			programs:  1,
 			merged:    true,
 			mergedAge: op.age,
+			version:   a.bumpVersion(),
 		}
 		sh.noteExpiry(op.expires)
 		// Seed history so the first local observation blends with the

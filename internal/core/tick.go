@@ -586,6 +586,7 @@ func (a *Agent) programPlan(plan []programOp, keys []planKey, now time.Duration)
 		st.merged = false
 		st.mergedAge = 0
 		st.programs++
+		st.version = a.bumpVersion()
 		sh.noteExpiry(st.expires)
 		if op.aggregate {
 			if agg := sh.aggs[op.dst]; agg != nil && !agg.installed {
@@ -724,6 +725,10 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 				st.absorbed = true
 				sh.installed--
 				absorbedN++
+				// The child leaves the exported table (only specific
+				// installed entries are shared); move the version so
+				// delta peers notice.
+				a.bumpVersion()
 			}
 		} else {
 			sh.dropInstalled(a, dst)

@@ -1,0 +1,182 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+)
+
+// encodeAnyVersion marshals a snapshot without Encode's current-version
+// check, standing in for what an older build's encoder produced.
+func encodeAnyVersion(s Snapshot) ([]byte, error) { return json.Marshal(s) }
+
+// TestDecodeWireVersions pins snapshot wire-format compatibility across the
+// version history: v1 (pre-governor), v2 (quarantine markers), and v3
+// (gossip versioning) payloads all decode, with absent fields taking their
+// documented meanings; versions outside 1..3 are rejected.
+func TestDecodeWireVersions(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload string
+		wantErr bool
+		check   func(t *testing.T, s Snapshot)
+	}{
+		{
+			name: "v1 plain entry",
+			payload: `{"version": 1, "source": "old", "createdUnixNano": 1,
+				"entries": [{"prefix": "192.0.2.1/32", "window": 40, "samples": 9, "ageNanos": 1000000000}]}`,
+			check: func(t *testing.T, s Snapshot) {
+				if s.TableVersion != 0 || s.Instance != "" {
+					t.Errorf("v1 snapshot grew gossip fields: %+v", s)
+				}
+				e := s.Entries[0]
+				if e.Quarantined || e.ModVersion != 0 {
+					t.Errorf("v1 entry grew newer fields: %+v", e)
+				}
+				if e.Window != 40 || e.Samples != 9 {
+					t.Errorf("v1 entry = %+v", e)
+				}
+			},
+		},
+		{
+			name: "v2 quarantine marker",
+			payload: `{"version": 2, "createdUnixNano": 1,
+				"entries": [{"prefix": "192.0.2.1/32", "quarantined": true, "ageNanos": 5}]}`,
+			check: func(t *testing.T, s Snapshot) {
+				if !s.Entries[0].Quarantined {
+					t.Error("v2 quarantine marker lost")
+				}
+				if s.TableVersion != 0 {
+					t.Errorf("v2 snapshot grew a table version: %+v", s)
+				}
+			},
+		},
+		{
+			name: "v3 gossip versioned",
+			payload: `{"version": 3, "source": "new", "instance": "boot-7", "tableVersion": 42,
+				"createdUnixNano": 1,
+				"entries": [{"prefix": "192.0.2.1/32", "window": 40, "samples": 9, "ageNanos": 5, "modVersion": 41}]}`,
+			check: func(t *testing.T, s Snapshot) {
+				if s.Instance != "boot-7" || s.TableVersion != 42 {
+					t.Errorf("v3 gossip fields lost: %+v", s)
+				}
+				if s.Entries[0].ModVersion != 41 {
+					t.Errorf("v3 entry mod version lost: %+v", s.Entries[0])
+				}
+			},
+		},
+		{name: "v0 rejected", payload: `{"version": 0, "entries": []}`, wantErr: true},
+		{name: "v4 rejected", payload: `{"version": 4, "entries": []}`, wantErr: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Decode([]byte(tc.payload))
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Decode accepted %s", tc.payload)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			tc.check(t, s)
+		})
+	}
+}
+
+// TestV3EncoderRoundTrips: a current (v3) snapshot survives encode/decode
+// with the gossip fields intact.
+func TestV3EncoderRoundTrips(t *testing.T) {
+	src, _, _ := newTestAgent(t, []core.Observation{obs(t, "192.0.2.1", 40)})
+	snap := FromAgent(src, "host-a", time.Unix(1, 0))
+	snap.Instance = "boot-1"
+	if snap.Version != 3 {
+		t.Fatalf("Version = %d, want 3", snap.Version)
+	}
+	if snap.TableVersion == 0 {
+		t.Fatal("FromAgent exported no table version")
+	}
+	if snap.Entries[0].ModVersion == 0 {
+		t.Fatal("exported entry carries no mod version")
+	}
+	data, err := Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TableVersion != snap.TableVersion || got.Instance != "boot-1" {
+		t.Fatalf("round trip lost gossip fields: %+v", got)
+	}
+	if got.Entries[0] != snap.Entries[0] {
+		t.Fatalf("entry round trip: %+v != %+v", got.Entries[0], snap.Entries[0])
+	}
+}
+
+// v2Handler simulates a pre-gossip peer: it serves a version-2 snapshot on
+// the snapshot path and knows nothing of the digest/delta endpoints.
+func v2Handler(t *testing.T, a *core.Agent) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(SnapshotPath, func(w http.ResponseWriter, r *http.Request) {
+		snap := FromAgent(a, "v2-peer", time.Unix(1, 0))
+		snap.Version = 2
+		snap.Instance = ""
+		snap.TableVersion = 0
+		for i := range snap.Entries {
+			snap.Entries[i].ModVersion = 0
+		}
+		// Encode is strict about the current version; marshal the v2 shape
+		// by hand the way an old build would.
+		data, err := encodeAnyVersion(snap)
+		if err != nil {
+			t.Errorf("encode v2: %v", err)
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+	})
+	return mux
+}
+
+// TestGossipPullerFallsBackToV2Peer: a gossip-enabled (v3) puller syncing
+// from a v2 peer — no digest endpoint, version-2 snapshots — degrades to
+// legacy full snapshot pulls and still merges everything.
+func TestGossipPullerFallsBackToV2Peer(t *testing.T) {
+	src, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+	})
+	srv := httptest.NewServer(v2Handler(t, src))
+	defer srv.Close()
+
+	dst, dstRoutes, _ := newTestAgent(t, nil)
+	p, err := NewPuller(PullerConfig{Agent: dst, Peers: []string{srv.URL}, Gossip: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged := p.PullOnce(context.Background()); merged != 2 {
+		t.Fatalf("merged %d from v2 peer, want 2", merged)
+	}
+	if dstRoutes.count() != 2 {
+		t.Fatalf("routes = %d, want 2", dstRoutes.count())
+	}
+	h := p.Health()
+	if h[0].Mode != ModeSnapshot || h[0].SnapshotPulls != 1 {
+		t.Fatalf("health = %+v, want a legacy snapshot round", h[0])
+	}
+
+	// Every subsequent round keeps working the same way — the puller does
+	// not wedge on the missing gossip endpoints.
+	if p.PullOnce(context.Background()); p.Health()[0].SnapshotPulls != 2 {
+		t.Fatalf("second round = %+v, want another snapshot pull", p.Health()[0])
+	}
+}

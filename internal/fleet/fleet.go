@@ -15,39 +15,29 @@ package fleet
 import (
 	"encoding/json"
 	"fmt"
-	"net/netip"
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/gossip"
 )
 
 // Version is the current snapshot wire-format version. Version 2 added
-// quarantine markers (Entry.Quarantined); decoders accept v1 snapshots —
-// every v1 field keeps its meaning and absent markers simply mean the source
-// predates the governor — and reject anything newer rather than guessing at
-// field semantics.
-const Version = 2
+// quarantine markers (Entry.Quarantined); version 3 added gossip versioning
+// (Snapshot.TableVersion, Snapshot.Instance, Entry.ModVersion) so a full
+// snapshot can seed a delta cursor. Decoders accept v1 and v2 snapshots —
+// every older field keeps its meaning, absent markers mean the source
+// predates the governor, and absent versions mean the source cannot serve
+// deltas — and reject anything newer rather than guessing at field
+// semantics.
+const Version = 3
 
 // minVersion is the oldest wire format Decode still accepts.
 const minVersion = 1
 
-// Entry is one learned destination on the wire.
-type Entry struct {
-	// Prefix is the destination prefix in CIDR text form ("203.0.113.7/32").
-	Prefix string `json:"prefix"`
-	// Window is the initcwnd the source agent had programmed.
-	Window int `json:"window"`
-	// Samples is the cumulative observation count behind the window.
-	Samples uint64 `json:"samples"`
-	// AgeNanos is how long before the snapshot was created the entry was
-	// last refreshed, in nanoseconds. Ages are relative so snapshots are
-	// meaningful across machines with unsynchronized clocks.
-	AgeNanos int64 `json:"ageNanos"`
-	// Quarantined marks a destination the source's safety governor
-	// withdrew after a loss regression (wire v2); the receiving agent
-	// must not warm-start it. Quarantine markers carry Window 0.
-	Quarantined bool `json:"quarantined,omitempty"`
-}
+// Entry is one learned destination on the wire. It is the same entry the
+// gossip digest/delta formats carry, so full snapshots and deltas merge
+// through identical code paths.
+type Entry = gossip.Entry
 
 // Snapshot is the versioned wire format exchanged between agents and
 // persisted to disk.
@@ -57,6 +47,15 @@ type Snapshot struct {
 	// Source identifies the producing agent (hostname, sim node name);
 	// informational.
 	Source string `json:"source,omitempty"`
+	// Instance identifies one run of the producing agent (wire v3). A
+	// restart picks a new instance, invalidating peers' delta cursors.
+	// Empty on persisted snapshots: a table version is meaningless across
+	// the producer's own restart.
+	Instance string `json:"instance,omitempty"`
+	// TableVersion is the producer's monotone table version the snapshot
+	// is current through (wire v3); a gossip-aware puller seeds its delta
+	// cursor from it so the round after a full pull is already a delta.
+	TableVersion uint64 `json:"tableVersion,omitempty"`
 	// CreatedUnixNano is the producer's wall-clock time at export. It is
 	// used only by the producer itself (load-and-age across a restart);
 	// consumers on other machines must rely on the per-entry ages.
@@ -67,22 +66,13 @@ type Snapshot struct {
 
 // FromAgent exports the agent's learned table as a wire snapshot.
 func FromAgent(a *core.Agent, source string, created time.Time) Snapshot {
-	exported := a.ExportSnapshot()
-	entries := make([]Entry, 0, len(exported))
-	for _, se := range exported {
-		entries = append(entries, Entry{
-			Prefix:      se.Prefix.String(),
-			Window:      se.Window,
-			Samples:     se.Samples,
-			AgeNanos:    int64(se.Age),
-			Quarantined: se.Quarantined,
-		})
-	}
+	exported, version := a.ExportDelta(0)
 	return Snapshot{
 		Version:         Version,
 		Source:          source,
+		TableVersion:    version,
 		CreatedUnixNano: created.UnixNano(),
-		Entries:         entries,
+		Entries:         gossip.FromCore(exported),
 	}
 }
 
@@ -91,21 +81,7 @@ func FromAgent(a *core.Agent, source string, created time.Time) Snapshot {
 // invalid prefixes, which the merge counts as skipped-stale — one malformed
 // entry never poisons the rest of a snapshot.
 func (s Snapshot) CoreEntries() []core.SnapshotEntry {
-	out := make([]core.SnapshotEntry, 0, len(s.Entries))
-	for _, e := range s.Entries {
-		p, err := netip.ParsePrefix(e.Prefix)
-		if err != nil {
-			p = netip.Prefix{} // invalid; MergeSnapshot skips it
-		}
-		out = append(out, core.SnapshotEntry{
-			Prefix:      p,
-			Window:      e.Window,
-			Samples:     e.Samples,
-			Age:         time.Duration(e.AgeNanos),
-			Quarantined: e.Quarantined,
-		})
-	}
-	return out
+	return gossip.ToCore(s.Entries)
 }
 
 // AgedBy returns a copy of the snapshot with d added to every entry's age.

@@ -176,7 +176,7 @@ func TestDecodeRejectsBadInput(t *testing.T) {
 	cases := map[string]string{
 		"garbage":         `{"version": 1,`,
 		"zero version":    `{"entries": []}`,
-		"future version":  `{"version": 3, "entries": []}`,
+		"future version":  `{"version": 4, "entries": []}`,
 		"wrong json type": `[1, 2, 3]`,
 	}
 	for name, data := range cases {

@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"riptide/internal/core"
+	"riptide/internal/gossip"
+)
+
+// HTTP endpoints for the gossip sync ladder. The snapshot endpoint
+// (peer.go) predates these and stays the universal fallback; digest and
+// delta are what let a converged fleet idle at O(1) bytes per peer pair.
+
+// DigestPath is the URL path riptided serves its table digest on.
+const DigestPath = "/fleet/digest"
+
+// DeltaPath is the URL path riptided serves versioned deltas and bucket
+// resyncs on. Query parameters:
+//
+//	since=<version>   entries committed after <version> (0 or absent: full)
+//	instance=<id>     the instance the cursor belongs to; a mismatch means
+//	                  the server restarted since, so it serves a full table
+//	buckets=a,b,c     digest bucket indices to fetch in full (post-restart
+//	                  resync); mutually exclusive with since
+const DeltaPath = "/fleet/delta"
+
+// DigestHandler serves the agent's table digest as JSON on GET.
+func DigestHandler(agent *core.Agent, source, instance string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		data, err := gossip.EncodeDigest(gossip.TableDigest(agent, source, instance))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		n := writeJSON(w, r, data)
+		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
+	})
+}
+
+// DeltaHandler serves versioned deltas, bucket resyncs, and full tables as
+// JSON on GET (see DeltaPath for the request forms).
+func DeltaHandler(agent *core.Agent, source, instance string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		var d gossip.Delta
+		if bs := q.Get("buckets"); bs != "" {
+			buckets, err := parseBuckets(bs)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			d = gossip.TableBuckets(agent, source, instance, buckets)
+		} else {
+			var since uint64
+			if s := q.Get("since"); s != "" {
+				v, err := strconv.ParseUint(s, 10, 64)
+				if err != nil {
+					http.Error(w, fmt.Sprintf("bad since %q", s), http.StatusBadRequest)
+					return
+				}
+				since = v
+			}
+			if want := q.Get("instance"); want != "" && want != instance {
+				// The cursor belongs to a previous life of this agent;
+				// its versions are meaningless now. Serve everything.
+				since = 0
+			}
+			d = gossip.TableDelta(agent, source, instance, since)
+		}
+		data, err := gossip.EncodeDelta(d)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		n := writeJSON(w, r, data)
+		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
+	})
+}
+
+// parseBuckets parses a comma-separated bucket index list, rejecting
+// out-of-range indices and unparseable input.
+func parseBuckets(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, part := range parts {
+		b, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad bucket %q", part)
+		}
+		if b < 0 || b >= gossip.NumBuckets {
+			return nil, fmt.Errorf("bucket %d out of range [0,%d)", b, gossip.NumBuckets)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}

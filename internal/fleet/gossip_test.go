@@ -1,0 +1,461 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+	gossippkg "riptide/internal/gossip"
+)
+
+// gossipServer mounts the full v3 endpoint set for one agent, the way
+// riptided does.
+func gossipServer(a *core.Agent, source, instance string) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.Handle(SnapshotPath, Handler(a, source, instance, func() time.Time { return time.Unix(1, 0) }))
+	mux.Handle(DigestPath, DigestHandler(a, source, instance))
+	mux.Handle(DeltaPath, DeltaHandler(a, source, instance))
+	return httptest.NewServer(mux)
+}
+
+func newGossipPuller(t *testing.T, dst *core.Agent, peer string) *Puller {
+	t.Helper()
+	p, err := NewPuller(PullerConfig{Agent: dst, Peers: []string{peer}, Gossip: true})
+	if err != nil {
+		t.Fatalf("NewPuller: %v", err)
+	}
+	return p
+}
+
+// TestGossipConvergedRoundIsDigestOnly is the O(1) acceptance criterion:
+// once two peers are in sync, a gossip round exchanges only the digest — no
+// entries move, the round's bytes stay fixed-size, and the metrics
+// distinguish the digest-only round from delta and full transfers.
+func TestGossipConvergedRoundIsDigestOnly(t *testing.T) {
+	src, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+	})
+	srv := gossipServer(src, "host-a", "boot-1")
+	defer srv.Close()
+
+	dst, dstRoutes, _ := newTestAgent(t, nil)
+	p := newGossipPuller(t, dst, srv.URL)
+
+	// Round 1: first contact — a full transfer over the delta endpoint.
+	if merged := p.PullOnce(context.Background()); merged != 2 {
+		t.Fatalf("round 1 merged %d, want 2", merged)
+	}
+	h := p.Health()[0]
+	if h.Mode != ModeFull || h.FullPulls != 1 {
+		t.Fatalf("round 1 health = %+v, want a full transfer", h)
+	}
+	if dstRoutes.count() != 2 {
+		t.Fatalf("routes = %d, want 2", dstRoutes.count())
+	}
+	fullBytes := h.LastBytes
+
+	// Round 2: converged — digest only.
+	if merged := p.PullOnce(context.Background()); merged != 0 {
+		t.Fatalf("round 2 merged %d, want 0", merged)
+	}
+	h = p.Health()[0]
+	if h.Mode != ModeDigest || h.DigestHits != 1 || h.FullPulls != 1 {
+		t.Fatalf("round 2 health = %+v, want a digest hit", h)
+	}
+	if h.DeltaPulls != 0 || h.SnapshotPulls != 0 {
+		t.Fatalf("round 2 health = %+v: converged round used a transfer mode", h)
+	}
+	if h.LastBytes >= fullBytes {
+		t.Fatalf("digest round moved %d bytes, full moved %d — no saving", h.LastBytes, fullBytes)
+	}
+	digestBytes := h.LastBytes
+
+	// Rounds 3..5: still converged — the cost does not grow with rounds
+	// or with table size (it is the fixed digest, every time).
+	for i := 0; i < 3; i++ {
+		p.PullOnce(context.Background())
+	}
+	h = p.Health()[0]
+	if h.DigestHits != 4 || h.LastBytes != digestBytes {
+		t.Fatalf("steady state health = %+v, want 4 digest hits at %d bytes each", h, digestBytes)
+	}
+
+	// The client-side metrics expose the same distinction.
+	m := dst.Metrics().Snapshot().Counters
+	if m["riptide_gossip_rounds_digest"] != 4 || m["riptide_gossip_rounds_full"] != 1 {
+		t.Fatalf("metrics = %v, want 4 digest rounds and 1 full", m)
+	}
+	if m["riptide_gossip_bytes_received"] == 0 {
+		t.Fatal("no gossip bytes accounted")
+	}
+}
+
+// TestGossipDeltaRoundCarriesOnlyChanges: after the source learns one more
+// destination, the next round is a delta bearing exactly the new entry.
+func TestGossipDeltaRoundCarriesOnlyChanges(t *testing.T) {
+	src, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+	})
+	srv := gossipServer(src, "host-a", "boot-1")
+	defer srv.Close()
+
+	dst, dstRoutes, _ := newTestAgent(t, nil)
+	p := newGossipPuller(t, dst, srv.URL)
+	p.PullOnce(context.Background()) // full
+	p.PullOnce(context.Background()) // digest
+
+	// The source learns a new destination.
+	if _, err := src.MergeSnapshot([]core.SnapshotEntry{{
+		Prefix: netip.MustParsePrefix("203.0.113.9/32"), Window: 33, Samples: 4, Age: time.Second,
+	}}, core.MergePolicy{MaxAge: time.Hour}); err != nil {
+		t.Fatal(err)
+	}
+
+	if merged := p.PullOnce(context.Background()); merged != 1 {
+		t.Fatalf("delta round merged %d, want 1", merged)
+	}
+	h := p.Health()[0]
+	if h.Mode != ModeDelta || h.DeltaPulls != 1 {
+		t.Fatalf("health = %+v, want a delta round", h)
+	}
+	if w, ok := dstRoutes.get(pfx(t, "203.0.113.9/32")); !ok || w != 33 {
+		t.Fatalf("new destination not merged: %d,%v", w, ok)
+	}
+
+	// And the round after is converged again.
+	p.PullOnce(context.Background())
+	if h := p.Health()[0]; h.Mode != ModeDigest {
+		t.Fatalf("post-delta round = %+v, want digest", h)
+	}
+}
+
+// TestGossipRestartBucketResync: when the peer restarts (new instance,
+// version counter reset) the puller does not re-fetch the whole table — it
+// diffs the remembered digest and fetches only the divergent buckets. The
+// restart is driven through one server whose agent and instance are
+// swappable behind a stable URL.
+func TestGossipRestartBucketResync(t *testing.T) {
+	observations := []core.Observation{}
+	for i := 0; i < 40; i++ {
+		observations = append(observations, obs(t, fmt.Sprintf("10.9.%d.1", i), 20+i))
+	}
+	src1, _, _ := newTestAgent(t, observations)
+
+	var current http.Handler
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	mount := func(a *core.Agent, instance string) http.Handler {
+		mux := http.NewServeMux()
+		mux.Handle(SnapshotPath, Handler(a, "host-a", instance, nil))
+		mux.Handle(DigestPath, DigestHandler(a, "host-a", instance))
+		mux.Handle(DeltaPath, DeltaHandler(a, "host-a", instance))
+		return mux
+	}
+	current = mount(src1, "boot-1")
+
+	dst, dstRoutes, _ := newTestAgent(t, nil)
+	p := newGossipPuller(t, dst, srv.URL)
+	p.PullOnce(context.Background()) // full
+	if dstRoutes.count() != 40 {
+		t.Fatalf("routes = %d, want 40", dstRoutes.count())
+	}
+	fullBytes := p.Health()[0].LastBytes
+
+	// Restart: same content except one destination, new instance.
+	observations[7] = obs(t, "10.9.7.1", 55)
+	src2, _, _ := newTestAgent(t, observations)
+	current = mount(src2, "boot-2")
+
+	p.PullOnce(context.Background())
+	h := p.Health()[0]
+	if h.Mode != ModeBuckets || h.BucketPulls != 1 {
+		t.Fatalf("post-restart round = %+v, want a bucket resync", h)
+	}
+	if h.LastBytes >= fullBytes {
+		t.Fatalf("bucket resync moved %d bytes, full moved %d — no narrowing", h.LastBytes, fullBytes)
+	}
+
+	// Next round: converged against the new instance.
+	p.PullOnce(context.Background())
+	if h := p.Health()[0]; h.Mode != ModeDigest {
+		t.Fatalf("post-resync round = %+v, want digest", h)
+	}
+}
+
+// TestGossipConvergenceEquivalence is the tentpole acceptance criterion: a
+// receiver syncing via the digest→delta ladder converges to a byte-identical
+// exported table to a receiver syncing via full snapshots, across a
+// multi-round schedule with source churn between rounds.
+func TestGossipConvergenceEquivalence(t *testing.T) {
+	observations := []core.Observation{}
+	for i := 0; i < 25; i++ {
+		observations = append(observations, obs(t, fmt.Sprintf("10.8.%d.1", i), 15+i))
+	}
+	src, _, _ := newTestAgent(t, observations)
+	srv := gossipServer(src, "host-a", "boot-1")
+	defer srv.Close()
+
+	viaGossip, _, _ := newTestAgent(t, nil)
+	viaFull, _, _ := newTestAgent(t, nil)
+	gp := newGossipPuller(t, viaGossip, srv.URL)
+	fp, err := NewPuller(PullerConfig{Agent: viaFull, Peers: []string{srv.URL}, Gossip: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	churn := func(round int) {
+		if _, err := src.MergeSnapshot([]core.SnapshotEntry{{
+			Prefix:  netip.MustParsePrefix(fmt.Sprintf("203.0.113.%d/32", round)),
+			Window:  20 + round,
+			Samples: 3,
+			Age:     time.Second,
+		}}, core.MergePolicy{MaxAge: time.Hour}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 1; round <= 5; round++ {
+		gp.PullOnce(context.Background())
+		fp.PullOnce(context.Background())
+		churn(round)
+	}
+	// One final settle round after the last churn.
+	gp.PullOnce(context.Background())
+	fp.PullOnce(context.Background())
+
+	normalize := func(a *core.Agent) []core.SnapshotEntry {
+		entries := a.ExportSnapshot()
+		for i := range entries {
+			// Versions and ages are receiver-local bookkeeping (stamped at
+			// merge time); the learned content is what must match.
+			entries[i].Version = 0
+			entries[i].Age = 0
+		}
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Prefix.String() < entries[j].Prefix.String() })
+		return entries
+	}
+	g, f := normalize(viaGossip), normalize(viaFull)
+	if !reflect.DeepEqual(g, f) {
+		t.Fatalf("tables diverge:\ngossip: %+v\nfull:   %+v", g, f)
+	}
+	if len(g) != 30 {
+		t.Fatalf("converged table has %d entries, want 30", len(g))
+	}
+	// Sanity: the gossip receiver actually used the cheap rungs.
+	h := gp.Health()[0]
+	if h.DeltaPulls == 0 {
+		t.Fatalf("gossip receiver never used a delta: %+v", h)
+	}
+}
+
+// TestSnapshotHandlerServesGzip: the legacy endpoint satisfies the gzip
+// satellite — compressed when asked, identity otherwise, same payload.
+func TestSnapshotHandlerServesGzip(t *testing.T) {
+	observations := []core.Observation{}
+	for i := 0; i < 50; i++ {
+		observations = append(observations, obs(t, fmt.Sprintf("10.7.%d.1", i), 20))
+	}
+	a, _, _ := newTestAgent(t, observations)
+	srv := gossipServer(a, "host-a", "boot-1")
+	defer srv.Close()
+
+	get := func(gz bool) (hdr string, body []byte, raw int) {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+SnapshotPath, nil)
+		if gz {
+			req.Header.Set("Accept-Encoding", "gzip")
+		} else {
+			req.Header.Set("Accept-Encoding", "identity")
+		}
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		rawBody, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hdr = resp.Header.Get("Content-Encoding")
+		body = rawBody
+		if hdr == "gzip" {
+			zr, err := gzip.NewReader(bytes.NewReader(rawBody))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, err = io.ReadAll(zr)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return hdr, body, len(rawBody)
+	}
+
+	plainHdr, plainBody, plainRaw := get(false)
+	if plainHdr != "" {
+		t.Fatalf("identity request got Content-Encoding %q", plainHdr)
+	}
+	gzHdr, gzBody, gzRaw := get(true)
+	if gzHdr != "gzip" {
+		t.Fatalf("gzip request got Content-Encoding %q", gzHdr)
+	}
+	if !bytes.Equal(plainBody, gzBody) {
+		t.Fatal("gzip and identity payloads differ")
+	}
+	if gzRaw >= plainRaw {
+		t.Fatalf("gzip wire size %d >= identity %d", gzRaw, plainRaw)
+	}
+	if _, err := Decode(bytes.TrimSpace(gzBody)); err != nil {
+		t.Fatalf("decompressed snapshot does not decode: %v", err)
+	}
+}
+
+// TestReadBodyCapsDecompressedSize: a tiny compressed body expanding past
+// the cap is rejected — the decompressed-size bound, not just the wire
+// bound, protects the puller.
+func TestReadBodyCapsDecompressedSize(t *testing.T) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	chunk := bytes.Repeat([]byte{'a'}, 64<<10)
+	for written := 0; written < 4<<20; written += len(chunk) {
+		zw.Write(chunk)
+	}
+	zw.Close()
+
+	resp := &http.Response{
+		Header: http.Header{"Content-Encoding": []string{"gzip"}},
+		Body:   io.NopCloser(bytes.NewReader(buf.Bytes())),
+	}
+	if _, _, err := readBody(resp, 1<<20); err == nil {
+		t.Fatal("readBody accepted a 4 MiB decompression against a 1 MiB cap")
+	}
+
+	// Within the cap it round-trips.
+	var small bytes.Buffer
+	zw = gzip.NewWriter(&small)
+	zw.Write([]byte(`{"ok":true}`))
+	zw.Close()
+	resp = &http.Response{
+		Header: http.Header{"Content-Encoding": []string{"gzip"}},
+		Body:   io.NopCloser(bytes.NewReader(small.Bytes())),
+	}
+	data, wire, err := readBody(resp, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"ok":true}` {
+		t.Fatalf("data = %q", data)
+	}
+	if wire != int64(small.Len()) {
+		t.Fatalf("wire bytes = %d, want %d", wire, small.Len())
+	}
+}
+
+// TestJitterShortensBackoffOnly: jitter subtracts up to Jitter×d and never
+// extends a backoff.
+func TestJitterShortensBackoffOnly(t *testing.T) {
+	a, _, _ := newTestAgent(t, nil)
+	mk := func(jitter float64, r func() float64) *Puller {
+		p, err := NewPuller(PullerConfig{
+			Agent:     a,
+			Interval:  10 * time.Second,
+			Jitter:    jitter,
+			randFloat: r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	// Max draw: the full jitter slice comes off.
+	p := mk(0.2, func() float64 { return 0.999 })
+	got := p.jittered(10 * time.Second)
+	if got > 10*time.Second || got < 8*time.Second {
+		t.Fatalf("jittered(10s) = %v, want within [8s, 10s]", got)
+	}
+	// Zero draw: unchanged.
+	p = mk(0.2, func() float64 { return 0 })
+	if got := p.jittered(10 * time.Second); got != 10*time.Second {
+		t.Fatalf("zero draw moved the backoff: %v", got)
+	}
+	// Jitter disabled.
+	p = mk(-1, func() float64 { return 0.999 })
+	if got := p.jittered(10 * time.Second); got != 10*time.Second {
+		t.Fatalf("disabled jitter moved the backoff: %v", got)
+	}
+	// Distribution sanity: different draws give different schedules (the
+	// anti-stampede property).
+	seen := map[time.Duration]bool{}
+	for _, draw := range []float64{0.1, 0.5, 0.9} {
+		d := draw
+		p = mk(0.2, func() float64 { return d })
+		seen[p.jittered(40*time.Second)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("three draws produced %d distinct backoffs", len(seen))
+	}
+}
+
+// TestGossipEndpointsRejectBadRequests covers the delta endpoint's
+// validation surface.
+func TestGossipEndpointsRejectBadRequests(t *testing.T) {
+	a, _, _ := newTestAgent(t, nil)
+	srv := gossipServer(a, "host-a", "boot-1")
+	defer srv.Close()
+
+	for _, bad := range []string{
+		DeltaPath + "?since=not-a-number",
+		DeltaPath + "?buckets=1,frog",
+		DeltaPath + "?buckets=-1",
+		DeltaPath + "?buckets=9999",
+	} {
+		resp, err := http.Get(srv.URL + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("GET %s = %s, want 400", bad, resp.Status)
+		}
+	}
+
+	// POSTs are refused on all three.
+	for _, path := range []string{SnapshotPath, DigestPath, DeltaPath} {
+		resp, err := http.Post(srv.URL+path, "application/json", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s = %s, want 405", path, resp.Status)
+		}
+	}
+
+	// A digest round-trips through the real endpoint.
+	resp, err := http.Get(srv.URL + DigestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gossippkg.DecodeDigest(bytes.TrimSpace(data)); err != nil {
+		t.Fatalf("served digest does not decode: %v", err)
+	}
+}

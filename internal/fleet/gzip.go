@@ -1,0 +1,87 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// Wire compression for the fleet endpoints: responses are gzipped when the
+// client asks (Accept-Encoding: gzip) and reads are bounded on the
+// DECOMPRESSED size, so a peer cannot smuggle a memory bomb past the
+// on-the-wire cap inside a tiny compressed body. The puller sets
+// Accept-Encoding itself, which also disables net/http's transparent
+// decompression — every byte that crosses the limit does so visibly here.
+
+// acceptsGzip reports whether the request advertises gzip support.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc := strings.TrimSpace(part)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
+}
+
+// writeJSON writes data (plus a trailing newline) as application/json,
+// gzip-compressed when the client accepts it, and returns the bytes that
+// went on the wire.
+func writeJSON(w http.ResponseWriter, r *http.Request, data []byte) int {
+	body := make([]byte, 0, len(data)+1)
+	body = append(body, data...)
+	body = append(body, '\n')
+	w.Header().Set("Content-Type", "application/json")
+	if acceptsGzip(r) {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		zw.Write(body)
+		if err := zw.Close(); err == nil {
+			w.Header().Set("Content-Encoding", "gzip")
+			n, _ := w.Write(buf.Bytes())
+			return n
+		}
+	}
+	n, _ := w.Write(body)
+	return n
+}
+
+// countingReader counts the raw (wire) bytes read through it.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// readBody reads an HTTP response body, transparently decompressing a gzip
+// Content-Encoding, enforcing `limit` on the decompressed size, and
+// reporting how many bytes actually crossed the wire (the compressed count
+// when gzipped).
+func readBody(resp *http.Response, limit int64) (data []byte, wireBytes int64, err error) {
+	cr := &countingReader{r: io.LimitReader(resp.Body, limit)}
+	var r io.Reader = cr
+	if strings.EqualFold(resp.Header.Get("Content-Encoding"), "gzip") {
+		zr, zerr := gzip.NewReader(cr)
+		if zerr != nil {
+			return nil, cr.n, fmt.Errorf("gzip response: %w", zerr)
+		}
+		defer zr.Close()
+		r = zr
+	}
+	data, err = io.ReadAll(io.LimitReader(r, limit+1))
+	if err != nil {
+		return nil, cr.n, err
+	}
+	if int64(len(data)) > limit {
+		return nil, cr.n, fmt.Errorf("response exceeds %d decompressed bytes", limit)
+	}
+	return data, cr.n, nil
+}

@@ -4,26 +4,51 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"riptide/internal/core"
+	"riptide/internal/gossip"
 )
 
 // SnapshotPath is the URL path riptided serves its fleet snapshot on.
 const SnapshotPath = "/fleet/snapshot"
 
 // maxSnapshotBytes bounds how much of a peer's response the puller will
-// read: a misbehaving peer cannot balloon this agent's memory. 10k entries
-// are well under 1 MiB; 16 MiB leaves generous headroom.
+// read — decompressed, when the response is gzipped — so a misbehaving peer
+// cannot balloon this agent's memory. 10k entries are well under 1 MiB;
+// 16 MiB leaves generous headroom.
 const maxSnapshotBytes = 16 << 20
 
-// Handler serves the agent's current snapshot as JSON on GET. now supplies
-// the CreatedUnixNano stamp; nil means time.Now.
-func Handler(agent *core.Agent, source string, now func() time.Time) http.Handler {
+// Round modes: how one successful pull round synced, cheapest first.
+const (
+	// ModeDigest: the digest matched — the peers are converged and the
+	// round moved no entries at all.
+	ModeDigest = "digest"
+	// ModeDelta: entries committed since the last round were fetched.
+	ModeDelta = "delta"
+	// ModeBuckets: the peer restarted; only divergent digest buckets were
+	// fetched.
+	ModeBuckets = "buckets"
+	// ModeFull: the whole table came over the gossip delta endpoint.
+	ModeFull = "full"
+	// ModeSnapshot: the whole table came over the legacy snapshot
+	// endpoint (gossip disabled, or the peer predates it).
+	ModeSnapshot = "snapshot"
+)
+
+// Handler serves the agent's current snapshot as JSON on GET, gzipped when
+// the client accepts it. now supplies the CreatedUnixNano stamp; nil means
+// time.Now. instance stamps the snapshot with this agent run's identity so
+// gossip-aware pullers can seed their delta cursors from a full pull; pass
+// "" for none (persisted snapshots never carry one).
+func Handler(agent *core.Agent, source, instance string, now func() time.Time) http.Handler {
 	if now == nil {
 		now = time.Now
 	}
@@ -33,13 +58,15 @@ func Handler(agent *core.Agent, source string, now func() time.Time) http.Handle
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
 			return
 		}
-		data, err := Encode(FromAgent(agent, source, now()))
+		snap := FromAgent(agent, source, now())
+		snap.Instance = instance
+		data, err := Encode(snap)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(append(data, '\n'))
+		n := writeJSON(w, r, data)
+		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
 	})
 }
 
@@ -78,12 +105,41 @@ type PeerHealth struct {
 	// peer over the puller's lifetime.
 	Pulls  uint64 `json:"pulls"`
 	Merged uint64 `json:"merged"`
+	// LastSuccessUnixNano is the wall-clock time of the most recent
+	// successful pull; 0 before the first.
+	LastSuccessUnixNano int64 `json:"lastSuccessUnixNano,omitempty"`
+	// LastBytes is how many bytes the most recent successful round moved
+	// on the wire (compressed size when gzipped).
+	LastBytes int64 `json:"lastBytes,omitempty"`
+	// Mode is how the most recent successful round synced: one of the
+	// Mode* constants ("digest", "delta", "buckets", "full", "snapshot").
+	Mode string `json:"mode,omitempty"`
+	// Per-mode round counts over the puller's lifetime.
+	DigestHits    uint64 `json:"digestHits,omitempty"`
+	DeltaPulls    uint64 `json:"deltaPulls,omitempty"`
+	BucketPulls   uint64 `json:"bucketPulls,omitempty"`
+	FullPulls     uint64 `json:"fullPulls,omitempty"`
+	SnapshotPulls uint64 `json:"snapshotPulls,omitempty"`
 }
 
-// peerState is a peer plus its backoff bookkeeping.
+// peerCursor is the gossip sync position against one peer: which instance
+// of the peer it refers to, the table version synced through, and the
+// digest of the peer's content as of the last sync.
+type peerCursor struct {
+	instance string
+	version  uint64
+	digest   *gossip.Digest
+}
+
+// peerState is a peer plus its backoff bookkeeping and gossip cursor.
 type peerState struct {
 	health      PeerHealth
 	nextAttempt time.Time // zero means eligible immediately
+	// gossipBase is the peer's scheme://host root for the digest/delta
+	// endpoints, derived from the snapshot URL; empty when the peer spec
+	// used a custom path (legacy-only peer).
+	gossipBase string
+	cursor     peerCursor
 }
 
 // PullerConfig configures a Puller.
@@ -108,6 +164,20 @@ type PullerConfig struct {
 	Now func() time.Time
 	// Logf, if set, receives pull errors; pulling continues regardless.
 	Logf func(format string, args ...any)
+	// Gossip enables the digest→delta→full sync ladder against peers
+	// whose spec uses the standard snapshot path. Peers that cannot answer
+	// the gossip endpoints (pre-gossip builds, custom-path specs) are
+	// pulled as legacy full snapshots either way.
+	Gossip bool
+	// Jitter is the fraction of each retry backoff randomly subtracted so
+	// a healed partition does not synchronize the whole fleet's retries
+	// onto one instant. 0 means the default 0.2 (a 40s backoff retries
+	// after 32–40s); negative disables jitter. Jitter only ever shortens
+	// a backoff, never extends it.
+	Jitter float64
+	// randFloat supplies jitter randomness in [0,1); nil means math/rand.
+	// A test seam.
+	randFloat func() float64
 }
 
 // Puller periodically fetches snapshots from fleet peers and merges them
@@ -145,13 +215,35 @@ func NewPuller(cfg PullerConfig) (*Puller, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	}
+	if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Jitter > 1 {
+		return nil, fmt.Errorf("riptide/fleet: Jitter %v must be at most 1", cfg.Jitter)
+	}
+	if cfg.randFloat == nil {
+		cfg.randFloat = rand.Float64
+	}
 	p := &Puller{cfg: cfg}
 	for _, raw := range cfg.Peers {
 		u := NormalizePeerURL(raw)
 		if u == "" {
 			continue
 		}
-		p.peers = append(p.peers, &peerState{health: PeerHealth{URL: u}})
+		p.peers = append(p.peers, &peerState{
+			health:     PeerHealth{URL: u},
+			gossipBase: strings.TrimSuffix(u, SnapshotPath),
+		})
+	}
+	for _, ps := range p.peers {
+		if ps.gossipBase == ps.health.URL {
+			// The spec carried a custom path: there is nowhere sensible
+			// to derive the gossip endpoints from.
+			ps.gossipBase = ""
+		}
 	}
 	return p, nil
 }
@@ -201,13 +293,13 @@ func (p *Puller) PullOnce(ctx context.Context) int {
 		if ctx.Err() != nil {
 			return merged
 		}
-		stats, err := p.pullPeer(ctx, ps.health.URL)
+		stats, round, cursor, err := p.pullPeer(ctx, ps)
 		p.mu.Lock()
 		if err != nil {
 			ps.health.Healthy = false
 			ps.health.Failures++
 			ps.health.LastError = err.Error()
-			ps.nextAttempt = p.cfg.Now().Add(p.backoff(ps.health.Failures))
+			ps.nextAttempt = p.cfg.Now().Add(p.jittered(p.backoff(ps.health.Failures)))
 			p.mu.Unlock()
 			p.cfg.Agent.Metrics().Counter("riptide_peer_pull_errors").Inc()
 			if p.cfg.Logf != nil {
@@ -220,9 +312,28 @@ func (p *Puller) PullOnce(ctx context.Context) int {
 		ps.health.LastError = ""
 		ps.health.Pulls++
 		ps.health.Merged += uint64(stats.Merged)
+		ps.health.LastSuccessUnixNano = p.cfg.Now().UnixNano()
+		ps.health.LastBytes = round.bytes
+		ps.health.Mode = round.mode
+		switch round.mode {
+		case ModeDigest:
+			ps.health.DigestHits++
+		case ModeDelta:
+			ps.health.DeltaPulls++
+		case ModeBuckets:
+			ps.health.BucketPulls++
+		case ModeFull:
+			ps.health.FullPulls++
+		case ModeSnapshot:
+			ps.health.SnapshotPulls++
+		}
+		ps.cursor = cursor
 		ps.nextAttempt = time.Time{}
 		p.mu.Unlock()
-		p.cfg.Agent.Metrics().Counter("riptide_peer_pulls").Inc()
+		m := p.cfg.Agent.Metrics()
+		m.Counter("riptide_peer_pulls").Inc()
+		m.Counter("riptide_gossip_bytes_received").Add(uint64(round.bytes))
+		m.Counter("riptide_gossip_rounds_" + round.mode).Inc()
 		merged += stats.Merged
 	}
 	return merged
@@ -244,38 +355,191 @@ func (p *Puller) backoff(failures int) time.Duration {
 	return d
 }
 
-// pullPeer fetches one peer's snapshot and merges it into the agent.
-func (p *Puller) pullPeer(ctx context.Context, url string) (core.MergeStats, error) {
+// jittered subtracts a random slice of up to Jitter×d from a backoff, so
+// peers that failed in unison (a partition) do not all retry in unison
+// (a stampede onto the healed peer). Subtractive jitter never extends the
+// backoff, so retry-latency expectations are upper-bounded by backoff().
+func (p *Puller) jittered(d time.Duration) time.Duration {
+	if p.cfg.Jitter <= 0 || d <= 0 {
+		return d
+	}
+	return d - time.Duration(p.cfg.randFloat()*p.cfg.Jitter*float64(d))
+}
+
+// roundResult describes one successful pull round for health/metrics.
+type roundResult struct {
+	mode  string
+	bytes int64
+}
+
+// pullPeer syncs from one peer, walking the gossip ladder when enabled and
+// falling back to the legacy full snapshot whenever a gossip rung cannot be
+// climbed (the peer predates gossip, restarted mid-round, or returned
+// something unusable). The returned cursor is the caller's to store on
+// success; pullPeer itself never mutates ps.
+func (p *Puller) pullPeer(ctx context.Context, ps *peerState) (core.MergeStats, roundResult, peerCursor, error) {
+	p.mu.Lock()
+	base := ps.gossipBase
+	cursor := ps.cursor
+	snapURL := ps.health.URL
+	p.mu.Unlock()
+
+	var round roundResult
+	if p.cfg.Gossip && base != "" {
+		stats, gossipRound, next, err := p.pullGossip(ctx, base, cursor)
+		round.bytes += gossipRound.bytes
+		if err == nil {
+			round.mode = gossipRound.mode
+			return stats, round, next, nil
+		}
+		if ctx.Err() != nil {
+			return core.MergeStats{}, round, cursor, err
+		}
+		// The gossip rungs are an optimization; the snapshot endpoint is
+		// the protocol floor. Any gossip failure falls through to it
+		// within the same round (counting the bytes already spent).
+		if p.cfg.Logf != nil {
+			p.cfg.Logf("fleet: gossip %s: %v (falling back to full snapshot)", base, err)
+		}
+	}
+
+	data, n, err := p.fetch(ctx, snapURL)
+	round.bytes += n
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+	snap, err := Decode(data)
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+	stats := p.merge(snap.CoreEntries(), snapURL)
+	round.mode = ModeSnapshot
+	next := peerCursor{}
+	if snap.Instance != "" {
+		// A v3 snapshot seeds the gossip cursor: the next round can open
+		// with a digest compare and a delta instead of another full pull.
+		digest := gossip.Compute(snap.Entries, snap.Source, snap.Instance, snap.TableVersion)
+		next = peerCursor{instance: snap.Instance, version: snap.TableVersion, digest: &digest}
+	}
+	return stats, round, next, nil
+}
+
+// pullGossip walks the ladder: digest first, then whichever of
+// delta/buckets/full the digest says is needed.
+func (p *Puller) pullGossip(ctx context.Context, base string, cursor peerCursor) (core.MergeStats, roundResult, peerCursor, error) {
+	var round roundResult
+	data, n, err := p.fetch(ctx, base+DigestPath)
+	round.bytes += n
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+	d, err := gossip.DecodeDigest(data)
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+
+	if cursor.digest != nil && gossip.ContentEqual(d, *cursor.digest) {
+		// Converged: the round cost one digest, no entries moved. The
+		// cursor fast-forwards even across an instance change — identical
+		// content needs nothing fetched, whatever the counter says.
+		round.mode = ModeDigest
+		return core.MergeStats{}, round, peerCursor{instance: d.Instance, version: d.TableVersion, digest: &d}, nil
+	}
+
+	deltaURL := base + DeltaPath
+	mode := ModeFull
+	switch {
+	case d.Instance != "" && d.Instance == cursor.instance && cursor.version > 0:
+		// Same instance, known position: ask only for what changed.
+		deltaURL += "?since=" + strconv.FormatUint(cursor.version, 10) +
+			"&instance=" + url.QueryEscape(cursor.instance)
+		mode = ModeDelta
+	case cursor.digest != nil:
+		// The peer restarted (or first contact carried a digest from a
+		// persisted snapshot): fetch only the buckets that diverge from
+		// what we remember of its content.
+		diff := gossip.DiffBuckets(*cursor.digest, d)
+		deltaURL += "?buckets=" + bucketList(diff)
+		mode = ModeBuckets
+	}
+	data, n, err = p.fetch(ctx, deltaURL)
+	round.bytes += n
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+	delta, err := gossip.DecodeDelta(data)
+	if err != nil {
+		return core.MergeStats{}, round, cursor, err
+	}
+	if delta.Full {
+		// The peer judged our cursor unusable (instance mismatch raced
+		// between the two requests, version compacted, ...).
+		mode = ModeFull
+	}
+	stats := p.merge(gossip.ToCore(delta.Entries), deltaURL)
+	round.mode = mode
+
+	next := peerCursor{instance: delta.Instance, version: delta.TableVersion}
+	if mode == ModeFull {
+		// A full table is complete knowledge: recompute the digest from
+		// it rather than trusting the pre-transfer digest (the table may
+		// have moved between the two requests; being conservative here
+		// only costs a delta next round, never correctness).
+		digest := gossip.Compute(delta.Entries, delta.Source, delta.Instance, delta.TableVersion)
+		next.digest = &digest
+	} else {
+		// Deltas and bucket fetches do not reveal the whole table; the
+		// served digest is the best content summary available.
+		next.digest = &d
+	}
+	return stats, round, next, nil
+}
+
+// merge folds received entries into the agent, logging (not failing) route
+// programming errors: they are the agent's problem, not the peer's — the
+// pull itself succeeded.
+func (p *Puller) merge(entries []core.SnapshotEntry, from string) core.MergeStats {
+	stats, err := p.cfg.Agent.MergeSnapshot(entries, p.cfg.Policy)
+	if err != nil && p.cfg.Logf != nil {
+		p.cfg.Logf("fleet: merge from %s: %v", from, err)
+	}
+	return stats
+}
+
+// fetch GETs a fleet endpoint, advertising gzip and enforcing the
+// decompressed-size cap, and reports the payload plus wire bytes moved.
+func (p *Puller) fetch(ctx context.Context, url string) ([]byte, int64, error) {
 	reqCtx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
 	if err != nil {
-		return core.MergeStats{}, err
+		return nil, 0, err
 	}
+	// Setting the header explicitly (rather than letting net/http add it)
+	// disables the transport's transparent decompression, so the
+	// decompressed-size cap in readBody sees every byte.
+	req.Header.Set("Accept-Encoding", "gzip")
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
-		return core.MergeStats{}, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return core.MergeStats{}, fmt.Errorf("status %s", resp.Status)
+		return nil, 0, fmt.Errorf("status %s", resp.Status)
 	}
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
-	if err != nil {
-		return core.MergeStats{}, err
-	}
-	snap, err := Decode(data)
-	if err != nil {
-		return core.MergeStats{}, err
-	}
-	stats, err := p.cfg.Agent.MergeSnapshot(snap.CoreEntries(), p.cfg.Policy)
-	if err != nil {
-		// Route-programming failures are the agent's problem, not the
-		// peer's; the pull itself succeeded. Surface via log only.
-		if p.cfg.Logf != nil {
-			p.cfg.Logf("fleet: merge from %s: %v", url, err)
+	return readBody(resp, maxSnapshotBytes)
+}
+
+// bucketList renders bucket indices as the comma-separated form the delta
+// endpoint parses.
+func bucketList(buckets []int) string {
+	var b strings.Builder
+	for i, idx := range buckets {
+		if i > 0 {
+			b.WriteByte(',')
 		}
+		b.WriteString(strconv.Itoa(idx))
 	}
-	return stats, nil
+	return b.String()
 }

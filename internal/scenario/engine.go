@@ -46,6 +46,7 @@ func (sp *Spec) Run() (*Report, error) {
 		ctl, err := sp.executeRun(runOverrides{
 			riptide: sp.Compare.Riptide,
 			guard:   sp.Compare.Guard,
+			gossip:  sp.Compare.Gossip,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("scenario %s: control run: %w", sp.Name, err)
@@ -108,6 +109,7 @@ func (sp *Spec) affectedPoPs() map[string]bool {
 type runOverrides struct {
 	riptide *bool
 	guard   *bool
+	gossip  *bool
 }
 
 // runState accumulates per-run observations that the event callbacks and the
@@ -118,6 +120,11 @@ type runState struct {
 	// Retransmit / probe-failure counters sampled at phase boundaries.
 	retransAtStart, retransAtEnd int64
 	sawStart, sawEnd             bool
+
+	// Gossip wire bytes sampled at the same boundaries (gossipOn is set
+	// when an enable_gossip_sharing event actually started the exchange).
+	gossipOn                   bool
+	gossipAtStart, gossipAtEnd int64
 
 	// Safety-governor observations.
 	guardOn    bool
@@ -198,8 +205,9 @@ func (sp *Spec) executeRun(ov runOverrides) (map[string]float64, error) {
 	st := &runState{guardOn: riptideOn && guardSpec != nil}
 	st.winStart, st.winEnd = sp.phaseWindow()
 
+	gossipFull := ov.gossip != nil && !*ov.gossip
 	for _, ev := range sp.Events {
-		if err := applyEvent(c, ev, st, riptideOn, fleet.LossRate); err != nil {
+		if err := applyEvent(c, ev, st, riptideOn, gossipFull, fleet.LossRate); err != nil {
 			return nil, fmt.Errorf("event at %v (%s): %w", ev.At, ev.Kind, err)
 		}
 	}
@@ -209,6 +217,7 @@ func (sp *Spec) executeRun(ov runOverrides) (map[string]float64, error) {
 	if st.winStart > 0 && st.winStart < sp.Duration {
 		if err := c.ScheduleAt(st.winStart, func() {
 			st.retransAtStart = c.TotalRetransmits()
+			st.gossipAtStart = c.GossipStats().BytesOnWire
 			st.sawStart = true
 		}); err != nil {
 			return nil, err
@@ -217,6 +226,7 @@ func (sp *Spec) executeRun(ov runOverrides) (map[string]float64, error) {
 	if st.winEnd > 0 && st.winEnd < sp.Duration {
 		if err := c.ScheduleAt(st.winEnd, func() {
 			st.retransAtEnd = c.TotalRetransmits()
+			st.gossipAtEnd = c.GossipStats().BytesOnWire
 			st.sawEnd = true
 		}); err != nil {
 			return nil, err
@@ -260,7 +270,7 @@ func (sp *Spec) executeRun(ov runOverrides) (map[string]float64, error) {
 // applyEvent schedules one parsed event onto the cluster. Recovery-tracking
 // snapshots are scheduled before the event itself so the FIFO order at equal
 // timestamps reads the pre-reboot route count.
-func applyEvent(c *cdn.Cluster, ev Event, st *runState, riptideOn bool, baselineLoss float64) error {
+func applyEvent(c *cdn.Cluster, ev Event, st *runState, riptideOn, gossipFull bool, baselineLoss float64) error {
 	switch p := ev.Payload.(type) {
 	case *CapacityCutEvent:
 		return cdn.CapacityCut{
@@ -302,6 +312,24 @@ func applyEvent(c *cdn.Cluster, ev Event, st *runState, riptideOn bool, baseline
 			return nil // a control run without agents has nothing to share
 		}
 		return c.EnableFleetSharing(p.Interval, core.MergePolicy{})
+	case *GossipSharingEvent:
+		if !riptideOn {
+			return nil // a control run without agents has nothing to sync
+		}
+		if p.SeedEntries > 0 {
+			if err := c.SeedWarmEntries(p.SeedEntries, core.MergePolicy{}); err != nil {
+				return err
+			}
+		}
+		mode := cdn.GossipMode(p.Mode)
+		if gossipFull {
+			mode = cdn.GossipFull
+		}
+		if err := c.EnableGossipSharing(p.Interval, core.MergePolicy{}, mode); err != nil {
+			return err
+		}
+		st.gossipOn = true
+		return nil
 	case *KnobEvent:
 		return c.ScheduleAt(ev.At, func() { applyKnob(c, p) })
 	}
@@ -405,6 +433,38 @@ func (sp *Spec) collect(c *cdn.Cluster, st *runState) map[string]float64 {
 	m["probe_failures.total"] = fails["before"] + fails["during"] + fails["after"]
 
 	m["routes.end"] = float64(c.TotalRoutes())
+
+	// Gossip wire accounting, with bytes split by phase the same way as
+	// retransmits so assertions can price the steady state separately from
+	// the incident window.
+	if st.gossipOn {
+		gs := c.GossipStats()
+		gAtStart, gAtEnd := st.gossipAtStart, st.gossipAtEnd
+		if !st.sawStart {
+			if st.winStart <= 0 {
+				gAtStart = 0
+			} else {
+				gAtStart = gs.BytesOnWire
+			}
+		}
+		if !st.sawEnd {
+			if st.winEnd >= sp.Duration {
+				gAtEnd = gs.BytesOnWire
+			} else {
+				gAtEnd = gAtStart
+			}
+		}
+		m["gossip.bytes.before"] = float64(gAtStart)
+		m["gossip.bytes.during"] = float64(gAtEnd - gAtStart)
+		m["gossip.bytes.after"] = float64(gs.BytesOnWire - gAtEnd)
+		m["gossip.bytes.total"] = float64(gs.BytesOnWire)
+		m["gossip.rounds.total"] = float64(gs.Rounds)
+		m["gossip.rounds.digest"] = float64(gs.DigestRounds)
+		m["gossip.rounds.delta"] = float64(gs.DeltaRounds)
+		m["gossip.rounds.buckets"] = float64(gs.BucketRounds)
+		m["gossip.rounds.full"] = float64(gs.FullRounds)
+		m["gossip.entries_moved"] = float64(gs.EntriesMoved)
+	}
 
 	if st.guardOn {
 		m["quarantines"] = float64(st.quarMax)

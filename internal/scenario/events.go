@@ -5,12 +5,15 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"riptide/internal/cdn"
 )
 
 // eventKinds names every supported event, for error messages.
 var eventKinds = []string{
-	"capacity_cut", "degradation", "enable_fleet_sharing", "flash_crowd",
-	"host_reboot", "path_flap", "peer_partition", "rolling_reboots", "set_knob",
+	"capacity_cut", "degradation", "enable_fleet_sharing", "enable_gossip_sharing",
+	"flash_crowd", "host_reboot", "path_flap", "peer_partition", "rolling_reboots",
+	"set_knob",
 }
 
 // parseEvents decodes and validates the event stream. Events must be listed
@@ -94,6 +97,8 @@ func parsePayload(kind string, n *Node) (EventPayload, error) {
 		return parseDegradation(n)
 	case "enable_fleet_sharing":
 		return parseFleetSharing(n)
+	case "enable_gossip_sharing":
+		return parseGossipSharing(n)
 	case "set_knob":
 		return parseKnob(n)
 	}
@@ -512,6 +517,49 @@ func (e *FleetSharingEvent) window(at, total time.Duration) (time.Duration, time
 }
 
 func (e *FleetSharingEvent) affected() []string { return nil }
+
+// enable_gossip_sharing
+
+func parseGossipSharing(n *Node) (EventPayload, error) {
+	if err := needMap(n, "enable_gossip_sharing"); err != nil {
+		return nil, err
+	}
+	if err := checkKeys(n, "interval", "mode", "seed_entries"); err != nil {
+		return nil, err
+	}
+	e := &GossipSharingEvent{Mode: string(cdn.GossipLadder)}
+	for _, step := range []error{
+		getDur(n, "interval", &e.Interval), getStr(n, "mode", &e.Mode),
+		getInt(n, "seed_entries", &e.SeedEntries),
+	} {
+		if step != nil {
+			return nil, step
+		}
+	}
+	return e, nil
+}
+
+func (e *GossipSharingEvent) validate(pops map[string]bool, at, total time.Duration) error {
+	if e.Interval <= 0 {
+		return fmt.Errorf("interval %v must be positive", e.Interval)
+	}
+	if m := cdn.GossipMode(e.Mode); m != cdn.GossipLadder && m != cdn.GossipFull {
+		return fmt.Errorf("mode %q unknown (valid: %s %s)", e.Mode, cdn.GossipFull, cdn.GossipLadder)
+	}
+	if e.SeedEntries < 0 {
+		return fmt.Errorf("seed_entries %d must not be negative", e.SeedEntries)
+	}
+	if at != 0 {
+		return fmt.Errorf("must fire at 0s (gossip starts with the run)")
+	}
+	return nil
+}
+
+func (e *GossipSharingEvent) window(at, total time.Duration) (time.Duration, time.Duration) {
+	return 0, 0 // not a disruption
+}
+
+func (e *GossipSharingEvent) affected() []string { return nil }
 
 // set_knob
 

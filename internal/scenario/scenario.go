@@ -103,6 +103,11 @@ type CompareSpec struct {
 	Riptide *bool
 	// Guard, when set false, strips the safety governor in the control run.
 	Guard *bool
+	// Gossip, when set false, downgrades the control run's gossip mode to
+	// "full" — same sync schedule, whole tables every round — so the
+	// assertions can price the anti-entropy ladder against the legacy
+	// full-snapshot cost model.
+	Gossip *bool
 }
 
 // ProbeFilter restricts the probe population feeding the phase CDFs.
@@ -197,6 +202,18 @@ type DegradationEvent struct {
 // FleetSharingEvent enables periodic same-PoP snapshot exchange.
 type FleetSharingEvent struct {
 	Interval time.Duration
+}
+
+// GossipSharingEvent enables cross-PoP anti-entropy table sync with full
+// wire-cost accounting (cdn.EnableGossipSharing). Mode is "ladder"
+// (digest/delta anti-entropy) or "full" (every round ships whole tables —
+// the legacy cost model). SeedEntries, when > 0, pre-populates every
+// agent's table with that many synthetic warm destinations, modeling a
+// long-lived back-office fleet whose table size a short run cannot grow.
+type GossipSharingEvent struct {
+	Interval    time.Duration
+	Mode        string
+	SeedEntries int
 }
 
 // Raw knob names for KnobEvent.
@@ -300,6 +317,18 @@ func Parse(src []byte) (*Spec, error) {
 	}
 	if sp.Compare != nil && sp.Compare.Guard != nil && !*sp.Compare.Guard && sp.Fleet.Riptide.Guard == nil {
 		return nil, fmt.Errorf("compare: guard: false needs fleet.riptide.guard configured")
+	}
+	if sp.Compare != nil && sp.Compare.Gossip != nil {
+		found := false
+		for _, ev := range sp.Events {
+			if _, ok := ev.Payload.(*GossipSharingEvent); ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("compare: gossip needs an enable_gossip_sharing event")
+		}
 	}
 	return sp, nil
 }
@@ -651,7 +680,7 @@ func parseCompare(n *Node) (*CompareSpec, error) {
 	if err := needMap(n, "compare"); err != nil {
 		return nil, err
 	}
-	if err := checkKeys(n, "riptide", "guard"); err != nil {
+	if err := checkKeys(n, "riptide", "guard", "gossip"); err != nil {
 		return nil, err
 	}
 	c := &CompareSpec{}
@@ -669,8 +698,15 @@ func parseCompare(n *Node) (*CompareSpec, error) {
 		}
 		c.Guard = &b
 	}
-	if c.Riptide == nil && c.Guard == nil {
-		return nil, fmt.Errorf("line %d: compare block sets no knob (valid: guard riptide)", n.Line)
+	if v := n.Get("gossip"); v != nil {
+		b, err := v.Bool()
+		if err != nil {
+			return nil, err
+		}
+		c.Gossip = &b
+	}
+	if c.Riptide == nil && c.Guard == nil && c.Gossip == nil {
+		return nil, fmt.Errorf("line %d: compare block sets no knob (valid: gossip guard riptide)", n.Line)
 	}
 	return c, nil
 }
