@@ -156,8 +156,17 @@ func writePerfSnapshot(path, sizesCSV string, minTime time.Duration) error {
 		return err
 	}
 	snap.Benchmarks = append(snap.Benchmarks, backends...)
+	// The fleet-serving fan-in series at the sizes that bound a converged
+	// region (1k) and a worst-case warm fleet (100k); the uncached
+	// per-request encodes ride along as live-measured baselines.
+	serving, servingBaselines, err := perf.CollectServing([]int{1000, 100000}, minTime)
+	if err != nil {
+		return err
+	}
+	snap.Benchmarks = append(snap.Benchmarks, serving...)
 	snap.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
 	snap.Baselines = append(append([]perf.Baseline(nil), prePRBaselines...), bench5Baselines...)
+	snap.Baselines = append(snap.Baselines, servingBaselines...)
 	for _, b := range backends {
 		if strings.Contains(b.Name, "backend=exec") {
 			snap.Baselines = append(snap.Baselines, perf.Baseline{

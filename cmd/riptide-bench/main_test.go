@@ -86,18 +86,26 @@ func TestPerfSnapshotWritesJSON(t *testing.T) {
 	}
 	// 2 sizes x 6 series points + 2 route-programming modes
 	// + backend comparisons (2 sizes x 2 sampler backends + 2 route backends,
-	// exec points skipped when the host lacks cat/true).
-	if n := len(snap.Benchmarks); n < 18 || n > 20 {
-		t.Fatalf("benchmarks = %d, want 18..20", n)
+	// exec points skipped when the host lacks cat/true)
+	// + the fleet-serving series (2 fixed sizes x (3 kinds x 2 modes + 304)).
+	if n := len(snap.Benchmarks); n < 32 || n > 34 {
+		t.Fatalf("benchmarks = %d, want 32..34", n)
 	}
-	var execBaselines int
+	var execBaselines, servingBaselines int
 	for _, b := range snap.Baselines {
 		if strings.HasPrefix(b.Name, "exec-baseline/") {
 			execBaselines++
 		}
+		if strings.HasPrefix(b.Name, "uncached/Serve") {
+			servingBaselines++
+		}
 	}
 	if execBaselines == 0 {
 		t.Errorf("no exec-baseline entries recorded in snapshot baselines")
+	}
+	// 2 sizes x 3 kinds of live-measured uncached serving encodes.
+	if servingBaselines != 6 {
+		t.Errorf("serving baselines = %d, want 6", servingBaselines)
 	}
 	if snap.GOMAXPROCS < 1 {
 		t.Errorf("gomaxprocs = %d not stamped", snap.GOMAXPROCS)

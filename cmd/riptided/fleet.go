@@ -10,11 +10,13 @@ import (
 )
 
 // fleetState carries the daemon's fleet-sharing wiring: the snapshot source
-// label, this run's gossip instance identity, the optional peer puller
-// (with its health state for /status), and the optional on-disk persister.
+// label, this run's gossip instance identity, the shared response-cache
+// server behind the fleet endpoints, the optional peer puller (with its
+// health state for /status), and the optional on-disk persister.
 type fleetState struct {
 	Source    string
 	Instance  string
+	Server    *fleet.Server
 	Puller    *fleet.Puller
 	Persister *fleet.Persister
 }

@@ -309,6 +309,10 @@ func run(args []string) error {
 	// instead of trusting a stale delta cursor.
 	instance := fmt.Sprintf("%s-%d", source, time.Now().UnixNano())
 	fl := &fleetState{Source: source, Instance: instance}
+	// One shared response-cache server backs all three fleet endpoints, so
+	// a converged fleet's identical GETs are answered from one encoded body
+	// (or a 304) instead of a fresh table export each.
+	fl.Server = fleet.NewServer(agent, source, instance, nil)
 	if *snapshotFile != "" {
 		stats, err := warmStart(agent, *snapshotFile, *fleetMaxAge, time.Now())
 		if err != nil {

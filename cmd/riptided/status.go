@@ -38,11 +38,12 @@ type quarantinePayload struct {
 	Age    string `json:"age"`
 }
 
-// fleetPayload is the fleet-sharing section of /status: who we are and how
-// each configured peer is doing.
+// fleetPayload is the fleet-sharing section of /status: who we are, how
+// each configured peer is doing, and what the serving response cache did.
 type fleetPayload struct {
 	Source string             `json:"source,omitempty"`
 	Peers  []fleet.PeerHealth `json:"peers"`
+	Serve  *fleet.ServeStats  `json:"serve,omitempty"`
 }
 
 // metricsPayload is the JSON document served at /metrics.json:
@@ -80,15 +81,23 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 		return &s
 	}
 	source, instance := "", ""
+	var srv *fleet.Server
 	if fl != nil {
 		source = fl.Source
 		instance = fl.Instance
+		srv = fl.Server
+	}
+	if srv == nil {
+		srv = fleet.NewServer(agent, source, instance, nil)
 	}
 	fleetStatus := func() *fleetPayload {
 		if fl == nil || fl.Puller == nil {
 			return nil
 		}
-		return &fleetPayload{Source: fl.Source, Peers: fl.Puller.Health()}
+		p := &fleetPayload{Source: fl.Source, Peers: fl.Puller.Health()}
+		stats := srv.Stats()
+		p.Serve = &stats
+		return p
 	}
 	guardStatus := func() *guardPayload {
 		if gov == nil {
@@ -104,9 +113,9 @@ func newStatusHandler(agent *core.Agent, retry *core.RetryingRouteProgrammer, fl
 		return p
 	}
 	mux := http.NewServeMux()
-	mux.Handle(fleet.SnapshotPath, fleet.Handler(agent, source, instance, nil))
-	mux.Handle(fleet.DigestPath, fleet.DigestHandler(agent, source, instance))
-	mux.Handle(fleet.DeltaPath, fleet.DeltaHandler(agent, source, instance))
+	mux.Handle(fleet.SnapshotPath, srv.SnapshotHandler())
+	mux.Handle(fleet.DigestPath, srv.DigestHandler())
+	mux.Handle(fleet.DeltaPath, srv.DeltaHandler())
 	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
 			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)

@@ -38,7 +38,19 @@ type GossipStats struct {
 	FullRounds   int64
 	BytesOnWire  int64
 	EntriesMoved int64
+	// NotModifiedRounds counts the digest rounds where the receiver's
+	// validator (its cursor's instance+version+content) matched server-side
+	// and the exchange was an HTTP 304 — headers only, not even the digest
+	// body. Always a subset of DigestRounds.
+	NotModifiedRounds int64
 }
+
+// notModifiedWireBytes is the modeled wire cost of a 304 exchange: the
+// request's If-None-Match plus the response's status line and ETag — headers
+// only, no body. Matches the order of magnitude of riptided's real headers;
+// the exact constant matters less than being charged per round instead of
+// per table size.
+const notModifiedWireBytes = 120
 
 // gossipPair is one directed sync edge: receiver pulls from peer.
 type gossipPair struct{ receiver, peer netip.Addr }
@@ -170,10 +182,22 @@ func (c *Cluster) gossipExchange(pr gossipPair, policy core.MergePolicy, mode Go
 	}
 
 	d := gossip.TableDigest(peer.agent, src, peer.instance)
-	c.accountWire(gossip.EncodeDigest(d))
 	cur, haveCur := c.gossipCursors[pr]
+	if haveCur && cur.instance == d.Instance && cur.version == d.TableVersion &&
+		gossip.ContentEqual(d, cur.digest) {
+		// The receiver's validator (cursor instance+version, which is what
+		// riptided's ETag encodes) matches server-side: the exchange is an
+		// HTTP 304 and not even the digest body crosses the wire.
+		c.gossipStats.DigestRounds++
+		c.gossipStats.NotModifiedRounds++
+		c.gossipStats.BytesOnWire += notModifiedWireBytes
+		return
+	}
+	c.accountWire(gossip.EncodeDigest(d))
 	if haveCur && gossip.ContentEqual(d, cur.digest) {
-		// Converged: the digest was the whole round's traffic.
+		// Converged content under a moved counter (or across an instance
+		// change): the validator missed, so the digest body was served —
+		// and it was the whole round's traffic. The cursor fast-forwards.
 		c.gossipStats.DigestRounds++
 		c.gossipCursors[pr] = gossipCursor{instance: d.Instance, version: d.TableVersion, digest: d}
 		return

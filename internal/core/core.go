@@ -651,6 +651,15 @@ type Agent struct {
 	// (the entry is re-sent on the next delta, never lost).
 	tableVer atomic.Uint64
 
+	// digest is the incrementally maintained content digest: bucket hashes
+	// XOR-patched at every commit that changes exported content, so
+	// serving a gossip digest does zero table work (see digest.go).
+	digest digestAccum
+
+	// lastDeltaLen remembers the previous versioned delta's entry count —
+	// the capacity hint for the next ExportDeltaAppend(since > 0) scan.
+	lastDeltaLen atomic.Int64
+
 	// Sampler circuit-breaker state; touched only under tickMu.
 	sampleFailures int
 	breakerOpen    bool
@@ -909,6 +918,7 @@ func (a *Agent) Close() error {
 		sh.creditPending = false
 		sh.mu.Unlock()
 	}
+	a.digestReset()
 	sort.Slice(targets, func(i, j int) bool { return lessPrefix(targets[i], targets[j]) })
 
 	var firstErr error

@@ -102,6 +102,16 @@ type destState struct {
 	ewmaSeen  uint64
 	wakeAt    uint64
 	inActive  bool
+
+	// Incremental-digest cache (shard mu): the FNV-1a state after hashing
+	// the destination's canonical CIDR text (computed once per slot — slab
+	// slots are never recarved for a different prefix, so the seed stays
+	// valid for the struct's lifetime) and the content hash currently
+	// folded into the agent's digest accumulator (meaningful while
+	// installed; see internal/core/digest.go).
+	digSeed   uint64
+	digHash   uint64
+	digSeeded bool
 }
 
 // shard is one lock stripe of the agent's per-destination state, plus the
@@ -352,6 +362,7 @@ func (sh *shard) dropInstalled(a *Agent, dst netip.Prefix) bool {
 		return false
 	}
 	sh.installed--
+	a.digestUnfold(st)
 	a.dropState(sh, dst)
 	a.bumpVersion()
 	return true

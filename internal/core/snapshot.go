@@ -137,13 +137,29 @@ func (a *Agent) ExportSnapshot() []SnapshotEntry {
 // the returned version — the peer simply re-receives it on its next delta;
 // nothing is ever skipped.
 func (a *Agent) ExportDelta(since uint64) ([]SnapshotEntry, uint64) {
+	return a.ExportDeltaAppend(nil, since)
+}
+
+// ExportDeltaAppend is ExportDelta appending into buf (which may be nil),
+// returning the extended slice. Servers that answer deltas in a loop pass a
+// pooled buffer so steady-state serves do no append regrowth. The full-table
+// path is sized by the live entry count; the since>0 path by the previous
+// delta's length — deltas against a moving cursor are usually the same
+// handful of changed entries round over round, so the last answer is the
+// best available estimate of the next.
+func (a *Agent) ExportDeltaAppend(buf []SnapshotEntry, since uint64) ([]SnapshotEntry, uint64) {
 	version := a.tableVer.Load()
 	now := a.cfg.Clock()
-	var capHint int
-	if since == 0 {
-		capHint = a.entryCount()
+	capHint := a.entryCount()
+	if since > 0 {
+		if last := int(a.lastDeltaLen.Load()); last < capHint {
+			capHint = last
+		}
 	}
-	out := make([]SnapshotEntry, 0, capHint)
+	out := buf[:0]
+	if cap(out) < capHint {
+		out = make([]SnapshotEntry, 0, capHint)
+	}
 	for _, sh := range a.shards {
 		sh.mu.Lock()
 		for p, st := range sh.states {
@@ -191,6 +207,9 @@ func (a *Agent) ExportDelta(since uint64) ([]SnapshotEntry, uint64) {
 				Quarantined: true,
 			})
 		}
+	}
+	if since > 0 {
+		a.lastDeltaLen.Store(int64(len(out)))
 	}
 	sort.Slice(out, func(i, j int) bool { return lessPrefix(out[i].Prefix, out[j].Prefix) })
 	return out, version
@@ -368,7 +387,8 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			sh.states[op.dst] = st
 			a.aggRegister(sh, op.dst, st)
 		}
-		if !st.installed {
+		wasInstalled := st.installed
+		if !wasInstalled {
 			st.installed = true
 			sh.installed++
 		}
@@ -381,6 +401,11 @@ func (a *Agent) MergeSnapshot(entries []SnapshotEntry, policy MergePolicy) (Merg
 			merged:    true,
 			mergedAge: op.age,
 			version:   a.bumpVersion(),
+		}
+		if wasInstalled {
+			a.digestRefold(op.dst, st)
+		} else {
+			a.digestFold(op.dst, st)
 		}
 		sh.noteExpiry(op.expires)
 		// Seed history so the first local observation blends with the

@@ -562,6 +562,7 @@ func (a *Agent) programPlan(plan []programOp, keys []planKey, now time.Duration)
 				a.aggRegister(sh, op.dst, st)
 			}
 		}
+		wasInstalled := st.installed
 		if !st.installed {
 			st.installed = true
 			sh.installed++
@@ -587,6 +588,11 @@ func (a *Agent) programPlan(plan []programOp, keys []planKey, now time.Duration)
 		st.mergedAge = 0
 		st.programs++
 		st.version = a.bumpVersion()
+		if wasInstalled {
+			a.digestRefold(op.dst, st)
+		} else {
+			a.digestFold(op.dst, st)
+		}
 		sh.noteExpiry(st.expires)
 		if op.aggregate {
 			if agg := sh.aggs[op.dst]; agg != nil && !agg.installed {
@@ -721,6 +727,7 @@ func (a *Agent) clearTargets(targets []netip.Prefix, kind clearKind, now time.Du
 			// it goes on sampling and refreshing, but stop counting it as
 			// an installed route.
 			if st := sh.states[dst]; st != nil && st.installed {
+				a.digestUnfold(st)
 				st.installed = false
 				st.absorbed = true
 				sh.installed--

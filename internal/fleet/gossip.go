@@ -27,73 +27,34 @@ const DigestPath = "/fleet/digest"
 //	                  resync); mutually exclusive with since
 const DeltaPath = "/fleet/delta"
 
-// DigestHandler serves the agent's table digest as JSON on GET.
+// DigestHandler serves the agent's table digest as JSON on GET. It is a
+// single-endpoint convenience over Server; embeddings that mount all three
+// fleet endpoints should share one NewServer so the response cache is
+// shared too.
 func DigestHandler(agent *core.Agent, source, instance string) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		data, err := gossip.EncodeDigest(gossip.TableDigest(agent, source, instance))
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		n := writeJSON(w, r, data)
-		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
-	})
+	return NewServer(agent, source, instance, nil).DigestHandler()
 }
 
 // DeltaHandler serves versioned deltas, bucket resyncs, and full tables as
-// JSON on GET (see DeltaPath for the request forms).
+// JSON on GET (see DeltaPath for the request forms). Single-endpoint
+// convenience over Server.
 func DeltaHandler(agent *core.Agent, source, instance string) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		q := r.URL.Query()
-		var d gossip.Delta
-		if bs := q.Get("buckets"); bs != "" {
-			buckets, err := parseBuckets(bs)
-			if err != nil {
-				http.Error(w, err.Error(), http.StatusBadRequest)
-				return
-			}
-			d = gossip.TableBuckets(agent, source, instance, buckets)
-		} else {
-			var since uint64
-			if s := q.Get("since"); s != "" {
-				v, err := strconv.ParseUint(s, 10, 64)
-				if err != nil {
-					http.Error(w, fmt.Sprintf("bad since %q", s), http.StatusBadRequest)
-					return
-				}
-				since = v
-			}
-			if want := q.Get("instance"); want != "" && want != instance {
-				// The cursor belongs to a previous life of this agent;
-				// its versions are meaningless now. Serve everything.
-				since = 0
-			}
-			d = gossip.TableDelta(agent, source, instance, since)
-		}
-		data, err := gossip.EncodeDelta(d)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		n := writeJSON(w, r, data)
-		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
-	})
+	return NewServer(agent, source, instance, nil).DeltaHandler()
 }
 
 // parseBuckets parses a comma-separated bucket index list, rejecting
-// out-of-range indices and unparseable input.
+// out-of-range indices, unparseable input, and oversized lists, and
+// deduplicating repeats. Without the cap and dedupe, "0,0,0,..." repeated
+// thousands of times would make the server filter (and a malicious digest
+// could make a puller request) the same bucket's entries once per mention —
+// a response-amplification lever. A valid list never needs more than one
+// mention of each of the NumBuckets indices.
 func parseBuckets(s string) ([]int, error) {
 	parts := strings.Split(s, ",")
+	if len(parts) > gossip.NumBuckets {
+		return nil, fmt.Errorf("bucket list has %d entries, max %d", len(parts), gossip.NumBuckets)
+	}
+	var seen [gossip.NumBuckets]bool
 	out := make([]int, 0, len(parts))
 	for _, part := range parts {
 		b, err := strconv.Atoi(strings.TrimSpace(part))
@@ -103,6 +64,10 @@ func parseBuckets(s string) ([]int, error) {
 		if b < 0 || b >= gossip.NumBuckets {
 			return nil, fmt.Errorf("bucket %d out of range [0,%d)", b, gossip.NumBuckets)
 		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
 		out = append(out, b)
 	}
 	return out, nil

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 )
 
 // Wire compression for the fleet endpoints: responses are gzipped when the
@@ -16,9 +17,18 @@ import (
 // Accept-Encoding itself, which also disables net/http's transparent
 // decompression — every byte that crosses the limit does so visibly here.
 
-// acceptsGzip reports whether the request advertises gzip support.
+// acceptsGzip reports whether the request advertises gzip support. The two
+// fast paths cover nearly every real request — the puller sends exactly
+// "gzip", plain clients send nothing — without the split's allocation.
 func acceptsGzip(r *http.Request) bool {
-	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+	h := r.Header.Get("Accept-Encoding")
+	if h == "" {
+		return false
+	}
+	if h == "gzip" {
+		return true
+	}
+	for _, part := range strings.Split(h, ",") {
 		enc := strings.TrimSpace(part)
 		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
 			return true
@@ -27,26 +37,63 @@ func acceptsGzip(r *http.Request) bool {
 	return false
 }
 
+// Gzip scratch pools: fleet endpoints compress every response a peer asks
+// gzipped, and a converged fleet asks every interval — allocating a fresh
+// 800KB-state gzip.Writer (plus an output buffer) per response is pure
+// churn. Writers are Reset between uses; buffers hand their bytes to the
+// caller via copy so the pool never aliases live data.
+var (
+	gzipWriterPool = sync.Pool{New: func() any { return gzip.NewWriter(io.Discard) }}
+	gzipBufPool    = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+)
+
+// gzipBytes compresses body into a freshly allocated slice using pooled
+// compression scratch. Used to fill response caches, where the output is
+// retained indefinitely and must not alias pooled memory.
+func gzipBytes(body []byte) ([]byte, error) {
+	buf := gzipBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	zw := gzipWriterPool.Get().(*gzip.Writer)
+	zw.Reset(buf)
+	_, werr := zw.Write(body)
+	cerr := zw.Close()
+	gzipWriterPool.Put(zw)
+	if werr == nil {
+		werr = cerr
+	}
+	out := append([]byte(nil), buf.Bytes()...)
+	gzipBufPool.Put(buf)
+	if werr != nil {
+		return nil, werr
+	}
+	return out, nil
+}
+
 // writeJSON writes data (plus a trailing newline) as application/json,
 // gzip-compressed when the client accepts it, and returns the bytes that
-// went on the wire.
+// went on the wire. Compression scratch comes from the pools above.
 func writeJSON(w http.ResponseWriter, r *http.Request, data []byte) int {
-	body := make([]byte, 0, len(data)+1)
-	body = append(body, data...)
-	body = append(body, '\n')
 	w.Header().Set("Content-Type", "application/json")
 	if acceptsGzip(r) {
-		var buf bytes.Buffer
-		zw := gzip.NewWriter(&buf)
-		zw.Write(body)
-		if err := zw.Close(); err == nil {
+		buf := gzipBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		zw := gzipWriterPool.Get().(*gzip.Writer)
+		zw.Reset(buf)
+		zw.Write(data)
+		zw.Write([]byte{'\n'})
+		err := zw.Close()
+		gzipWriterPool.Put(zw)
+		if err == nil {
 			w.Header().Set("Content-Encoding", "gzip")
 			n, _ := w.Write(buf.Bytes())
+			gzipBufPool.Put(buf)
 			return n
 		}
+		gzipBufPool.Put(buf)
 	}
-	n, _ := w.Write(body)
-	return n
+	n, _ := w.Write(data)
+	m, _ := w.Write([]byte{'\n'})
+	return n + m
 }
 
 // countingReader counts the raw (wire) bytes read through it.

@@ -49,25 +49,7 @@ const (
 // gossip-aware pullers can seed their delta cursors from a full pull; pass
 // "" for none (persisted snapshots never carry one).
 func Handler(agent *core.Agent, source, instance string, now func() time.Time) http.Handler {
-	if now == nil {
-		now = time.Now
-	}
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			w.Header().Set("Allow", http.MethodGet)
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
-			return
-		}
-		snap := FromAgent(agent, source, now())
-		snap.Instance = instance
-		data, err := Encode(snap)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		n := writeJSON(w, r, data)
-		agent.Metrics().Counter("riptide_gossip_bytes_sent").Add(uint64(n))
-	})
+	return NewServer(agent, source, instance, now).SnapshotHandler()
 }
 
 // NormalizePeerURL turns a peer spec from the -peers flag into a snapshot
@@ -120,6 +102,9 @@ type PeerHealth struct {
 	BucketPulls   uint64 `json:"bucketPulls,omitempty"`
 	FullPulls     uint64 `json:"fullPulls,omitempty"`
 	SnapshotPulls uint64 `json:"snapshotPulls,omitempty"`
+	// NotModified counts digest rounds answered 304 — the cheapest form of
+	// DigestHits, where not even the digest body crossed the wire.
+	NotModified uint64 `json:"notModified,omitempty"`
 }
 
 // peerCursor is the gossip sync position against one peer: which instance
@@ -129,6 +114,9 @@ type peerCursor struct {
 	instance string
 	version  uint64
 	digest   *gossip.Digest
+	// etag is the validator from the peer's last digest response, replayed
+	// as If-None-Match so a converged peer can answer 304 with no body.
+	etag string
 }
 
 // peerState is a peer plus its backoff bookkeeping and gossip cursor.
@@ -327,6 +315,9 @@ func (p *Puller) PullOnce(ctx context.Context) int {
 		case ModeSnapshot:
 			ps.health.SnapshotPulls++
 		}
+		if round.notModified {
+			ps.health.NotModified++
+		}
 		ps.cursor = cursor
 		ps.nextAttempt = time.Time{}
 		p.mu.Unlock()
@@ -334,6 +325,9 @@ func (p *Puller) PullOnce(ctx context.Context) int {
 		m.Counter("riptide_peer_pulls").Inc()
 		m.Counter("riptide_gossip_bytes_received").Add(uint64(round.bytes))
 		m.Counter("riptide_gossip_rounds_" + round.mode).Inc()
+		if round.notModified {
+			m.Counter("riptide_gossip_not_modified").Inc()
+		}
 		merged += stats.Merged
 	}
 	return merged
@@ -370,6 +364,9 @@ func (p *Puller) jittered(d time.Duration) time.Duration {
 type roundResult struct {
 	mode  string
 	bytes int64
+	// notModified marks a digest round that was answered 304 — converged,
+	// with only headers on the wire.
+	notModified bool
 }
 
 // pullPeer syncs from one peer, walking the gossip ladder when enabled and
@@ -390,6 +387,7 @@ func (p *Puller) pullPeer(ctx context.Context, ps *peerState) (core.MergeStats, 
 		round.bytes += gossipRound.bytes
 		if err == nil {
 			round.mode = gossipRound.mode
+			round.notModified = gossipRound.notModified
 			return stats, round, next, nil
 		}
 		if ctx.Err() != nil {
@@ -428,10 +426,18 @@ func (p *Puller) pullPeer(ctx context.Context, ps *peerState) (core.MergeStats, 
 // delta/buckets/full the digest says is needed.
 func (p *Puller) pullGossip(ctx context.Context, base string, cursor peerCursor) (core.MergeStats, roundResult, peerCursor, error) {
 	var round roundResult
-	data, n, err := p.fetch(ctx, base+DigestPath)
+	data, n, respETag, notModified, err := p.fetchCond(ctx, base+DigestPath, cursor.etag)
 	round.bytes += n
 	if err != nil {
 		return core.MergeStats{}, round, cursor, err
+	}
+	if notModified {
+		// The validator matched: the peer's content is exactly what the
+		// cursor already describes, and only headers crossed the wire. The
+		// cursor stands as-is.
+		round.mode = ModeDigest
+		round.notModified = true
+		return core.MergeStats{}, round, cursor, nil
 	}
 	d, err := gossip.DecodeDigest(data)
 	if err != nil {
@@ -443,7 +449,7 @@ func (p *Puller) pullGossip(ctx context.Context, base string, cursor peerCursor)
 		// cursor fast-forwards even across an instance change — identical
 		// content needs nothing fetched, whatever the counter says.
 		round.mode = ModeDigest
-		return core.MergeStats{}, round, peerCursor{instance: d.Instance, version: d.TableVersion, digest: &d}, nil
+		return core.MergeStats{}, round, peerCursor{instance: d.Instance, version: d.TableVersion, digest: &d, etag: respETag}, nil
 	}
 
 	deltaURL := base + DeltaPath
@@ -479,7 +485,10 @@ func (p *Puller) pullGossip(ctx context.Context, base string, cursor peerCursor)
 	stats := p.merge(gossip.ToCore(delta.Entries), deltaURL)
 	round.mode = mode
 
-	next := peerCursor{instance: delta.Instance, version: delta.TableVersion}
+	// The ETag travels with the digest it validated: if the table moved
+	// between the digest and delta fetches it is already stale, and the
+	// mismatch next round just costs one digest body — never correctness.
+	next := peerCursor{instance: delta.Instance, version: delta.TableVersion, etag: respETag}
 	if mode == ModeFull {
 		// A full table is complete knowledge: recompute the digest from
 		// it rather than trusting the pre-transfer digest (the table may
@@ -509,26 +518,44 @@ func (p *Puller) merge(entries []core.SnapshotEntry, from string) core.MergeStat
 // fetch GETs a fleet endpoint, advertising gzip and enforcing the
 // decompressed-size cap, and reports the payload plus wire bytes moved.
 func (p *Puller) fetch(ctx context.Context, url string) ([]byte, int64, error) {
+	data, n, _, _, err := p.fetchCond(ctx, url, "")
+	return data, n, err
+}
+
+// fetchCond is fetch plus conditional-request support: a non-empty etag is
+// sent as If-None-Match, and a 304 answer comes back as notModified=true
+// with no payload. The response's own ETag (when present) is returned so
+// the caller can arm the next round's validator.
+func (p *Puller) fetchCond(ctx context.Context, url, etag string) (data []byte, wireBytes int64, respETag string, notModified bool, err error) {
 	reqCtx, cancel := context.WithTimeout(ctx, p.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(reqCtx, http.MethodGet, url, nil)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", false, err
 	}
 	// Setting the header explicitly (rather than letting net/http add it)
 	// disables the transport's transparent decompression, so the
 	// decompressed-size cap in readBody sees every byte.
 	req.Header.Set("Accept-Encoding", "gzip")
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, "", false, err
 	}
 	defer resp.Body.Close()
+	respETag = resp.Header.Get("ETag")
+	if etag != "" && resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, 0, respETag, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-		return nil, 0, fmt.Errorf("status %s", resp.Status)
+		return nil, 0, "", false, fmt.Errorf("status %s", resp.Status)
 	}
-	return readBody(resp, maxSnapshotBytes)
+	data, wireBytes, err = readBody(resp, maxSnapshotBytes)
+	return data, wireBytes, respETag, false, err
 }
 
 // bucketList renders bucket indices as the comma-separated form the delta

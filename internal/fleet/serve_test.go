@@ -1,0 +1,410 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/netip"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"riptide/internal/core"
+	gossippkg "riptide/internal/gossip"
+)
+
+// serveGet performs one GET against a handler, optionally with
+// If-None-Match, and returns the recorded response.
+func serveGet(h http.Handler, target, ifNoneMatch string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	if ifNoneMatch != "" {
+		req.Header.Set("If-None-Match", ifNoneMatch)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+// uncachedBodies renders the three kinds the way the pre-cache handlers
+// did — a fresh export and encode per call — for byte-identity comparison.
+func uncachedBodies(t *testing.T, a *core.Agent, source, instance string, created time.Time) (digest, delta, snapshot []byte) {
+	t.Helper()
+	dg, err := gossippkg.EncodeDigest(gossippkg.TableDigest(a, source, instance))
+	if err != nil {
+		t.Fatalf("EncodeDigest: %v", err)
+	}
+	dl, err := gossippkg.EncodeDelta(gossippkg.TableDelta(a, source, instance, 0))
+	if err != nil {
+		t.Fatalf("EncodeDelta: %v", err)
+	}
+	snap := FromAgent(a, source, created)
+	snap.Instance = instance
+	sn, err := Encode(snap)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	nl := []byte{'\n'}
+	return append(dg, nl...), append(dl, nl...), append(sn, nl...)
+}
+
+// TestServeCacheByteIdentical pins the cached bodies byte-for-byte against
+// the uncached encodes — cold, warm, and again after the table moves — with
+// concurrent requesters racing the commits (run under -race in CI).
+func TestServeCacheByteIdentical(t *testing.T) {
+	a, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+		obs(t, "203.0.113.9", 24),
+	})
+	created := time.Unix(1700000000, 0)
+	s := NewServer(a, "host-a", "boot-1", func() time.Time { return created })
+	handlers := map[string]http.Handler{
+		DigestPath:   s.DigestHandler(),
+		DeltaPath:    s.DeltaHandler(),
+		SnapshotPath: s.SnapshotHandler(),
+	}
+
+	check := func(stage string) {
+		t.Helper()
+		wantDigest, wantDelta, wantSnap := uncachedBodies(t, a, "host-a", "boot-1", created)
+		for path, want := range map[string][]byte{
+			DigestPath:   wantDigest,
+			DeltaPath:    wantDelta,
+			SnapshotPath: wantSnap,
+		} {
+			// Twice: a (possible) miss fill, then a guaranteed cache hit.
+			for round := 0; round < 2; round++ {
+				w := serveGet(handlers[path], path, "")
+				if w.Code != http.StatusOK {
+					t.Fatalf("%s %s round %d: status %d", stage, path, round, w.Code)
+				}
+				if got := w.Body.Bytes(); !bytes.Equal(got, want) {
+					t.Fatalf("%s %s round %d: cached body differs from uncached encode:\n got %s\nwant %s",
+						stage, path, round, got, want)
+				}
+				if w.Header().Get("ETag") == "" {
+					t.Fatalf("%s %s: no ETag", stage, path)
+				}
+			}
+		}
+	}
+
+	check("cold")
+
+	// Concurrent requesters race a stream of commits; every response must
+	// decode (we cannot pin bytes mid-race, but nothing may tear).
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{DigestPath, DeltaPath, SnapshotPath} {
+		path := path
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					w := serveGet(handlers[path], path, "")
+					if w.Code != http.StatusOK {
+						panic(fmt.Sprintf("%s: status %d", path, w.Code))
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		seed := []core.SnapshotEntry{{
+			Prefix: netip.MustParsePrefix(fmt.Sprintf("198.18.0.%d/32", i+1)),
+			Window: 16 + i, Samples: 3, Age: time.Second,
+		}}
+		if _, err := a.MergeSnapshot(seed, core.MergePolicy{}); err != nil {
+			t.Fatalf("MergeSnapshot: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	check("after-commits")
+
+	st := s.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("stats = %+v, want both hits and misses", st)
+	}
+}
+
+// TestServeNotModified covers the revalidation flow: a response's ETag
+// replayed as If-None-Match earns 304 with no body; a table change retires
+// the validator and the next conditional request gets a full body with a
+// new ETag.
+func TestServeNotModified(t *testing.T) {
+	a, _, _ := newTestAgent(t, []core.Observation{obs(t, "192.0.2.1", 40)})
+	s := NewServer(a, "host-a", "boot-1", nil)
+	h := s.DigestHandler()
+
+	w := serveGet(h, DigestPath, "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("unconditional GET: status %d", w.Code)
+	}
+	etag := w.Header().Get("ETag")
+	if !strings.HasPrefix(etag, `"boot-1/`) {
+		t.Fatalf("ETag = %q, want \"boot-1/<version>\" form", etag)
+	}
+
+	w = serveGet(h, DigestPath, etag)
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("conditional GET: status %d, want 304", w.Code)
+	}
+	if w.Body.Len() != 0 {
+		t.Fatalf("304 carried a %d-byte body", w.Body.Len())
+	}
+	if got := w.Header().Get("ETag"); got != etag {
+		t.Fatalf("304 ETag = %q, want %q", got, etag)
+	}
+	if st := s.Stats(); st.NotModified != 1 {
+		t.Fatalf("stats = %+v, want 1 notModified", st)
+	}
+
+	// The table moves: the old validator must stop matching.
+	seed := []core.SnapshotEntry{{
+		Prefix: netip.MustParsePrefix("198.18.0.1/32"), Window: 32, Samples: 3, Age: time.Second,
+	}}
+	if _, err := a.MergeSnapshot(seed, core.MergePolicy{}); err != nil {
+		t.Fatalf("MergeSnapshot: %v", err)
+	}
+	w = serveGet(h, DigestPath, etag)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-commit conditional GET: status %d, want 200", w.Code)
+	}
+	if w.Body.Len() == 0 {
+		t.Fatal("post-commit conditional GET: empty body")
+	}
+	if got := w.Header().Get("ETag"); got == etag {
+		t.Fatalf("ETag unchanged across a commit: %q", got)
+	}
+	// A matching validator earns 304 even before any body is cached for
+	// the new version — revalidation never requires a rebuild.
+	s2 := NewServer(a, "host-a", "boot-1", nil)
+	w = serveGet(s2.DigestHandler(), DigestPath, w.Header().Get("ETag"))
+	if w.Code != http.StatusNotModified {
+		t.Fatalf("cold-cache conditional GET: status %d, want 304", w.Code)
+	}
+	if st := s2.Stats(); st.Misses != 0 {
+		t.Fatalf("cold-cache 304 rebuilt a body: %+v", st)
+	}
+}
+
+// TestServeRemintDropsCache: after an in-process agent reboot the server is
+// reminted; the old life's validators must stop matching and the cache must
+// not serve the old life's bodies.
+func TestServeRemintDropsCache(t *testing.T) {
+	a, _, _ := newTestAgent(t, []core.Observation{obs(t, "192.0.2.1", 40)})
+	s := NewServer(a, "host-a", "boot-1", nil)
+	h := s.DigestHandler()
+
+	w := serveGet(h, DigestPath, "")
+	oldETag := w.Header().Get("ETag")
+	oldBody := append([]byte(nil), w.Body.Bytes()...)
+
+	s.Remint("boot-2")
+
+	w = serveGet(h, DigestPath, oldETag)
+	if w.Code != http.StatusOK {
+		t.Fatalf("post-remint conditional GET: status %d, want 200 (old validator must not match)", w.Code)
+	}
+	newETag := w.Header().Get("ETag")
+	if newETag == oldETag {
+		t.Fatalf("ETag survived remint: %q", newETag)
+	}
+	if !strings.HasPrefix(newETag, `"boot-2/`) {
+		t.Fatalf("post-remint ETag = %q, want boot-2 scope", newETag)
+	}
+	if bytes.Equal(w.Body.Bytes(), oldBody) {
+		t.Fatal("post-remint body identical to old life's (instance field must differ)")
+	}
+	if st := s.Stats(); st.Misses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses (remint dropped the cache)", st)
+	}
+}
+
+// TestServePlainPeerGetsFullBody: a peer that never sends If-None-Match
+// (pre-gossip builds, curl) gets complete bodies on every request — the
+// cache is invisible to it.
+func TestServePlainPeerGetsFullBody(t *testing.T) {
+	a, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+	})
+	srv := gossipServer(a, "host-a", "boot-1")
+	defer srv.Close()
+
+	for _, path := range []string{DigestPath, DeltaPath, SnapshotPath} {
+		for round := 0; round < 3; round++ {
+			resp, err := http.Get(srv.URL + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			body, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("read %s: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("%s round %d: status %d", path, round, resp.StatusCode)
+			}
+			if len(body) == 0 {
+				t.Fatalf("%s round %d: empty body for unconditional request", path, round)
+			}
+		}
+	}
+}
+
+// TestServeEntryBodyFreshnessBound: cached delta/snapshot bodies embed ages
+// measured at encode time, so they are re-encoded once they age past TTL/4
+// even at a constant table version. The digest hashes no ages and stays
+// cached.
+func TestServeEntryBodyFreshnessBound(t *testing.T) {
+	clk := &simClock{}
+	routes := newMemRoutes()
+	a, err := core.New(core.Config{
+		Sampler: &stubSampler{obs: []core.Observation{obs(t, "192.0.2.1", 40)}},
+		Routes:  routes,
+		Clock:   clk.Now,
+		TTL:     time.Minute, // freshness bound: 15s
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	defer a.Close()
+	if err := a.Tick(); err != nil {
+		t.Fatalf("Tick: %v", err)
+	}
+
+	var mu sync.Mutex
+	now := time.Unix(1700000000, 0)
+	s := NewServer(a, "host-a", "boot-1", func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	})
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
+	dh, sh := s.DigestHandler(), s.SnapshotHandler()
+
+	serveGet(sh, SnapshotPath, "")
+	serveGet(dh, DigestPath, "")
+	serveGet(sh, SnapshotPath, "")
+	serveGet(dh, DigestPath, "")
+	if st := s.Stats(); st.Misses != 2 || st.Hits != 2 {
+		t.Fatalf("warm stats = %+v, want 2 misses + 2 hits", st)
+	}
+
+	advance(16 * time.Second) // past TTL/4, version unchanged
+	serveGet(sh, SnapshotPath, "")
+	serveGet(dh, DigestPath, "")
+	st := s.Stats()
+	if st.Misses != 3 {
+		t.Fatalf("aged stats = %+v, want the snapshot re-encoded (3 misses)", st)
+	}
+	if st.Hits != 3 {
+		t.Fatalf("aged stats = %+v, want the digest still cached (3 hits)", st)
+	}
+}
+
+// TestParseBucketsDedupesAndCaps: repeated indices collapse and oversized
+// lists are rejected outright, closing the response-amplification lever
+// where "0,0,0,..." multiplied the filtered payload per mention.
+func TestParseBucketsDedupesAndCaps(t *testing.T) {
+	got, err := parseBuckets("3,1,3,1,3")
+	if err != nil {
+		t.Fatalf("parseBuckets: %v", err)
+	}
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("parseBuckets = %v, want [3 1]", got)
+	}
+
+	huge := strings.TrimSuffix(strings.Repeat("0,", gossippkg.NumBuckets+1), ",")
+	if _, err := parseBuckets(huge); err == nil {
+		t.Fatalf("parseBuckets accepted a %d-entry list", gossippkg.NumBuckets+1)
+	}
+
+	// The full valid range still parses.
+	all := make([]string, gossippkg.NumBuckets)
+	for i := range all {
+		all[i] = fmt.Sprint(i)
+	}
+	got, err = parseBuckets(strings.Join(all, ","))
+	if err != nil {
+		t.Fatalf("parseBuckets(all): %v", err)
+	}
+	if len(got) != gossippkg.NumBuckets {
+		t.Fatalf("parseBuckets(all) = %d entries, want %d", len(got), gossippkg.NumBuckets)
+	}
+}
+
+// TestPullerNotModifiedRound: once a puller has a validator, a converged
+// round is answered 304 — zero body bytes, counted distinctly in health and
+// metrics, cursor intact — and a table change breaks back out of it.
+func TestPullerNotModifiedRound(t *testing.T) {
+	src, _, _ := newTestAgent(t, []core.Observation{
+		obs(t, "192.0.2.1", 40),
+		obs(t, "198.51.100.7", 80),
+	})
+	srv := gossipServer(src, "host-a", "boot-1")
+	defer srv.Close()
+
+	dst, _, _ := newTestAgent(t, nil)
+	p := newGossipPuller(t, dst, srv.URL)
+	ctx := context.Background()
+
+	// Round 1: first contact, full transfer (the digest response arms the
+	// validator).
+	if merged := p.PullOnce(ctx); merged != 2 {
+		t.Fatalf("round 1 merged %d, want 2", merged)
+	}
+
+	// Round 2: converged with a validator — 304, nothing on the wire.
+	if merged := p.PullOnce(ctx); merged != 0 {
+		t.Fatalf("round 2 merged %d, want 0", merged)
+	}
+	h := p.Health()[0]
+	if h.Mode != ModeDigest || h.NotModified != 1 {
+		t.Fatalf("round 2 health = %+v, want a 304 digest round", h)
+	}
+	if h.LastBytes != 0 {
+		t.Fatalf("round 2 moved %d body bytes, want 0 (headers only)", h.LastBytes)
+	}
+	if m := dst.Metrics().Snapshot().Counters; m["riptide_gossip_not_modified"] != 1 {
+		t.Fatalf("metrics = %v, want riptide_gossip_not_modified=1", m)
+	}
+
+	// The source learns a new destination: the validator stops matching
+	// and the next round is a delta again.
+	seed := []core.SnapshotEntry{{
+		Prefix: netip.MustParsePrefix("198.18.0.1/32"), Window: 32, Samples: 3, Age: time.Second,
+	}}
+	if _, err := src.MergeSnapshot(seed, core.MergePolicy{}); err != nil {
+		t.Fatalf("MergeSnapshot: %v", err)
+	}
+	if merged := p.PullOnce(ctx); merged != 1 {
+		t.Fatalf("round 3 merged %d, want 1", merged)
+	}
+	h = p.Health()[0]
+	if h.Mode != ModeDelta {
+		t.Fatalf("round 3 health = %+v, want a delta round", h)
+	}
+
+	// Round 4: converged again at the new version.
+	p.PullOnce(ctx)
+	h = p.Health()[0]
+	if h.NotModified != 2 {
+		t.Fatalf("round 4 health = %+v, want notModified=2", h)
+	}
+}

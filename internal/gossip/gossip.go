@@ -29,9 +29,7 @@ package gossip
 import (
 	"encoding/json"
 	"fmt"
-	"hash/fnv"
 	"net/netip"
-	"strconv"
 	"time"
 
 	"riptide/internal/core"
@@ -44,8 +42,10 @@ const WireVersion = 1
 // NumBuckets is the fixed digest width. 64 buckets keep the digest near
 // half a kilobyte of JSON while still isolating a single changed entry to
 // 1/64th of the table on a post-restart resync. Changing it is a wire
-// format change (digests of different widths never compare equal).
-const NumBuckets = 64
+// format change (digests of different widths never compare equal). The
+// value is canonical in internal/core, which maintains the same bucket
+// hashes incrementally at each commit (core.DigestBuckets).
+const NumBuckets = core.DigestBuckets
 
 // Entry is one learned destination on the wire. It is shared with the
 // full-snapshot format (fleet.Entry is an alias), so a delta entry and a
@@ -74,9 +74,15 @@ type Entry struct {
 
 // FromCore converts exported agent entries to wire entries.
 func FromCore(entries []core.SnapshotEntry) []Entry {
-	out := make([]Entry, 0, len(entries))
+	return AppendFromCore(make([]Entry, 0, len(entries)), entries)
+}
+
+// AppendFromCore is FromCore appending into dst (which may be nil) — the
+// pooled-buffer form hot serving paths use to avoid re-allocating the wire
+// slice on every encode.
+func AppendFromCore(dst []Entry, entries []core.SnapshotEntry) []Entry {
 	for _, se := range entries {
-		out = append(out, Entry{
+		dst = append(dst, Entry{
 			Prefix:      se.Prefix.String(),
 			Window:      se.Window,
 			Samples:     se.Samples,
@@ -85,7 +91,7 @@ func FromCore(entries []core.SnapshotEntry) []Entry {
 			ModVersion:  se.Version,
 		})
 	}
-	return out
+	return dst
 }
 
 // ToCore converts wire entries to the form core.Agent.MergeSnapshot
@@ -113,9 +119,7 @@ func ToCore(entries []Entry) []core.SnapshotEntry {
 
 // BucketOf maps a prefix (CIDR text form) to its digest bucket.
 func BucketOf(prefix string) int {
-	h := fnv.New64a()
-	h.Write([]byte(prefix))
-	return int(h.Sum64() % NumBuckets)
+	return core.DigestBucketOf(prefix)
 }
 
 // entryHash hashes an entry's durable content: the fields a peer would
@@ -123,16 +127,11 @@ func BucketOf(prefix string) int {
 // excluded — they change every round (sample counts grow, ages tick, the
 // version counter resets across restarts) and including any of them would
 // make two content-identical tables digest differently, defeating the
-// converged-peers-pay-O(1) property.
+// converged-peers-pay-O(1) property. The implementation is canonical in
+// internal/core so the agent's incremental accumulator and this full
+// recompute can never drift apart.
 func entryHash(e Entry) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(e.Prefix))
-	h.Write([]byte{'|'})
-	h.Write([]byte(strconv.Itoa(e.Window)))
-	if e.Quarantined {
-		h.Write([]byte{'|', 'q'})
-	}
-	return h.Sum64()
+	return core.DigestEntryHash(e.Prefix, e.Window, e.Quarantined)
 }
 
 // Digest is the compact table summary exchanged before any entries move.
@@ -298,12 +297,24 @@ func DecodeDelta(data []byte) (Delta, error) {
 	return d, nil
 }
 
-// TableDigest computes an agent's current digest. The table version is read
-// before the table is scanned, so a commit racing the scan can only make
-// the version conservative (the affected entry is re-sent, never skipped).
+// TableDigest returns an agent's current digest from its incrementally
+// maintained bucket hashes — O(1) table work, no export scan (the agent
+// XOR-patches the affected bucket at every committing mutation; see
+// core.Agent.ContentDigest). The table version is read before the buckets,
+// so a commit racing the read can only make the version conservative (the
+// affected entry is re-sent, never skipped). TestIncrementalDigestMatchesRescan
+// pins this byte-identical to the full rescan
+// Compute(FromCore(ExportDelta(0))) across every commit kind.
 func TableDigest(a *core.Agent, source, instance string) Digest {
-	entries, version := a.ExportDelta(0)
-	return Compute(FromCore(entries), source, instance, version)
+	version, count, buckets := a.ContentDigest()
+	return Digest{
+		Version:      WireVersion,
+		Source:       source,
+		Instance:     instance,
+		TableVersion: version,
+		Count:        count,
+		Buckets:      buckets,
+	}
 }
 
 // TableDelta exports an agent's entries committed after `since` as a wire

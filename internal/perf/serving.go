@@ -1,0 +1,212 @@
+package perf
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"net/url"
+	"time"
+
+	"riptide/internal/core"
+	"riptide/internal/fleet"
+	"riptide/internal/gossip"
+)
+
+// Fleet-serving series: what one gossip GET costs the serving agent. The
+// cached points measure fleet.Server (this PR's encode-once response
+// cache); the uncached points re-export and re-encode per request — the
+// pre-cache handlers' cost, kept as live-measured baselines so every
+// BENCH_<n>.json carries its own point of comparison.
+
+// nullResponseWriter keeps one header map alive and discards bodies, so
+// the serving measurement excludes any recorder bookkeeping.
+type nullResponseWriter struct {
+	h    http.Header
+	n    int64
+	code int
+}
+
+func (w *nullResponseWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header, 4)
+	}
+	return w.h
+}
+
+func (w *nullResponseWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+func (w *nullResponseWriter) WriteHeader(code int) { w.code = code }
+
+// servingAgent builds an agent holding n merged entries over no-op
+// backends, the serving-side fixture.
+func servingAgent(n int) (*core.Agent, error) {
+	a, err := core.New(core.Config{
+		Sampler: StaticSampler(nil),
+		Routes:  NopBatchRoutes{},
+		Clock:   func() time.Duration { return 0 },
+	})
+	if err != nil {
+		return nil, err
+	}
+	seed := make([]core.SnapshotEntry, n)
+	for i := range seed {
+		seed[i] = core.SnapshotEntry{
+			Prefix:  netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i / 62500 % 250), byte(i / 250 % 250), byte(1 + i%250)}), 32),
+			Window:  10 + i%90,
+			Samples: 50,
+		}
+	}
+	if _, err := a.MergeSnapshot(seed, core.MergePolicy{}); err != nil {
+		_ = a.Close()
+		return nil, err
+	}
+	return a, nil
+}
+
+// servingKinds maps the measured endpoint kinds to their URL paths.
+var servingKinds = []struct {
+	kind string
+	path string
+}{
+	{"Digest", fleet.DigestPath},
+	{"Delta", fleet.DeltaPath},
+	{"Snapshot", fleet.SnapshotPath},
+}
+
+// uncachedServingOp renders one endpoint body the way the pre-cache
+// handlers did: a fresh export, encode, and gzip writer per request.
+func uncachedServingOp(a *core.Agent, kind string) func() error {
+	nl := []byte{'\n'}
+	return func() error {
+		var data []byte
+		var err error
+		switch kind {
+		case "Digest":
+			data, err = gossip.EncodeDigest(gossip.TableDigest(a, "bench", "boot-1"))
+		case "Delta":
+			data, err = gossip.EncodeDelta(gossip.TableDelta(a, "bench", "boot-1", 0))
+		case "Snapshot":
+			snap := fleet.FromAgent(a, "bench", time.Unix(1, 0))
+			snap.Instance = "boot-1"
+			data, err = fleet.Encode(snap)
+		}
+		if err != nil {
+			return err
+		}
+		zw := gzip.NewWriter(io.Discard)
+		if _, err := zw.Write(data); err != nil {
+			return err
+		}
+		if _, err := zw.Write(nl); err != nil {
+			return err
+		}
+		return zw.Close()
+	}
+}
+
+// CollectServing measures the fleet-serving fan-in series at the given
+// table sizes: per endpoint kind, the converged steady state (every request
+// a cache hit), the churn upper bound (the cache invalidated before every
+// request, so each GET pays a full rebuild), and the 304 revalidation path.
+// It returns the measured points plus the uncached per-request encodes as
+// baselines.
+func CollectServing(sizes []int, minTime time.Duration) ([]Benchmark, []Baseline, error) {
+	var out []Benchmark
+	var baselines []Baseline
+	for _, size := range sizes {
+		a, err := servingAgent(size)
+		if err != nil {
+			return nil, nil, err
+		}
+		srv := fleet.NewServer(a, "bench", "boot-1", func() time.Time { return time.Unix(1, 0) })
+		handlers := map[string]http.Handler{
+			"Digest":   srv.DigestHandler(),
+			"Delta":    srv.DeltaHandler(),
+			"Snapshot": srv.SnapshotHandler(),
+		}
+		for _, k := range servingKinds {
+			h := handlers[k.kind]
+			req := &http.Request{
+				Method: http.MethodGet,
+				URL:    &url.URL{Path: k.path},
+				Header: http.Header{"Accept-Encoding": []string{"gzip"}},
+			}
+			w := &nullResponseWriter{}
+			serve := func() error {
+				w.code = 0
+				h.ServeHTTP(w, req)
+				if w.code != 0 && w.code != http.StatusOK {
+					return fmt.Errorf("perf: serve %s: status %d", k.path, w.code)
+				}
+				return nil
+			}
+
+			b, err := Measure(fmt.Sprintf("Serve%s/entries=%d/mode=converged", k.kind, size), minTime, serve)
+			if err != nil {
+				_ = a.Close()
+				return nil, nil, err
+			}
+			b.Destinations = size
+			out = append(out, b)
+
+			b, err = Measure(fmt.Sprintf("Serve%s/entries=%d/mode=churning", k.kind, size), minTime, func() error {
+				srv.Remint("boot-1") // drop the cache: this GET pays the full rebuild
+				return serve()
+			})
+			if err != nil {
+				_ = a.Close()
+				return nil, nil, err
+			}
+			b.Destinations = size
+			out = append(out, b)
+
+			ub, err := Measure(fmt.Sprintf("Serve%s/entries=%d/mode=uncached", k.kind, size), minTime, uncachedServingOp(a, k.kind))
+			if err != nil {
+				_ = a.Close()
+				return nil, nil, err
+			}
+			baselines = append(baselines, Baseline{
+				Name:        "uncached/" + ub.Name,
+				NsPerOp:     ub.NsPerOp,
+				AllocsPerOp: ub.AllocsPerOp,
+				BytesPerOp:  ub.BytesPerOp,
+			})
+		}
+
+		// The 304 revalidation path, measured once per size on the digest
+		// endpoint (the converged fleet's every-interval request).
+		h := handlers["Digest"]
+		req := &http.Request{
+			Method: http.MethodGet,
+			URL:    &url.URL{Path: fleet.DigestPath},
+			Header: http.Header{"Accept-Encoding": []string{"gzip"}},
+		}
+		w := &nullResponseWriter{}
+		h.ServeHTTP(w, req)
+		req.Header.Set("If-None-Match", w.Header().Get("ETag"))
+		b, err := Measure(fmt.Sprintf("ServeDigest/entries=%d/mode=not-modified", size), minTime, func() error {
+			w.code = 0
+			h.ServeHTTP(w, req)
+			if w.code != http.StatusNotModified {
+				return fmt.Errorf("perf: revalidation: status %d, want 304", w.code)
+			}
+			return nil
+		})
+		if err != nil {
+			_ = a.Close()
+			return nil, nil, err
+		}
+		b.Destinations = size
+		out = append(out, b)
+
+		if err := a.Close(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return out, baselines, nil
+}

@@ -463,6 +463,7 @@ func (sp *Spec) collect(c *cdn.Cluster, st *runState) map[string]float64 {
 		m["gossip.rounds.delta"] = float64(gs.DeltaRounds)
 		m["gossip.rounds.buckets"] = float64(gs.BucketRounds)
 		m["gossip.rounds.full"] = float64(gs.FullRounds)
+		m["gossip.rounds.not_modified"] = float64(gs.NotModifiedRounds)
 		m["gossip.entries_moved"] = float64(gs.EntriesMoved)
 	}
 
